@@ -1,0 +1,13 @@
+// Package factordb is a reproduction of "Scalable Probabilistic Databases
+// with Factor Graphs and MCMC" (Wick, McCallum, Miklau; arXiv:1005.1934,
+// 2010): a probabilistic database whose underlying relational store always
+// holds a single possible world, with uncertainty encoded by an external
+// factor graph and recovered through Metropolis-Hastings sampling. Query
+// answers are maintained incrementally across sampled worlds with
+// materialized-view maintenance, which is orders of magnitude faster than
+// re-running queries per world.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-measured record, and the examples/ directory for runnable
+// entry points.
+package factordb

@@ -1,0 +1,114 @@
+// Package core is the probabilistic database engine: it ties the
+// relational store (one possible world), an external factor-graph model
+// expressed through an MCMC proposer, and relational query plans into the
+// paper's query-evaluation problem — returning every tuple in a query
+// answer together with its marginal probability Pr[t ∈ Q(W)]
+// (Equations 4–5).
+//
+// Two evaluators are provided. The naive evaluator (Algorithm 3) re-runs
+// the full query over the world after every k MCMC steps. The
+// materialized evaluator (Algorithm 1) runs the full query once, then
+// maintains the answer incrementally from the Δ⁻/Δ⁺ tuple deltas produced
+// by the sampler — the paper's central efficiency result.
+package core
+
+import (
+	"sort"
+
+	"factordb/internal/ra"
+	"factordb/internal/relstore"
+)
+
+// TupleProb is one query-answer tuple with its estimated probability of
+// membership in the answer set.
+type TupleProb struct {
+	Tuple relstore.Tuple
+	P     float64
+}
+
+// Estimator accumulates tuple presence counts across sampled worlds,
+// implementing the finite-sample estimate of Equation 5: a tuple's
+// marginal is the fraction of samples whose (multiset) answer contained
+// it with positive count.
+type Estimator struct {
+	counts map[string]int64
+	tuples map[string]relstore.Tuple
+	z      int64
+}
+
+// NewEstimator returns an empty estimator.
+func NewEstimator() *Estimator {
+	return &Estimator{counts: make(map[string]int64), tuples: make(map[string]relstore.Tuple)}
+}
+
+// AddSample counts every tuple present (count > 0) in the sampled answer.
+// The paper's multiset bookkeeping — "the condition is changed to
+// count(mi) > 0" — is exactly the positive-count test here.
+func (e *Estimator) AddSample(answer *ra.Bag) {
+	e.z++
+	answer.Each(func(k string, r *ra.BagRow) bool {
+		if r.N > 0 {
+			e.counts[k]++
+			if _, ok := e.tuples[k]; !ok {
+				e.tuples[k] = r.Tuple
+			}
+		}
+		return true
+	})
+}
+
+// Samples returns the number of samples accumulated (the normalizer z).
+func (e *Estimator) Samples() int64 { return e.z }
+
+// Marginals returns the estimated probability for every tuple ever seen,
+// keyed by tuple key.
+func (e *Estimator) Marginals() map[string]float64 {
+	out := make(map[string]float64, len(e.counts))
+	if e.z == 0 {
+		return out
+	}
+	for k, c := range e.counts {
+		out[k] = float64(c) / float64(e.z)
+	}
+	return out
+}
+
+// Results returns the answer tuples with probabilities, sorted by
+// descending probability then tuple key for determinism.
+func (e *Estimator) Results() []TupleProb {
+	type kv struct {
+		k string
+		c int64
+	}
+	items := make([]kv, 0, len(e.counts))
+	for k, c := range e.counts {
+		items = append(items, kv{k, c})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].c != items[j].c {
+			return items[i].c > items[j].c
+		}
+		return items[i].k < items[j].k
+	})
+	out := make([]TupleProb, len(items))
+	for i, it := range items {
+		p := 0.0
+		if e.z > 0 {
+			p = float64(it.c) / float64(e.z)
+		}
+		out[i] = TupleProb{Tuple: e.tuples[it.k], P: p}
+	}
+	return out
+}
+
+// Merge adds the counts of another estimator (used to average parallel
+// chains, Section 5.4). Both estimators must target the same query.
+func (e *Estimator) Merge(o *Estimator) {
+	e.z += o.z
+	for k, c := range o.counts {
+		e.counts[k] += c
+		if _, ok := e.tuples[k]; !ok {
+			e.tuples[k] = o.tuples[k]
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import "math"
+
+// Top-k and uncertainty reporting over the sampled marginals. MystiQ-style
+// top-k ranking (Ré, Dalvi, Suciu — cited as related work in Section 2)
+// falls out of the sampling representation for free: rank tuples by
+// estimated marginal and report Monte Carlo standard errors.
+
+// TupleStat extends TupleProb with the Monte Carlo standard error of the
+// estimate.
+type TupleStat struct {
+	TupleProb
+	// StdErr is sqrt(p(1-p)/z), the binomial standard error under an
+	// independent-sample assumption. Consecutive MCMC samples are
+	// positively correlated, so this is a lower bound on the true
+	// uncertainty; thinning (larger k) tightens it.
+	StdErr float64
+}
+
+// TopK returns the k highest-probability answer tuples with standard
+// errors. k <= 0 returns everything.
+func (e *Estimator) TopK(k int) []TupleStat {
+	res := e.Results()
+	if k > 0 && k < len(res) {
+		res = res[:k]
+	}
+	out := make([]TupleStat, len(res))
+	for i, tp := range res {
+		out[i] = TupleStat{TupleProb: tp, StdErr: e.stderr(tp.P)}
+	}
+	return out
+}
+
+func (e *Estimator) stderr(p float64) float64 {
+	if e.z == 0 {
+		return 0
+	}
+	return math.Sqrt(p * (1 - p) / float64(e.z))
+}
+
+// Above returns all tuples whose estimated marginal is at least tau, the
+// threshold-query form of probabilistic answers.
+func (e *Estimator) Above(tau float64) []TupleStat {
+	var out []TupleStat
+	for _, ts := range e.TopK(0) {
+		if ts.P >= tau {
+			out = append(out, ts)
+		}
+	}
+	return out
+}

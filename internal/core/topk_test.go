@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"factordb/internal/ra"
+	"factordb/internal/relstore"
+)
+
+func fillEstimator(t *testing.T) *Estimator {
+	t.Helper()
+	sch := &ra.RowSchema{Cols: []ra.OutCol{{Ref: ra.C("", "s"), Type: relstore.TString}}}
+	mk := func(vals ...string) *ra.Bag {
+		b := ra.NewBag(sch)
+		for _, v := range vals {
+			b.Add(relstore.Tuple{relstore.String(v)}, 1)
+		}
+		return b
+	}
+	e := NewEstimator()
+	e.AddSample(mk("a", "b", "c"))
+	e.AddSample(mk("a", "b"))
+	e.AddSample(mk("a"))
+	e.AddSample(mk("a"))
+	return e
+}
+
+func TestTopK(t *testing.T) {
+	e := fillEstimator(t)
+	top := e.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("TopK(2) returned %d", len(top))
+	}
+	if top[0].Tuple[0].AsString() != "a" || top[0].P != 1 {
+		t.Errorf("top tuple = %v p=%v", top[0].Tuple, top[0].P)
+	}
+	if top[1].Tuple[0].AsString() != "b" || top[1].P != 0.5 {
+		t.Errorf("second tuple = %v p=%v", top[1].Tuple, top[1].P)
+	}
+	// p=1 has zero standard error; p=0.5 has sqrt(.25/4)=0.25.
+	if top[0].StdErr != 0 {
+		t.Errorf("stderr(p=1) = %v", top[0].StdErr)
+	}
+	if math.Abs(top[1].StdErr-0.25) > 1e-12 {
+		t.Errorf("stderr(p=0.5) = %v, want 0.25", top[1].StdErr)
+	}
+	// k <= 0 returns everything.
+	if got := len(e.TopK(0)); got != 3 {
+		t.Errorf("TopK(0) = %d rows, want 3", got)
+	}
+	if got := len(e.TopK(100)); got != 3 {
+		t.Errorf("TopK(100) = %d rows, want 3", got)
+	}
+}
+
+func TestAbove(t *testing.T) {
+	e := fillEstimator(t)
+	hi := e.Above(0.5)
+	if len(hi) != 2 {
+		t.Fatalf("Above(0.5) = %d rows, want 2", len(hi))
+	}
+	all := e.Above(0)
+	if len(all) != 3 {
+		t.Fatalf("Above(0) = %d rows, want 3", len(all))
+	}
+	none := e.Above(1.01)
+	if len(none) != 0 {
+		t.Fatalf("Above(1.01) = %d rows, want 0", len(none))
+	}
+}
+
+func TestTopKEmpty(t *testing.T) {
+	e := NewEstimator()
+	if len(e.TopK(5)) != 0 || len(e.Above(0)) != 0 {
+		t.Error("empty estimator should return nothing")
+	}
+}

@@ -1,0 +1,309 @@
+// Package coref implements the entity-resolution substrate of Figure 1
+// (bottom row): mentions of named entities are clustered into real-world
+// entities, with a factor graph scoring within-cluster cohesion. The
+// clustering representation keeps transitivity implicit — any clustering
+// is a valid world — so the sampler never needs the cubic number of
+// deterministic transitivity factors (Section 3.4).
+package coref
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mention is one observed mention string; Gold is the identifier of the
+// true underlying entity (used for evaluation and SampleRank training).
+type Mention struct {
+	ID   int
+	Str  string
+	Gold int
+}
+
+// State is a clustering of mentions: the hidden part of the possible
+// world. Cluster identifiers are arbitrary but stable between moves.
+type State struct {
+	Mentions []Mention
+
+	cluster []int
+	members map[int]map[int]struct{}
+	nextID  int
+}
+
+// NewSingletonState puts every mention in its own cluster.
+func NewSingletonState(mentions []Mention) *State {
+	s := &State{
+		Mentions: mentions,
+		cluster:  make([]int, len(mentions)),
+		members:  make(map[int]map[int]struct{}, len(mentions)),
+	}
+	for i := range mentions {
+		s.cluster[i] = i
+		s.members[i] = map[int]struct{}{i: {}}
+	}
+	s.nextID = len(mentions)
+	return s
+}
+
+// Cluster returns the cluster id of mention m.
+func (s *State) Cluster(m int) int { return s.cluster[m] }
+
+// NumClusters returns the number of non-empty clusters.
+func (s *State) NumClusters() int { return len(s.members) }
+
+// Members returns the mention indexes in cluster c, sorted.
+func (s *State) Members(c int) []int {
+	set := s.members[c]
+	out := make([]int, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ClusterIDs returns all non-empty cluster ids, sorted.
+func (s *State) ClusterIDs() []int {
+	out := make([]int, 0, len(s.members))
+	for c := range s.members {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsSingleton reports whether mention m is alone in its cluster.
+func (s *State) IsSingleton(m int) bool { return len(s.members[s.cluster[m]]) == 1 }
+
+// Move transfers mention m into cluster target; target < 0 allocates a
+// fresh cluster. It returns the destination cluster id. Emptied clusters
+// disappear. Moving a mention to its own cluster is a no-op.
+func (s *State) Move(m, target int) int {
+	from := s.cluster[m]
+	if target == from {
+		return from
+	}
+	if target >= 0 {
+		if _, ok := s.members[target]; !ok {
+			panic(fmt.Sprintf("coref: move to unknown cluster %d", target))
+		}
+	} else {
+		target = s.nextID
+		s.nextID++
+		s.members[target] = make(map[int]struct{})
+	}
+	delete(s.members[from], m)
+	if len(s.members[from]) == 0 {
+		delete(s.members, from)
+	}
+	s.members[target][m] = struct{}{}
+	s.cluster[m] = target
+	return target
+}
+
+// PairwiseF1 scores the clustering against gold entities with pairwise
+// precision/recall/F1.
+func (s *State) PairwiseF1() (precision, recall, f1 float64) {
+	var tp, fp, fn float64
+	n := len(s.Mentions)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			same := s.cluster[i] == s.cluster[j]
+			gold := s.Mentions[i].Gold == s.Mentions[j].Gold
+			switch {
+			case same && gold:
+				tp++
+			case same && !gold:
+				fp++
+			case !same && gold:
+				fn++
+			}
+		}
+	}
+	if tp+fp > 0 {
+		precision = tp / (tp + fp)
+	}
+	if tp+fn > 0 {
+		recall = tp / (tp + fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}
+
+// Similarity returns a string affinity in [0,1] combining exact match,
+// token overlap with initial expansion ("J. Smith" ~ "John Smith"), and
+// normalized edit distance.
+func Similarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ta, tb := strings.Fields(a), strings.Fields(b)
+	tokSim := tokenOverlap(ta, tb)
+	ed := 1 - normalizedLevenshtein(a, b)
+	if tokSim > ed {
+		return tokSim
+	}
+	return ed
+}
+
+// tokenOverlap is the fraction of tokens of the shorter name matched in
+// the longer one, where an initial like "J." matches any token starting
+// with 'J'.
+func tokenOverlap(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	matched := 0
+	used := make([]bool, len(b))
+	for _, ta := range a {
+		for j, tb := range b {
+			if used[j] {
+				continue
+			}
+			if tokensMatch(ta, tb) {
+				used[j] = true
+				matched++
+				break
+			}
+		}
+	}
+	return float64(matched) / float64(len(b))
+}
+
+func tokensMatch(a, b string) bool {
+	if a == b {
+		return true
+	}
+	ia, ib := isInitial(a), isInitial(b)
+	if ia && len(b) > 0 && a[0] == b[0] {
+		return true
+	}
+	if ib && len(a) > 0 && b[0] == a[0] {
+		return true
+	}
+	return false
+}
+
+func isInitial(t string) bool {
+	return len(t) == 2 && t[1] == '.' || len(t) == 1
+}
+
+// normalizedLevenshtein is edit distance divided by the longer length.
+func normalizedLevenshtein(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1 // deletion
+			if v := cur[j-1] + 1; v < m {
+				m = v // insertion
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v // substitution
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	max := la
+	if lb > max {
+		max = lb
+	}
+	return float64(prev[lb]) / float64(max)
+}
+
+// PairScorer is the factor family of the entity-resolution model: the
+// log-space score contributed by one same-cluster mention pair. Model is
+// the hand-weighted form; TrainableModel learns the scores with
+// SampleRank.
+type PairScorer interface {
+	PairScore(a, b *Mention) float64
+}
+
+// ScoreState computes the full log score of a clustering under ps: the
+// sum over same-cluster pairs. Tests and diagnostics only; inference
+// computes deltas.
+func ScoreState(ps PairScorer, s *State) float64 {
+	var total float64
+	for _, c := range s.ClusterIDs() {
+		ms := s.Members(c)
+		for i := 0; i < len(ms); i++ {
+			for j := i + 1; j < len(ms); j++ {
+				total += ps.PairScore(&s.Mentions[ms[i]], &s.Mentions[ms[j]])
+			}
+		}
+	}
+	return total
+}
+
+// MoveDelta returns log π(w') − log π(w) for moving mention m to cluster
+// target (target < 0 meaning a fresh cluster) under ps, touching only
+// factors incident to m.
+func MoveDelta(ps PairScorer, s *State, m, target int) float64 {
+	from := s.cluster[m]
+	if target == from {
+		return 0
+	}
+	var delta float64
+	if target >= 0 {
+		for x := range s.members[target] {
+			delta += ps.PairScore(&s.Mentions[m], &s.Mentions[x])
+		}
+	}
+	for x := range s.members[from] {
+		if x != m {
+			delta -= ps.PairScore(&s.Mentions[m], &s.Mentions[x])
+		}
+	}
+	return delta
+}
+
+// Model scores clusterings with pairwise within-cluster factors: each
+// same-cluster mention pair contributes W·(Similarity − Threshold), so
+// cohesive clusters score positively and incoherent merges are penalized
+// (the "mentions in clusters should be cohesive" dependency of Pane D).
+type Model struct {
+	// W scales the pairwise affinity factors.
+	W float64
+	// Threshold is the similarity above which a pair prefers to share a
+	// cluster.
+	Threshold float64
+}
+
+// DefaultModel returns the configuration used in examples and benchmarks.
+func DefaultModel() *Model { return &Model{W: 4, Threshold: 0.5} }
+
+// PairScore is the log-space factor value for mentions a and b sharing a
+// cluster.
+func (mo *Model) PairScore(a, b *Mention) float64 {
+	return mo.W * (Similarity(a.Str, b.Str) - mo.Threshold)
+}
+
+// Score computes the full log score of a state (sum over same-cluster
+// pairs). Used by tests; inference only ever computes deltas.
+func (mo *Model) Score(s *State) float64 { return ScoreState(mo, s) }
+
+// MoveDelta returns log π(w') − log π(w) for moving mention m to cluster
+// target (target < 0 meaning a fresh cluster), touching only factors
+// incident to m: pairs gained in the target cluster minus pairs lost in
+// the source cluster.
+func (mo *Model) MoveDelta(s *State, m, target int) float64 {
+	return MoveDelta(mo, s, m, target)
+}

@@ -1,0 +1,108 @@
+package coref
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"factordb/internal/mcmc"
+)
+
+func TestTrainableFeatureDeltaConsistent(t *testing.T) {
+	mentions, _ := Generate(GenConfig{NumEntities: 4, MentionsPerEntity: 3, Seed: 3})
+	tm := NewTrainableModel(8)
+	rng := rand.New(rand.NewSource(5))
+	for b := 0; b < tm.Buckets; b++ {
+		tm.W.Set(tm.BucketKey(b), rng.NormFloat64())
+	}
+	s := NewSingletonState(mentions)
+	for trial := 0; trial < 200; trial++ {
+		m := rng.Intn(len(mentions))
+		target := -1
+		if rng.Float64() < 0.7 {
+			ids := s.ClusterIDs()
+			target = ids[rng.Intn(len(ids))]
+			if target == s.Cluster(m) {
+				target = -1
+			}
+		}
+		fd := tm.featureDelta(s, m, target)
+		if got, want := tm.W.Dot(fd), MoveDelta(tm, s, m, target); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: W·Δφ = %v, MoveDelta = %v", trial, got, want)
+		}
+		s.Move(m, target)
+	}
+}
+
+func TestObjectiveDelta(t *testing.T) {
+	mentions := []Mention{{ID: 0, Gold: 0}, {ID: 1, Gold: 0}, {ID: 2, Gold: 1}}
+	s := NewSingletonState(mentions)
+	// Merging gold-coreferent mentions scores +1.
+	if got := objectiveDelta(s, 1, s.Cluster(0)); got != 1 {
+		t.Errorf("gold merge delta = %v, want 1", got)
+	}
+	// Merging gold-distinct mentions scores −1.
+	if got := objectiveDelta(s, 2, s.Cluster(0)); got != -1 {
+		t.Errorf("bad merge delta = %v, want -1", got)
+	}
+	// Splitting a gold pair scores −1.
+	s.Move(1, s.Cluster(0))
+	if got := objectiveDelta(s, 1, -1); got != -1 {
+		t.Errorf("gold split delta = %v, want -1", got)
+	}
+	// No-op.
+	if got := objectiveDelta(s, 1, s.Cluster(1)); got != 0 {
+		t.Errorf("no-op delta = %v, want 0", got)
+	}
+}
+
+func TestTrainingLearnsSimilarityOrdering(t *testing.T) {
+	mentions, err := Generate(GenConfig{NumEntities: 12, MentionsPerEntity: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := Train(mentions, 8, 40000, 1.0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High-similarity buckets must be scored above low-similarity ones.
+	lo := tm.W.Get(tm.BucketKey(0))
+	hi := tm.W.Get(tm.BucketKey(tm.Buckets - 1))
+	if hi <= lo {
+		t.Errorf("top bucket weight %v should exceed bottom bucket %v", hi, lo)
+	}
+}
+
+func TestTrainedModelBeatsUntrainedF1(t *testing.T) {
+	train, _ := Generate(GenConfig{NumEntities: 12, MentionsPerEntity: 5, Seed: 21})
+	test, _ := Generate(GenConfig{NumEntities: 8, MentionsPerEntity: 4, Seed: 22})
+	tm, err := Train(train, 8, 40000, 1.0, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode := func(ps PairScorer) float64 {
+		s := NewSingletonState(test)
+		sampler := mcmc.NewSampler(NewMoveProposer(s, ps), 25)
+		sampler.Run(30000)
+		_, _, f1 := s.PairwiseF1()
+		return f1
+	}
+	trained := decode(tm)
+	untrained := decode(NewTrainableModel(8)) // all-zero weights
+	if trained <= untrained {
+		t.Errorf("trained F1 %v should beat untrained %v", trained, untrained)
+	}
+	if trained < 0.5 {
+		t.Errorf("trained F1 = %v, want >= 0.5", trained)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, 8, 10, 1, 1); err == nil {
+		t.Error("no mentions: want error")
+	}
+	tm := NewTrainableModel(0)
+	if tm.Buckets != 2 {
+		t.Errorf("bucket floor = %d, want 2", tm.Buckets)
+	}
+}

@@ -1,0 +1,291 @@
+// Package factor implements discrete factor graphs: bipartite graphs of
+// random variables and log-space factors expressing an unnormalized
+// probability distribution over assignments (Section 3.1 of the paper).
+//
+// Two usage styles are supported. Explicit graphs (Graph) materialize all
+// variables and factors and provide brute-force exact marginals, serving
+// as the correctness oracle for the MCMC sampler. Template-based models
+// (package ie, package coref) never instantiate the full graph; they score
+// only the factors touching a proposed change, which is what makes MCMC
+// over large databases tractable (Appendix 9.2).
+package factor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Domain is the finite value set of a discrete random variable.
+type Domain struct {
+	Name   string
+	Values []string
+}
+
+// NewDomain builds a domain from its value names.
+func NewDomain(name string, values ...string) *Domain {
+	return &Domain{Name: name, Values: values}
+}
+
+// Size returns the number of values.
+func (d *Domain) Size() int { return len(d.Values) }
+
+// Index returns the position of the named value, or -1.
+func (d *Domain) Index(value string) int {
+	for i, v := range d.Values {
+		if v == value {
+			return i
+		}
+	}
+	return -1
+}
+
+// Var is a hidden discrete random variable with a current value, indexed
+// into its domain. Observed quantities are not modelled as Vars; they are
+// baked into factor closures as constants.
+type Var struct {
+	ID   int
+	Name string
+	Dom  *Domain
+	Val  int
+}
+
+// Value returns the name of the variable's current value.
+func (v *Var) Value() string { return v.Dom.Values[v.Val] }
+
+// Factor scores the joint setting of its argument variables in log space.
+// Score must be a pure function of the argument values.
+type Factor struct {
+	Name  string
+	Vars  []*Var
+	Score func(vals []int) float64
+}
+
+// Graph is an explicitly materialized factor graph.
+type Graph struct {
+	Vars    []*Var
+	Factors []*Factor
+	adj     [][]int // var ID -> indexes into Factors
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddVar creates a hidden variable with an initial value of 0.
+func (g *Graph) AddVar(name string, dom *Domain) *Var {
+	v := &Var{ID: len(g.Vars), Name: name, Dom: dom}
+	g.Vars = append(g.Vars, v)
+	g.adj = append(g.adj, nil)
+	return v
+}
+
+// AddFactor attaches a factor over the given variables.
+func (g *Graph) AddFactor(name string, score func(vals []int) float64, vars ...*Var) (*Factor, error) {
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("factor: factor %q has no variables", name)
+	}
+	for _, v := range vars {
+		if v.ID >= len(g.Vars) || g.Vars[v.ID] != v {
+			return nil, fmt.Errorf("factor: factor %q references a variable not in this graph", name)
+		}
+	}
+	f := &Factor{Name: name, Vars: vars, Score: score}
+	idx := len(g.Factors)
+	g.Factors = append(g.Factors, f)
+	for _, v := range vars {
+		g.adj[v.ID] = append(g.adj[v.ID], idx)
+	}
+	return f, nil
+}
+
+// MustAddFactor is AddFactor that panics on error.
+func (g *Graph) MustAddFactor(name string, score func(vals []int) float64, vars ...*Var) *Factor {
+	f, err := g.AddFactor(name, score, vars...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Neighbors returns the factors touching v.
+func (g *Graph) Neighbors(v *Var) []*Factor {
+	out := make([]*Factor, len(g.adj[v.ID]))
+	for i, fi := range g.adj[v.ID] {
+		out[i] = g.Factors[fi]
+	}
+	return out
+}
+
+func (g *Graph) scoreFactor(f *Factor) float64 {
+	vals := make([]int, len(f.Vars))
+	for i, v := range f.Vars {
+		vals[i] = v.Val
+	}
+	return f.Score(vals)
+}
+
+// LogScore returns the unnormalized log probability of the current
+// assignment: the sum of all factor scores.
+func (g *Graph) LogScore() float64 {
+	var s float64
+	for _, f := range g.Factors {
+		s += g.scoreFactor(f)
+	}
+	return s
+}
+
+// ScoreDelta returns log π(w') − log π(w) for the single-variable change
+// v := newVal, computing only the factors adjacent to v. This is the
+// factor-cancellation identity of Appendix 9.2: all other factors cancel
+// in the Metropolis-Hastings ratio.
+func (g *Graph) ScoreDelta(v *Var, newVal int) float64 {
+	if newVal == v.Val {
+		return 0
+	}
+	old := v.Val
+	var before, after float64
+	for _, fi := range g.adj[v.ID] {
+		before += g.scoreFactor(g.Factors[fi])
+	}
+	v.Val = newVal
+	for _, fi := range g.adj[v.ID] {
+		after += g.scoreFactor(g.Factors[fi])
+	}
+	v.Val = old
+	return after - before
+}
+
+// Assignment snapshots the current values of all variables.
+func (g *Graph) Assignment() []int {
+	out := make([]int, len(g.Vars))
+	for i, v := range g.Vars {
+		out[i] = v.Val
+	}
+	return out
+}
+
+// SetAssignment restores a snapshot taken with Assignment.
+func (g *Graph) SetAssignment(a []int) error {
+	if len(a) != len(g.Vars) {
+		return fmt.Errorf("factor: assignment length %d, want %d", len(a), len(g.Vars))
+	}
+	for i, v := range g.Vars {
+		if a[i] < 0 || a[i] >= v.Dom.Size() {
+			return fmt.Errorf("factor: value %d out of domain for variable %q", a[i], v.Name)
+		}
+		v.Val = a[i]
+	}
+	return nil
+}
+
+// stateSpaceLimit bounds brute-force enumeration.
+const stateSpaceLimit = 1 << 22
+
+// enumerate calls fn with every joint assignment and its unnormalized log
+// score, restoring the original assignment afterwards.
+func (g *Graph) enumerate(fn func(assign []int, logScore float64)) error {
+	space := 1
+	for _, v := range g.Vars {
+		if v.Dom.Size() == 0 {
+			return fmt.Errorf("factor: variable %q has empty domain", v.Name)
+		}
+		space *= v.Dom.Size()
+		if space > stateSpaceLimit {
+			return fmt.Errorf("factor: state space exceeds enumeration limit %d", stateSpaceLimit)
+		}
+	}
+	saved := g.Assignment()
+	defer g.SetAssignment(saved)
+
+	assign := make([]int, len(g.Vars))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(g.Vars) {
+			for j, v := range g.Vars {
+				v.Val = assign[j]
+			}
+			fn(assign, g.LogScore())
+			return
+		}
+		for val := 0; val < g.Vars[i].Dom.Size(); val++ {
+			assign[i] = val
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return nil
+}
+
+// ExactMarginals computes P(V_i = v) for every variable and value by
+// brute-force enumeration. Only feasible for small graphs; used as the
+// testing oracle for the MCMC sampler.
+func (g *Graph) ExactMarginals() ([][]float64, error) {
+	out := make([][]float64, len(g.Vars))
+	for i, v := range g.Vars {
+		out[i] = make([]float64, v.Dom.Size())
+	}
+	logZ := math.Inf(-1)
+	err := g.enumerate(func(_ []int, ls float64) {
+		logZ = logAdd(logZ, ls)
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = g.enumerate(func(assign []int, ls float64) {
+		p := math.Exp(ls - logZ)
+		for i, val := range assign {
+			out[i][val] += p
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExactProb computes the probability of an arbitrary event over joint
+// assignments by enumeration: the exact analogue of a query marginal
+// Pr[t ∈ Q(W)] from Equation 4 of the paper.
+func (g *Graph) ExactProb(event func(assign []int) bool) (float64, error) {
+	logZ := math.Inf(-1)
+	logE := math.Inf(-1)
+	err := g.enumerate(func(assign []int, ls float64) {
+		logZ = logAdd(logZ, ls)
+		if event(assign) {
+			logE = logAdd(logE, ls)
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(logE, -1) {
+		return 0, nil
+	}
+	return math.Exp(logE - logZ), nil
+}
+
+// logAdd returns log(exp(a)+exp(b)) stably.
+func logAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// LogLinear builds a log-linear factor score exp(φ·θ) in log space: the
+// returned function computes the dot product of the feature vector
+// produced by phi with the weights theta (Section 3.1's parametrization).
+func LogLinear(phi func(vals []int) []float64, theta []float64) func(vals []int) float64 {
+	return func(vals []int) float64 {
+		var s float64
+		for i, f := range phi(vals) {
+			s += f * theta[i]
+		}
+		return s
+	}
+}

@@ -1,0 +1,136 @@
+package factor
+
+import (
+	"math"
+	"testing"
+
+	"factordb/internal/relstore"
+)
+
+// miniTokenRel builds a 4-token TOKEN relation for unrolling.
+func miniTokenRel(t *testing.T) *relstore.Relation {
+	t.Helper()
+	rel := relstore.NewRelation(relstore.MustSchema("TOKEN",
+		relstore.Column{Name: "TOK_ID", Type: relstore.TInt},
+		relstore.Column{Name: "STRING", Type: relstore.TString},
+		relstore.Column{Name: "LABEL", Type: relstore.TString},
+	))
+	for i, s := range []string{"IBM", "said", "IBM", "won"} {
+		if _, err := rel.Insert(relstore.Tuple{
+			relstore.Int(int64(i)), relstore.String(s), relstore.String("O"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rel
+}
+
+// nerTemplates builds emission, transition and skip templates mirroring
+// Figure 3's model at fixed weights.
+func nerTemplates() (emit *UnaryTemplate, trans, skip *PairTemplate) {
+	emit = &UnaryTemplate{
+		Name: "emission",
+		Score: func(t relstore.Tuple, val int) float64 {
+			if t[1].AsString() == "IBM" && val == 1 {
+				return 2.0
+			}
+			return 0
+		},
+	}
+	trans = &PairTemplate{
+		Name: "transition",
+		Match: func(rows []RowBinding, a, b int) bool {
+			return b == a+1 // consecutive tokens
+		},
+		Score: func(_, _ relstore.Tuple, va, vb int) float64 {
+			if va == vb {
+				return 0.5
+			}
+			return -0.5
+		},
+	}
+	skip = &PairTemplate{
+		Name: "skip",
+		Match: func(rows []RowBinding, a, b int) bool {
+			return b > a+1 && rows[a].Tuple[1].Equal(rows[b].Tuple[1])
+		},
+		Score: func(_, _ relstore.Tuple, va, vb int) float64 {
+			if va == vb {
+				return 1.0
+			}
+			return -1.0
+		},
+	}
+	return emit, trans, skip
+}
+
+func TestUnrollStructure(t *testing.T) {
+	rel := miniTokenRel(t)
+	dom := NewDomain("label", "O", "B-ORG")
+	emit, trans, skip := nerTemplates()
+	ug, err := Unroll(rel, 2, dom, emit, trans, skip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 vars; 4 emissions + 3 transitions + 1 skip (IBM at 0 and 2).
+	if got := len(ug.Graph.Vars); got != 4 {
+		t.Fatalf("vars = %d", got)
+	}
+	if got := len(ug.Graph.Factors); got != 8 {
+		t.Fatalf("factors = %d, want 8", got)
+	}
+	// Every variable initialized from the LABEL field ("O" = index 0).
+	for _, v := range ug.Graph.Vars {
+		if v.Val != 0 {
+			t.Errorf("variable %s initialized to %d", v.Name, v.Val)
+		}
+	}
+	// Token 0 (IBM) touches: its emission, one transition, one skip.
+	v0 := ug.VarOf[0]
+	if got := len(ug.Graph.Neighbors(v0)); got != 3 {
+		t.Errorf("var 0 neighbors = %d, want 3", got)
+	}
+}
+
+func TestUnrolledScoreMatchesManual(t *testing.T) {
+	rel := miniTokenRel(t)
+	dom := NewDomain("label", "O", "B-ORG")
+	emit, trans, skip := nerTemplates()
+	ug, err := Unroll(rel, 2, dom, emit, trans, skip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assign: IBM→B-ORG, said→O, IBM→B-ORG, won→O.
+	if err := ug.Graph.SetAssignment([]int{1, 0, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Manual: emissions 2+0+2+0; transitions -0.5,-0.5,-0.5; skip +1.
+	want := 4.0 - 1.5 + 1.0
+	if got := ug.Graph.LogScore(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogScore = %v, want %v", got, want)
+	}
+	// Exact marginals run on the unrolled graph (the testing-oracle use).
+	marg, err := ug.Graph.ExactMarginals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two IBM tokens are coupled by the skip factor and share an
+	// emission preference, so both should favor B-ORG equally strongly.
+	if math.Abs(marg[0][1]-marg[2][1]) > 1e-9 {
+		t.Errorf("coupled IBM marginals differ: %v vs %v", marg[0][1], marg[2][1])
+	}
+	if marg[0][1] < 0.7 {
+		t.Errorf("IBM B-ORG marginal = %v, want strong", marg[0][1])
+	}
+}
+
+func TestUnrollErrors(t *testing.T) {
+	rel := miniTokenRel(t)
+	dom := NewDomain("label", "O", "B-ORG")
+	if _, err := Unroll(rel, 99, dom); err == nil {
+		t.Error("bad column: want error")
+	}
+	if _, err := Unroll(rel, 2, dom); err != nil {
+		t.Errorf("no templates should be fine: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+// Package ie implements the information-extraction substrate of the
+// paper's evaluation (Section 5): named entity recognition with a
+// skip-chain conditional random field over BIO-encoded CoNLL labels, a
+// synthetic news-like corpus generator standing in for the 2004 New York
+// Times data, and the Metropolis-Hastings proposal distribution used for
+// query evaluation.
+package ie
+
+// Label indexes the nine BIO-encoded CoNLL labels of the paper
+// (Section 5.1): O plus B-/I- variants of PER, ORG, LOC and MISC.
+type Label uint8
+
+// The label inventory, in the fixed order used throughout the package.
+const (
+	LO Label = iota
+	LBPer
+	LIPer
+	LBOrg
+	LIOrg
+	LBLoc
+	LILoc
+	LBMisc
+	LIMisc
+	NumLabels = 9
+)
+
+// LabelNames lists the surface forms, indexed by Label.
+var LabelNames = [NumLabels]string{
+	"O", "B-PER", "I-PER", "B-ORG", "I-ORG", "B-LOC", "I-LOC", "B-MISC", "I-MISC",
+}
+
+// String returns the surface form of the label.
+func (l Label) String() string {
+	if int(l) < len(LabelNames) {
+		return LabelNames[l]
+	}
+	return "?"
+}
+
+// ParseLabel maps a surface form back to its Label.
+func ParseLabel(s string) (Label, bool) {
+	for i, n := range LabelNames {
+		if n == s {
+			return Label(i), true
+		}
+	}
+	return 0, false
+}
+
+// IsBegin reports whether the label opens a mention (B-*).
+func (l Label) IsBegin() bool { return l == LBPer || l == LBOrg || l == LBLoc || l == LBMisc }
+
+// IsInside reports whether the label continues a mention (I-*).
+func (l Label) IsInside() bool { return l == LIPer || l == LIOrg || l == LILoc || l == LIMisc }
+
+// EntityType returns the entity type shared by B-T and I-T (0 for O).
+func (l Label) EntityType() uint8 {
+	if l == LO {
+		return 0
+	}
+	return uint8((l-1)/2 + 1)
+}
+
+// ValidAfter reports whether label l may follow prev under BIO semantics
+// (Appendix 9.3): I-T requires the preceding label to be B-T or I-T.
+func (l Label) ValidAfter(prev Label) bool {
+	if !l.IsInside() {
+		return true
+	}
+	return prev.EntityType() == l.EntityType() && prev != LO
+}

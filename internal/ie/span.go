@@ -1,0 +1,169 @@
+package ie
+
+import (
+	"math/rand"
+
+	"factordb/internal/mcmc"
+)
+
+// Block proposals: instead of flipping one label, hypothesize a joint
+// relabeling of a short token span — either clearing it to O or writing a
+// well-formed mention (B-T I-T ... I-T). A single accepted proposal then
+// changes several tuples at once, producing the multi-tuple Δ⁻/Δ⁺ sets of
+// Figure 2 in one step and crossing energy barriers (half-relabelled
+// mentions) that single-site walks climb slowly.
+
+// maxSpanLen bounds the proposed mention length.
+const maxSpanLen = 3
+
+// regionScore sums every factor whose value can change when positions
+// [i, i+n) of the document are relabelled: their node factors, the
+// transitions overlapping the span, and each incident skip edge exactly
+// once.
+func (m *Model) regionScore(ld *LabeledDoc, i, n int) float64 {
+	w := m.W
+	var s float64
+	end := i + n
+	for j := i; j < end; j++ {
+		l := ld.Labels[j]
+		s += w.Get(EmissionKey(ld.strIDs[j], l)) +
+			w.Get(CapsKey(ld.caps[j], l)) +
+			w.Get(BiasKey(l))
+	}
+	if i > 0 {
+		s += w.Get(TransKey(ld.Labels[i-1], ld.Labels[i]))
+	}
+	for j := i + 1; j < end; j++ {
+		s += w.Get(TransKey(ld.Labels[j-1], ld.Labels[j]))
+	}
+	if end < len(ld.Labels) {
+		s += w.Get(TransKey(ld.Labels[end-1], ld.Labels[end]))
+	}
+	if m.UseSkip {
+		for j := i; j < end; j++ {
+			for _, q := range ld.skip[j] {
+				// Count inside-span pairs once (smaller index wins);
+				// pairs with one endpoint outside always belong to j.
+				if int(q) >= i && int(q) < end && int(q) < j {
+					continue
+				}
+				s += w.Get(SkipKey(ld.Labels[q] == ld.Labels[j]))
+			}
+		}
+	}
+	return s
+}
+
+// SpanScoreDelta returns log π(w') − log π(w) for jointly relabelling
+// positions [i, i+len(newLabels)) to newLabels.
+func (m *Model) SpanScoreDelta(ld *LabeledDoc, i int, newLabels []Label) float64 {
+	n := len(newLabels)
+	before := m.regionScore(ld, i, n)
+	saved := make([]Label, n)
+	copy(saved, ld.Labels[i:i+n])
+	copy(ld.Labels[i:], newLabels)
+	after := m.regionScore(ld, i, n)
+	copy(ld.Labels[i:], saved)
+	return after - before
+}
+
+// SpanProposer wraps a Tagger with block proposals. The kernel only
+// moves between worlds whose span content is one of the five candidate
+// patterns (all-O or a type-T mention): if the current content is not a
+// pattern, the step is a no-op. Within that subspace the candidate set
+// depends only on the span's position and length, so the kernel is
+// symmetric and reversible; mixing it with the single-site kernel (which
+// reaches every world) keeps the chain ergodic.
+type SpanProposer struct {
+	Tagger *Tagger
+}
+
+// spanPattern writes candidate pattern c (0 = all-O, 1..4 = mention of
+// type c) for a span of length n into dst.
+func spanPattern(c, n int, dst []Label) {
+	if c == 0 {
+		for j := 0; j < n; j++ {
+			dst[j] = LO
+		}
+		return
+	}
+	begin := Label(1 + 2*(c-1)) // B-PER, B-ORG, B-LOC, B-MISC
+	dst[0] = begin
+	for j := 1; j < n; j++ {
+		dst[j] = begin + 1 // matching I-T
+	}
+}
+
+// isSpanPattern reports whether labels matches one of the candidate
+// patterns.
+func isSpanPattern(labels []Label) bool {
+	var buf [maxSpanLen]Label
+	for c := 0; c < 5; c++ {
+		spanPattern(c, len(labels), buf[:])
+		match := true
+		for j, l := range labels {
+			if buf[j] != l {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// Propose implements mcmc.Proposer.
+func (sp *SpanProposer) Propose(rng *rand.Rand) mcmc.Proposal {
+	t := sp.Tagger
+	d, i := t.pick(rng)
+	ld := t.Docs[d]
+	n := 1 + rng.Intn(maxSpanLen)
+	if i+n > len(ld.Labels) {
+		n = len(ld.Labels) - i
+	}
+	// Reversibility guard: the reverse move must be proposable, i.e. the
+	// current span content must itself be a candidate pattern.
+	if !isSpanPattern(ld.Labels[i : i+n]) {
+		return mcmc.Proposal{}
+	}
+	var newLabels [maxSpanLen]Label
+	spanPattern(rng.Intn(5), n, newLabels[:])
+	delta := m0(t).SpanScoreDelta(ld, i, newLabels[:n])
+	return mcmc.Proposal{
+		LogScoreDelta: delta,
+		Accept: func() {
+			for j := 0; j < n; j++ {
+				if ld.Labels[i+j] != newLabels[j] {
+					t.apply(d, i+j, newLabels[j])
+				}
+			}
+		},
+	}
+}
+
+func m0(t *Tagger) *Model { return t.Model }
+
+// MixedProposer interleaves single-site and block proposals, choosing a
+// block move with probability BlockProb. Mixtures of symmetric kernels
+// remain symmetric.
+type MixedProposer struct {
+	Tagger    *Tagger
+	BlockProb float64
+
+	span SpanProposer
+}
+
+// NewMixedProposer builds the mixture kernel.
+func NewMixedProposer(t *Tagger, blockProb float64) *MixedProposer {
+	return &MixedProposer{Tagger: t, BlockProb: blockProb, span: SpanProposer{Tagger: t}}
+}
+
+// Propose implements mcmc.Proposer.
+func (mp *MixedProposer) Propose(rng *rand.Rand) mcmc.Proposal {
+	if rng.Float64() < mp.BlockProb {
+		return mp.span.Propose(rng)
+	}
+	return mp.Tagger.Propose(rng)
+}

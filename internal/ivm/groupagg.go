@@ -1,0 +1,213 @@
+package ivm
+
+import (
+	"factordb/internal/ra"
+	"factordb/internal/relstore"
+)
+
+// aggState is the incrementally maintained state of one aggregate within
+// one group. MIN/MAX keep a multiset of argument values so deletions can
+// be unwound exactly.
+type aggState struct {
+	n    int64   // COUNT / COUNT_IF
+	sumI int64   // SUM (int)
+	sumF float64 // SUM (float) / AVG numerator
+	cnt  int64   // AVG denominator and MIN/MAX population
+	vals map[string]*valCount
+}
+
+type valCount struct {
+	v relstore.Value
+	n int64
+}
+
+// groupState is the maintained state of one output group.
+type groupState struct {
+	key     relstore.Tuple
+	total   int64 // net multiplicity of input rows in the group
+	aggs    []aggState
+	lastRow relstore.Tuple // currently emitted output row, nil if none
+}
+
+// groupAggOp maintains per-group aggregate state and emits −old/+new
+// output rows for groups touched by a delta.
+type groupAggOp struct {
+	b      *ra.Bound
+	child  op
+	groups map[string]*groupState
+	global bool
+}
+
+func newGroupAggOp(b *ra.Bound, child op) *groupAggOp {
+	return &groupAggOp{b: b, child: child, global: len(b.GroupIdx) == 0}
+}
+
+func (o *groupAggOp) init() (*ra.Bag, error) {
+	in, err := o.child.init()
+	if err != nil {
+		return nil, err
+	}
+	o.groups = make(map[string]*groupState)
+	in.Each(func(_ string, r *ra.BagRow) bool {
+		o.group(r.Tuple).fold(o.b, r.Tuple, r.N)
+		return true
+	})
+	if o.global {
+		o.group(nil) // ensure the global group exists even over empty input
+	}
+	out := ra.NewBag(o.b.Schema)
+	for _, g := range o.groups {
+		if row := o.computeRow(g); row != nil {
+			g.lastRow = row
+			out.Add(row, 1)
+		}
+	}
+	return out, nil
+}
+
+func (o *groupAggOp) apply(d BaseDelta) *ra.Bag {
+	din := o.child.apply(d)
+	touched := make(map[string]*groupState)
+	din.Each(func(_ string, r *ra.BagRow) bool {
+		gk := ra.KeyOf(r.Tuple, o.b.GroupIdx)
+		g, ok := o.groups[gk]
+		if !ok {
+			g = o.newGroup(r.Tuple)
+			o.groups[gk] = g
+		}
+		touched[gk] = g
+		g.fold(o.b, r.Tuple, r.N)
+		return true
+	})
+	out := ra.NewBag(o.b.Schema)
+	for gk, g := range touched {
+		oldRow := g.lastRow
+		var newRow relstore.Tuple
+		if g.total > 0 || o.global {
+			newRow = o.computeRow(g)
+		}
+		if oldRow != nil {
+			out.Add(oldRow, -1)
+		}
+		if newRow != nil {
+			out.Add(newRow, 1)
+		}
+		g.lastRow = newRow
+		if g.total == 0 && !o.global {
+			delete(o.groups, gk)
+		}
+	}
+	return out
+}
+
+func (o *groupAggOp) group(input relstore.Tuple) *groupState {
+	gk := ""
+	if input != nil {
+		gk = ra.KeyOf(input, o.b.GroupIdx)
+	}
+	g, ok := o.groups[gk]
+	if !ok {
+		g = o.newGroup(input)
+		o.groups[gk] = g
+	}
+	return g
+}
+
+func (o *groupAggOp) newGroup(input relstore.Tuple) *groupState {
+	g := &groupState{aggs: make([]aggState, len(o.b.Aggs))}
+	if input != nil {
+		g.key = ra.ProjectTuple(input, o.b.GroupIdx)
+	} else {
+		g.key = relstore.Tuple{}
+	}
+	return g
+}
+
+// fold merges n copies of input row t into the group's aggregate states.
+func (g *groupState) fold(b *ra.Bound, t relstore.Tuple, n int64) {
+	g.total += n
+	for i := range b.Aggs {
+		a := &b.Aggs[i]
+		s := &g.aggs[i]
+		switch a.Fn {
+		case ra.FnCount:
+			s.n += n
+		case ra.FnCountIf:
+			if a.Pred.Eval(t).AsBool() {
+				s.n += n
+			}
+		case ra.FnSum:
+			if a.Out == relstore.TInt {
+				s.sumI += n * t[a.ArgIdx].AsInt()
+			} else {
+				s.sumF += float64(n) * t[a.ArgIdx].AsFloat()
+			}
+		case ra.FnAvg:
+			s.sumF += float64(n) * t[a.ArgIdx].AsFloat()
+			s.cnt += n
+		case ra.FnMin, ra.FnMax:
+			v := t[a.ArgIdx]
+			s.cnt += n
+			if s.vals == nil {
+				s.vals = make(map[string]*valCount)
+			}
+			k := v.Key()
+			if vc, ok := s.vals[k]; ok {
+				vc.n += n
+				if vc.n == 0 {
+					delete(s.vals, k)
+				}
+			} else {
+				s.vals[k] = &valCount{v: v, n: n}
+			}
+		}
+	}
+}
+
+// computeRow materializes the group's current output row, or nil when any
+// aggregate is undefined (AVG/MIN/MAX over an empty population), matching
+// the full evaluator's suppression rule.
+func (o *groupAggOp) computeRow(g *groupState) relstore.Tuple {
+	row := make(relstore.Tuple, 0, len(g.key)+len(o.b.Aggs))
+	row = append(row, g.key...)
+	for i := range o.b.Aggs {
+		a := &o.b.Aggs[i]
+		s := &g.aggs[i]
+		switch a.Fn {
+		case ra.FnCount, ra.FnCountIf:
+			row = append(row, relstore.Int(s.n))
+		case ra.FnSum:
+			if a.Out == relstore.TInt {
+				row = append(row, relstore.Int(s.sumI))
+			} else {
+				row = append(row, relstore.Float(s.sumF))
+			}
+		case ra.FnAvg:
+			if s.cnt == 0 {
+				return nil
+			}
+			row = append(row, relstore.Float(s.sumF/float64(s.cnt)))
+		case ra.FnMin, ra.FnMax:
+			if len(s.vals) == 0 {
+				return nil
+			}
+			var best relstore.Value
+			first := true
+			for _, vc := range s.vals {
+				if first {
+					best = vc.v
+					first = false
+					continue
+				}
+				if a.Fn == ra.FnMin && vc.v.Less(best) {
+					best = vc.v
+				}
+				if a.Fn == ra.FnMax && best.Less(vc.v) {
+					best = vc.v
+				}
+			}
+			row = append(row, best)
+		}
+	}
+	return row
+}

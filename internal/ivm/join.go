@@ -1,0 +1,130 @@
+package ivm
+
+import (
+	"factordb/internal/ra"
+)
+
+// sideState is the maintained contents of one join input, hashed on the
+// join-key columns so delta probes run in O(|matching rows|).
+type sideState struct {
+	keyIdx  []int
+	buckets map[string]map[string]*ra.BagRow // join key -> tuple key -> row
+}
+
+func newSideState(keyIdx []int) *sideState {
+	return &sideState{keyIdx: keyIdx, buckets: make(map[string]map[string]*ra.BagRow)}
+}
+
+func (s *sideState) add(tupleKey string, r *ra.BagRow, n int64) {
+	jk := ra.KeyOf(r.Tuple, s.keyIdx)
+	bucket := s.buckets[jk]
+	if bucket == nil {
+		bucket = make(map[string]*ra.BagRow)
+		s.buckets[jk] = bucket
+	}
+	if cur, ok := bucket[tupleKey]; ok {
+		cur.N += n
+		if cur.N == 0 {
+			delete(bucket, tupleKey)
+			if len(bucket) == 0 {
+				delete(s.buckets, jk)
+			}
+		}
+		return
+	}
+	bucket[tupleKey] = &ra.BagRow{Tuple: r.Tuple, N: n}
+}
+
+func (s *sideState) loadFrom(bag *ra.Bag) {
+	bag.Each(func(k string, r *ra.BagRow) bool {
+		s.add(k, r, r.N)
+		return true
+	})
+}
+
+// joinOp maintains hash tables for both inputs and computes
+// δ(L⋈R) = δL⋈R_old + L_old⋈δR + δL⋈δR, applying the residual filter and
+// multiplying multiplicities.
+type joinOp struct {
+	b           *ra.Bound
+	left, right op
+	ls, rs      *sideState
+}
+
+func (o *joinOp) init() (*ra.Bag, error) {
+	lbag, err := o.left.init()
+	if err != nil {
+		return nil, err
+	}
+	rbag, err := o.right.init()
+	if err != nil {
+		return nil, err
+	}
+	o.ls = newSideState(o.b.LeftKey)
+	o.rs = newSideState(o.b.RightKey)
+	o.ls.loadFrom(lbag)
+	o.rs.loadFrom(rbag)
+
+	out := ra.NewBag(o.b.Schema)
+	lbag.Each(func(_ string, l *ra.BagRow) bool {
+		jk := ra.KeyOf(l.Tuple, o.b.LeftKey)
+		for _, r := range o.rs.buckets[jk] {
+			o.emit(out, l, r)
+		}
+		return true
+	})
+	return out, nil
+}
+
+func (o *joinOp) emit(out *ra.Bag, l, r *ra.BagRow) {
+	row := ra.ConcatTuples(l.Tuple, r.Tuple)
+	if o.b.Filter != nil && !o.b.Filter.Eval(row).AsBool() {
+		return
+	}
+	out.Add(row, l.N*r.N)
+}
+
+func (o *joinOp) apply(d BaseDelta) *ra.Bag {
+	dl := o.left.apply(d)
+	dr := o.right.apply(d)
+	out := ra.NewBag(o.b.Schema)
+
+	// δL ⋈ R_old.
+	dl.Each(func(_ string, l *ra.BagRow) bool {
+		jk := ra.KeyOf(l.Tuple, o.b.LeftKey)
+		for _, r := range o.rs.buckets[jk] {
+			o.emit(out, l, r)
+		}
+		return true
+	})
+	// L_old ⋈ δR.
+	dr.Each(func(_ string, r *ra.BagRow) bool {
+		jk := ra.KeyOf(r.Tuple, o.b.RightKey)
+		for _, l := range o.ls.buckets[jk] {
+			o.emit(out, l, r)
+		}
+		return true
+	})
+	// δL ⋈ δR.
+	dl.Each(func(_ string, l *ra.BagRow) bool {
+		jk := ra.KeyOf(l.Tuple, o.b.LeftKey)
+		dr.Each(func(_ string, r *ra.BagRow) bool {
+			if ra.KeyOf(r.Tuple, o.b.RightKey) == jk {
+				o.emit(out, l, r)
+			}
+			return true
+		})
+		return true
+	})
+
+	// Fold the deltas into the maintained side states.
+	dl.Each(func(k string, r *ra.BagRow) bool {
+		o.ls.add(k, r, r.N)
+		return true
+	})
+	dr.Each(func(k string, r *ra.BagRow) bool {
+		o.rs.add(k, r, r.N)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,140 @@
+package ivm
+
+import (
+	"factordb/internal/ra"
+)
+
+// unionOp is stateless: δ(L ∪ R) = δL + δR under bag-union semantics.
+type unionOp struct {
+	b           *ra.Bound
+	left, right op
+}
+
+func (o *unionOp) init() (*ra.Bag, error) {
+	l, err := o.left.init()
+	if err != nil {
+		return nil, err
+	}
+	r, err := o.right.init()
+	if err != nil {
+		return nil, err
+	}
+	out := ra.NewBag(o.b.Schema)
+	out.AddBag(l, 1)
+	out.AddBag(r, 1)
+	return out, nil
+}
+
+func (o *unionOp) apply(d BaseDelta) *ra.Bag {
+	out := ra.NewBag(o.b.Schema)
+	out.AddBag(o.left.apply(d), 1)
+	out.AddBag(o.right.apply(d), 1)
+	return out
+}
+
+// diffOp maintains both input bags because monus (max(0, l−r)) is not
+// linear: the output change at a key depends on the absolute input
+// multiplicities, not just their deltas.
+type diffOp struct {
+	b           *ra.Bound
+	left, right op
+	ls, rs      *ra.Bag
+}
+
+func (o *diffOp) init() (*ra.Bag, error) {
+	l, err := o.left.init()
+	if err != nil {
+		return nil, err
+	}
+	r, err := o.right.init()
+	if err != nil {
+		return nil, err
+	}
+	o.ls, o.rs = l, r
+	out := ra.NewBag(o.b.Schema)
+	l.Each(func(k string, row *ra.BagRow) bool {
+		if n := row.N - r.Count(k); n > 0 {
+			out.AddKeyed(k, row.Tuple, n)
+		}
+		return true
+	})
+	return out, nil
+}
+
+func monus(l, r int64) int64 {
+	if l > r {
+		return l - r
+	}
+	return 0
+}
+
+func (o *diffOp) apply(d BaseDelta) *ra.Bag {
+	dl := o.left.apply(d)
+	dr := o.right.apply(d)
+	out := ra.NewBag(o.b.Schema)
+	// Affected keys: anything in either delta.
+	emit := func(k string, row *ra.BagRow, dln, drn int64) {
+		oldN := monus(o.ls.Count(k), o.rs.Count(k))
+		newN := monus(o.ls.Count(k)+dln, o.rs.Count(k)+drn)
+		if diff := newN - oldN; diff != 0 {
+			out.AddKeyed(k, row.Tuple, diff)
+		}
+	}
+	seen := make(map[string]struct{})
+	dl.Each(func(k string, row *ra.BagRow) bool {
+		seen[k] = struct{}{}
+		emit(k, row, row.N, dr.Count(k))
+		return true
+	})
+	dr.Each(func(k string, row *ra.BagRow) bool {
+		if _, done := seen[k]; !done {
+			emit(k, row, 0, row.N)
+		}
+		return true
+	})
+	o.ls.AddBag(dl, 1)
+	o.rs.AddBag(dr, 1)
+	return out
+}
+
+// distinctOp maintains its input bag; the output toggles between 0 and 1
+// as a key's input multiplicity crosses zero.
+type distinctOp struct {
+	b     *ra.Bound
+	child op
+	state *ra.Bag
+}
+
+func (o *distinctOp) init() (*ra.Bag, error) {
+	in, err := o.child.init()
+	if err != nil {
+		return nil, err
+	}
+	o.state = in
+	out := ra.NewBag(o.b.Schema)
+	in.Each(func(k string, row *ra.BagRow) bool {
+		if row.N > 0 {
+			out.AddKeyed(k, row.Tuple, 1)
+		}
+		return true
+	})
+	return out, nil
+}
+
+func (o *distinctOp) apply(d BaseDelta) *ra.Bag {
+	din := o.child.apply(d)
+	out := ra.NewBag(o.b.Schema)
+	din.Each(func(k string, row *ra.BagRow) bool {
+		before := o.state.Count(k) > 0
+		after := o.state.Count(k)+row.N > 0
+		switch {
+		case !before && after:
+			out.AddKeyed(k, row.Tuple, 1)
+		case before && !after:
+			out.AddKeyed(k, row.Tuple, -1)
+		}
+		return true
+	})
+	o.state.AddBag(din, 1)
+	return out
+}

@@ -1,0 +1,81 @@
+package mcmc
+
+import (
+	"math"
+	"testing"
+
+	"factordb/internal/factor"
+)
+
+// exhaustiveMAP finds the best assignment of a small graph by brute force.
+func exhaustiveMAP(g *factor.Graph) (best []int, bestScore float64) {
+	saved := g.Assignment()
+	defer g.SetAssignment(saved)
+	bestScore = math.Inf(-1)
+	assign := make([]int, len(g.Vars))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(g.Vars) {
+			g.SetAssignment(assign)
+			if s := g.LogScore(); s > bestScore {
+				bestScore = s
+				best = append([]int{}, assign...)
+			}
+			return
+		}
+		for v := 0; v < g.Vars[i].Dom.Size(); v++ {
+			assign[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, bestScore
+}
+
+func TestAnnealingFindsMAP(t *testing.T) {
+	g := loopyGraph(8, 41)
+	_, want := exhaustiveMAP(g)
+	ann := NewAnnealer(&GraphProposer{G: g}, 0.2, 1.0002, 60)
+	s := NewSampler(ann, 17)
+	// Standard simulated-annealing practice: keep the best state seen.
+	got := math.Inf(-1)
+	for i := 0; i < 80000; i++ {
+		s.Step()
+		if sc := g.LogScore(); sc > got {
+			got = sc
+		}
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("annealed best score = %v, exhaustive MAP = %v", got, want)
+	}
+	if ann.Beta != 60 {
+		t.Errorf("schedule should have capped at BetaMax, got %v", ann.Beta)
+	}
+}
+
+func TestAnnealerDefaults(t *testing.T) {
+	a := NewAnnealer(nil, 0, 0.5, -1)
+	if a.Beta != 1 || a.Growth != 1 || a.BetaMax != 1 {
+		t.Errorf("defaults = %v/%v/%v", a.Beta, a.Growth, a.BetaMax)
+	}
+}
+
+func TestAnnealerAtBetaOneIsPlainMH(t *testing.T) {
+	// With growth 1 and beta 1 the annealer must not change marginals.
+	g := loopyGraph(5, 43)
+	exact, err := g.ExactMarginals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := NewAnnealer(&GraphProposer{G: g}, 1, 1, 1)
+	s := NewSampler(ann, 29)
+	counter := NewMarginalCounter(g)
+	s.Run(2000)
+	for i := 0; i < 60000; i++ {
+		s.Run(5)
+		counter.Observe()
+	}
+	if got := maxMarginalError(counter.Marginals(), exact); got > 0.02 {
+		t.Errorf("beta=1 annealer diverges from exact marginals by %.4f", got)
+	}
+}

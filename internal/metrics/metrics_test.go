@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSquaredError(t *testing.T) {
+	truth := map[string]float64{"a": 1.0, "b": 0.5}
+	est := map[string]float64{"a": 0.8, "c": 0.1}
+	// (0.8-1)² + (0-0.5)² + 0.1²
+	want := 0.04 + 0.25 + 0.01
+	if got := SquaredError(est, truth); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SquaredError = %v, want %v", got, want)
+	}
+	if got := SquaredError(truth, truth); got != 0 {
+		t.Errorf("self error = %v", got)
+	}
+	if got := SquaredError(nil, truth); math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("empty-estimate error = %v, want 1.25", got)
+	}
+}
+
+func TestTraceTimeToHalve(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Point{Elapsed: 0, Loss: 10})
+	tr.Add(Point{Elapsed: time.Second, Loss: 7})
+	tr.Add(Point{Elapsed: 2 * time.Second, Loss: 5})
+	tr.Add(Point{Elapsed: 3 * time.Second, Loss: 2})
+	d, ok := tr.TimeToHalve()
+	if !ok || d != 2*time.Second {
+		t.Errorf("TimeToHalve = %v, %v", d, ok)
+	}
+	if tr.Initial() != 10 || tr.Final() != 2 {
+		t.Errorf("Initial/Final = %v/%v", tr.Initial(), tr.Final())
+	}
+}
+
+func TestTraceNeverHalves(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Point{Loss: 10})
+	tr.Add(Point{Elapsed: time.Second, Loss: 9})
+	if _, ok := tr.TimeToHalve(); ok {
+		t.Error("trace should not have halved")
+	}
+	empty := &Trace{}
+	if _, ok := empty.TimeToHalve(); ok {
+		t.Error("empty trace should not halve")
+	}
+	if empty.Initial() != 0 || empty.Final() != 0 {
+		t.Error("empty trace Initial/Final should be 0")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Point{Loss: 4})
+	tr.Add(Point{Loss: 2})
+	n := tr.Normalized()
+	if n.Points[0].Loss != 1 || n.Points[1].Loss != 0.5 {
+		t.Errorf("Normalized = %v", n.Points)
+	}
+	// Original untouched.
+	if tr.Points[0].Loss != 4 {
+		t.Error("Normalized mutated the original")
+	}
+	zero := &Trace{}
+	zero.Add(Point{Loss: 0})
+	if zero.Normalized().Points[0].Loss != 0 {
+		t.Error("all-zero trace should normalize to zeros")
+	}
+}
+
+func TestAUC(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Point{Elapsed: 0, Loss: 1})
+	tr.Add(Point{Elapsed: 2 * time.Second, Loss: 0})
+	if got := tr.AUC(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("AUC = %v, want 1", got)
+	}
+	single := &Trace{}
+	single.Add(Point{Loss: 5})
+	if single.AUC() != 0 {
+		t.Error("single-point AUC should be 0")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := map[string]float64{"x": 0.5, "y": 0.2}
+	b := map[string]float64{"x": 0.1, "z": 0.05}
+	if got := MaxAbsDiff(a, b); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("MaxAbsDiff = %v, want 0.4", got)
+	}
+	if got := MaxAbsDiff(a, a); got != 0 {
+		t.Errorf("self diff = %v", got)
+	}
+}

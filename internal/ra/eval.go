@@ -1,0 +1,258 @@
+package ra
+
+import (
+	"fmt"
+
+	"factordb/internal/relstore"
+)
+
+// Eval fully evaluates a bound plan against the current database contents,
+// returning a materialized bag. This is the "run the whole query on the
+// sampled world" path of the paper's basic evaluator (Algorithm 3).
+func Eval(b *Bound) (*Bag, error) {
+	switch b.Kind {
+	case KScan:
+		return evalScan(b), nil
+	case KSelect:
+		child, err := Eval(b.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		out := NewBag(b.Schema)
+		child.Each(func(k string, r *BagRow) bool {
+			if b.Pred.Eval(r.Tuple).AsBool() {
+				out.AddKeyed(k, r.Tuple, r.N)
+			}
+			return true
+		})
+		return out, nil
+	case KProject:
+		child, err := Eval(b.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		out := NewBag(b.Schema)
+		child.Each(func(_ string, r *BagRow) bool {
+			out.Add(ProjectTuple(r.Tuple, b.ProjIdx), r.N)
+			return true
+		})
+		return out, nil
+	case KJoin:
+		return evalJoin(b)
+	case KGroupAgg:
+		return evalGroupAgg(b)
+	case KUnion:
+		return evalUnion(b)
+	case KDiff:
+		return evalDiff(b)
+	case KDistinct:
+		return evalDistinct(b)
+	}
+	return nil, fmt.Errorf("ra: eval of unknown bound kind %d", b.Kind)
+}
+
+func evalScan(b *Bound) *Bag {
+	out := NewBag(b.Schema)
+	b.Rel.Scan(func(_ relstore.RowID, t relstore.Tuple) bool {
+		out.Add(t, 1)
+		return true
+	})
+	return out
+}
+
+// ProjectTuple extracts the indexed fields of t as a fresh tuple.
+func ProjectTuple(t relstore.Tuple, idx []int) relstore.Tuple {
+	out := make(relstore.Tuple, len(idx))
+	for i, j := range idx {
+		out[i] = t[j]
+	}
+	return out
+}
+
+// KeyOf computes the injective key of the indexed fields of t, used for
+// hash-join buckets and group identification.
+func KeyOf(t relstore.Tuple, idx []int) string {
+	var b []byte
+	for _, j := range idx {
+		b = append(b, t[j].Key()...)
+	}
+	return string(b)
+}
+
+// ConcatTuples concatenates l and r into a fresh tuple.
+func ConcatTuples(l, r relstore.Tuple) relstore.Tuple {
+	out := make(relstore.Tuple, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+func evalJoin(b *Bound) (*Bag, error) {
+	left, err := Eval(b.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := Eval(b.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	out := NewBag(b.Schema)
+	emit := func(l, r *BagRow) {
+		row := ConcatTuples(l.Tuple, r.Tuple)
+		if b.Filter != nil && !b.Filter.Eval(row).AsBool() {
+			return
+		}
+		out.Add(row, l.N*r.N)
+	}
+	if len(b.LeftKey) == 0 {
+		// Cartesian product.
+		left.Each(func(_ string, l *BagRow) bool {
+			right.Each(func(_ string, r *BagRow) bool {
+				emit(l, r)
+				return true
+			})
+			return true
+		})
+		return out, nil
+	}
+	// Hash the right side on its key columns, probe with the left.
+	table := make(map[string][]*BagRow)
+	right.Each(func(_ string, r *BagRow) bool {
+		k := KeyOf(r.Tuple, b.RightKey)
+		table[k] = append(table[k], r)
+		return true
+	})
+	left.Each(func(_ string, l *BagRow) bool {
+		k := KeyOf(l.Tuple, b.LeftKey)
+		for _, r := range table[k] {
+			emit(l, r)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// aggAccum accumulates one aggregate over a group during full evaluation.
+type aggAccum struct {
+	n     int64   // COUNT / COUNT_IF
+	sumI  int64   // SUM over ints
+	sumF  float64 // SUM over floats / AVG numerator
+	cnt   int64   // AVG denominator / MIN-MAX presence
+	first bool
+	best  relstore.Value // MIN / MAX
+}
+
+func evalGroupAgg(b *Bound) (*Bag, error) {
+	child, err := Eval(b.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		key    relstore.Tuple
+		accums []aggAccum
+	}
+	groups := make(map[string]*group)
+	child.Each(func(_ string, r *BagRow) bool {
+		gk := KeyOf(r.Tuple, b.GroupIdx)
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{key: ProjectTuple(r.Tuple, b.GroupIdx), accums: make([]aggAccum, len(b.Aggs))}
+			groups[gk] = g
+		}
+		for i := range b.Aggs {
+			accumulate(&g.accums[i], &b.Aggs[i], r.Tuple, r.N)
+		}
+		return true
+	})
+	// SQL semantics: an ungrouped aggregate always yields one row, with
+	// counting aggregates reading 0 over empty input. Rows with MIN/MAX/
+	// AVG are undefined over empty input and are suppressed (no NULLs in
+	// this engine); counts-only global rows are emitted.
+	if len(b.GroupIdx) == 0 && len(groups) == 0 {
+		countsOnly := true
+		for _, a := range b.Aggs {
+			if a.Fn != FnCount && a.Fn != FnCountIf && a.Fn != FnSum {
+				countsOnly = false
+				break
+			}
+		}
+		if countsOnly {
+			groups[""] = &group{key: relstore.Tuple{}, accums: make([]aggAccum, len(b.Aggs))}
+		}
+	}
+	out := NewBag(b.Schema)
+	for _, g := range groups {
+		row := make(relstore.Tuple, 0, len(g.key)+len(b.Aggs))
+		row = append(row, g.key...)
+		ok := true
+		for i := range b.Aggs {
+			v, valid := finishAgg(&g.accums[i], &b.Aggs[i])
+			if !valid {
+				ok = false
+				break
+			}
+			row = append(row, v)
+		}
+		if ok {
+			out.Add(row, 1)
+		}
+	}
+	return out, nil
+}
+
+func accumulate(acc *aggAccum, a *BoundAgg, t relstore.Tuple, n int64) {
+	switch a.Fn {
+	case FnCount:
+		acc.n += n
+	case FnCountIf:
+		if a.Pred.Eval(t).AsBool() {
+			acc.n += n
+		}
+	case FnSum:
+		v := t[a.ArgIdx]
+		if a.Out == relstore.TInt {
+			acc.sumI += n * v.AsInt()
+		} else {
+			acc.sumF += float64(n) * v.AsFloat()
+		}
+	case FnAvg:
+		acc.sumF += float64(n) * t[a.ArgIdx].AsFloat()
+		acc.cnt += n
+	case FnMin, FnMax:
+		v := t[a.ArgIdx]
+		acc.cnt += n
+		if !acc.first {
+			acc.first = true
+			acc.best = v
+			return
+		}
+		if a.Fn == FnMin && v.Less(acc.best) {
+			acc.best = v
+		}
+		if a.Fn == FnMax && acc.best.Less(v) {
+			acc.best = v
+		}
+	}
+}
+
+func finishAgg(acc *aggAccum, a *BoundAgg) (relstore.Value, bool) {
+	switch a.Fn {
+	case FnCount, FnCountIf:
+		return relstore.Int(acc.n), true
+	case FnSum:
+		if a.Out == relstore.TInt {
+			return relstore.Int(acc.sumI), true
+		}
+		return relstore.Float(acc.sumF), true
+	case FnAvg:
+		if acc.cnt == 0 {
+			return relstore.Value{}, false
+		}
+		return relstore.Float(acc.sumF / float64(acc.cnt)), true
+	case FnMin, FnMax:
+		if !acc.first {
+			return relstore.Value{}, false
+		}
+		return acc.best, true
+	}
+	return relstore.Value{}, false
+}

@@ -1,0 +1,93 @@
+package ra
+
+import (
+	"strings"
+	"testing"
+
+	"factordb/internal/relstore"
+)
+
+func perPlan(alias string) Plan {
+	return NewProject(
+		NewSelect(NewScan("TOKEN", alias),
+			Eq(Col(C(alias, "LABEL")), Const(relstore.String("B-PER")))),
+		C(alias, "STRING"),
+	)
+}
+
+func orgPlan(alias string) Plan {
+	return NewProject(
+		NewSelect(NewScan("TOKEN", alias),
+			Eq(Col(C(alias, "LABEL")), Const(relstore.String("B-ORG")))),
+		C(alias, "STRING"),
+	)
+}
+
+func TestUnionCountsAdd(t *testing.T) {
+	db := testDB(t)
+	bag := mustEval(t, db, NewUnion(perPlan("A"), orgPlan("B")))
+	// 3 B-PER + 2 B-ORG strings by multiplicity.
+	if bag.Size() != 5 {
+		t.Fatalf("union size = %d, want 5", bag.Size())
+	}
+	// Self-union doubles counts.
+	dbl := mustEval(t, db, NewUnion(perPlan("A"), perPlan("B")))
+	smith := relstore.Tuple{relstore.String("Smith")}.Key()
+	if dbl.Count(smith) != 4 { // Smith ×2 per side
+		t.Errorf("self-union count(Smith) = %d, want 4", dbl.Count(smith))
+	}
+}
+
+func TestDiffIsMonus(t *testing.T) {
+	db := testDB(t)
+	// Strings that are B-PER somewhere minus strings that are B-ORG
+	// somewhere; counts floor at zero rather than going negative.
+	bag := mustEval(t, db, NewDiff(perPlan("A"), orgPlan("B")))
+	if bag.Size() != 3 { // no overlap in testDB
+		t.Fatalf("diff size = %d, want 3", bag.Size())
+	}
+	// Self-difference is empty.
+	empty := mustEval(t, db, NewDiff(perPlan("A"), perPlan("B")))
+	if empty.Len() != 0 {
+		t.Errorf("self-diff has %d rows", empty.Len())
+	}
+	// Monus floors: 2×Smith minus 4×Smith yields nothing, not −2.
+	dbl := NewUnion(perPlan("C"), perPlan("D"))
+	floor := mustEval(t, db, NewDiff(perPlan("A"), dbl))
+	smith := relstore.Tuple{relstore.String("Smith")}.Key()
+	if floor.Count(smith) != 0 {
+		t.Errorf("monus count(Smith) = %d, want 0", floor.Count(smith))
+	}
+}
+
+func TestDistinctCollapses(t *testing.T) {
+	db := testDB(t)
+	bag := mustEval(t, db, NewDistinct(perPlan("A")))
+	if bag.Size() != 2 || bag.Len() != 2 {
+		t.Fatalf("distinct size/len = %d/%d, want 2/2", bag.Size(), bag.Len())
+	}
+	smith := relstore.Tuple{relstore.String("Smith")}.Key()
+	if bag.Count(smith) != 1 {
+		t.Errorf("distinct count(Smith) = %d, want 1", bag.Count(smith))
+	}
+}
+
+func TestSetOpBindErrors(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		name string
+		p    Plan
+		frag string
+	}{
+		{"union arity", NewUnion(perPlan("A"), NewScan("TOKEN", "B")), "arities"},
+		{"union types", NewUnion(
+			NewProject(NewScan("TOKEN", "A"), C("A", "TOK_ID")),
+			NewProject(NewScan("TOKEN", "B"), C("B", "STRING"))), "types"},
+		{"diff arity", NewDiff(perPlan("A"), NewScan("TOKEN", "B")), "arities"},
+	}
+	for _, c := range cases {
+		if _, err := Bind(db, c.p); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.frag)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package relstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tokenSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("TOKEN",
+		Column{"TOK_ID", TInt},
+		Column{"DOC_ID", TInt},
+		Column{"STRING", TString},
+		Column{"LABEL", TString},
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Type
+		str  string
+	}{
+		{Int(42), TInt, "42"},
+		{Float(2.5), TFloat, "2.5"},
+		{String("abc"), TString, "abc"},
+		{Bool(true), TBool, "true"},
+		{Bool(false), TBool, "false"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: Kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String = %q, want %q", c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueEqualNumericCrossType(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("Int(3) should equal Float(3.0)")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("Int(3) should not equal Float(3.5)")
+	}
+	if Int(1).Equal(Bool(true)) {
+		t.Error("Int(1) should not equal Bool(true)")
+	}
+	if String("1").Equal(Int(1)) {
+		t.Error("String should not equal Int")
+	}
+}
+
+func TestValueLess(t *testing.T) {
+	if !Int(1).Less(Int(2)) || Int(2).Less(Int(1)) {
+		t.Error("int order broken")
+	}
+	if !Int(1).Less(Float(1.5)) {
+		t.Error("cross numeric order broken")
+	}
+	if !String("a").Less(String("b")) {
+		t.Error("string order broken")
+	}
+}
+
+func TestValueKeyInjective(t *testing.T) {
+	vals := []Value{
+		Int(0), Int(1), Int(-1), Int(256),
+		Float(0), Float(1), Float(0.5),
+		String(""), String("a"), String("ab"), String("a:b"),
+		Bool(true), Bool(false),
+	}
+	seen := make(map[string]Value)
+	for _, v := range vals {
+		k := v.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between %v and %v", prev, v)
+		}
+		seen[k] = v
+	}
+}
+
+func TestTupleKeyInjectiveQuick(t *testing.T) {
+	// Two random string pairs collide in concatenation iff the pairs are
+	// equal; the length-prefixed encoding must keep them distinct.
+	f := func(a1, a2, b1, b2 string) bool {
+		ta := Tuple{String(a1), String(a2)}
+		tb := Tuple{String(b1), String(b2)}
+		if a1 == b1 && a2 == b2 {
+			return ta.Key() == tb.Key()
+		}
+		return ta.Key() != tb.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := tokenSchema(t)
+	good := Tuple{Int(1), Int(1), String("IBM"), String("B-ORG")}
+	if err := s.Validate(good); err != nil {
+		t.Errorf("Validate(good): %v", err)
+	}
+	bad := Tuple{Int(1), Int(1), String("IBM")}
+	if err := s.Validate(bad); err == nil {
+		t.Error("Validate(short tuple): want error")
+	}
+	wrongType := Tuple{Int(1), String("x"), String("IBM"), String("B-ORG")}
+	if err := s.Validate(wrongType); err == nil {
+		t.Error("Validate(wrong type): want error")
+	}
+}
+
+func TestSchemaIntWhereFloatExpected(t *testing.T) {
+	s := MustSchema("R", Column{"x", TFloat})
+	if err := s.Validate(Tuple{Int(3)}); err != nil {
+		t.Errorf("int should satisfy float column: %v", err)
+	}
+}
+
+func TestSchemaDuplicateColumn(t *testing.T) {
+	if _, err := NewSchema("R", Column{"a", TInt}, Column{"a", TInt}); err == nil {
+		t.Error("duplicate column: want error")
+	}
+	if _, err := NewSchema("R", Column{"", TInt}); err == nil {
+		t.Error("empty column name: want error")
+	}
+}
+
+func TestRelationCRUD(t *testing.T) {
+	r := NewRelation(tokenSchema(t))
+	id, err := r.Insert(Tuple{Int(1), Int(1), String("IBM"), String("O")})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	got, ok := r.Get(id)
+	if !ok || got[2].AsString() != "IBM" {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+
+	old, err := r.UpdateCol(id, 3, String("B-ORG"))
+	if err != nil {
+		t.Fatalf("UpdateCol: %v", err)
+	}
+	if old[3].AsString() != "O" {
+		t.Errorf("old label = %q, want O", old[3].AsString())
+	}
+	got, _ = r.Get(id)
+	if got[3].AsString() != "B-ORG" {
+		t.Errorf("new label = %q, want B-ORG", got[3].AsString())
+	}
+
+	if _, err := r.Delete(id); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len after delete = %d", r.Len())
+	}
+	if _, err := r.Delete(id); err == nil {
+		t.Error("double delete: want error")
+	}
+	if _, err := r.Update(id, got); err == nil {
+		t.Error("update of deleted row: want error")
+	}
+	if _, err := r.UpdateCol(id, 3, String("O")); err == nil {
+		t.Error("UpdateCol of deleted row: want error")
+	}
+}
+
+func TestInsertCopiesTuple(t *testing.T) {
+	r := NewRelation(tokenSchema(t))
+	tup := Tuple{Int(1), Int(1), String("IBM"), String("O")}
+	id, _ := r.Insert(tup)
+	tup[3] = String("MUTATED")
+	got, _ := r.Get(id)
+	if got[3].AsString() != "O" {
+		t.Error("Insert must store a copy, not alias caller's tuple")
+	}
+}
+
+func TestIndexMaintenance(t *testing.T) {
+	r := NewRelation(tokenSchema(t))
+	if err := r.CreateIndex("LABEL"); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	var ids []RowID
+	for i := 0; i < 10; i++ {
+		lbl := "O"
+		if i%3 == 0 {
+			lbl = "B-PER"
+		}
+		id, _ := r.Insert(Tuple{Int(int64(i)), Int(1), String("w"), String(lbl)})
+		ids = append(ids, id)
+	}
+	got, err := r.Lookup("LABEL", String("B-PER"))
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("Lookup B-PER = %d rows, want 4", len(got))
+	}
+	// Flip one away and one toward B-PER; index must track.
+	if _, err := r.UpdateCol(ids[0], 3, String("O")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.UpdateCol(ids[1], 3, String("B-PER")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = r.Lookup("LABEL", String("B-PER"))
+	if len(got) != 4 {
+		t.Fatalf("after updates Lookup B-PER = %d rows, want 4", len(got))
+	}
+	if _, err := r.Delete(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = r.Lookup("LABEL", String("B-PER"))
+	if len(got) != 3 {
+		t.Fatalf("after delete Lookup B-PER = %d rows, want 3", len(got))
+	}
+}
+
+func TestIndexCreatedAfterInsertsMatchesScan(t *testing.T) {
+	r := NewRelation(tokenSchema(t))
+	rng := rand.New(rand.NewSource(7))
+	labels := []string{"O", "B-PER", "I-PER", "B-ORG"}
+	for i := 0; i < 200; i++ {
+		r.Insert(Tuple{Int(int64(i)), Int(int64(i / 10)), String("w"), String(labels[rng.Intn(len(labels))])})
+	}
+	if err := r.CreateIndex("LABEL"); err != nil {
+		t.Fatal(err)
+	}
+	for _, lbl := range labels {
+		viaIndex, _ := r.Lookup("LABEL", String(lbl))
+		want := 0
+		r.Scan(func(_ RowID, t Tuple) bool {
+			if t[3].AsString() == lbl {
+				want++
+			}
+			return true
+		})
+		if len(viaIndex) != want {
+			t.Errorf("label %s: index %d rows, scan %d", lbl, len(viaIndex), want)
+		}
+	}
+}
+
+func TestLookupWithoutIndex(t *testing.T) {
+	r := NewRelation(tokenSchema(t))
+	r.Insert(Tuple{Int(1), Int(1), String("IBM"), String("B-ORG")})
+	r.Insert(Tuple{Int(2), Int(1), String("saw"), String("O")})
+	got, err := r.Lookup("STRING", String("IBM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("unindexed Lookup = %d rows, want 1", len(got))
+	}
+	if _, err := r.Lookup("NOPE", Int(1)); err == nil {
+		t.Error("Lookup on missing column: want error")
+	}
+}
+
+func TestScanSortedDeterministic(t *testing.T) {
+	r := NewRelation(tokenSchema(t))
+	for i := 0; i < 50; i++ {
+		r.Insert(Tuple{Int(int64(i)), Int(0), String("w"), String("O")})
+	}
+	var prev RowID = -1
+	r.ScanSorted(func(id RowID, _ Tuple) bool {
+		if id <= prev {
+			t.Fatalf("ScanSorted out of order: %d after %d", id, prev)
+		}
+		prev = id
+		return true
+	})
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	r := NewRelation(tokenSchema(t))
+	for i := 0; i < 10; i++ {
+		r.Insert(Tuple{Int(int64(i)), Int(0), String("w"), String("O")})
+	}
+	n := 0
+	r.Scan(func(RowID, Tuple) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("Scan visited %d rows after early stop, want 3", n)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	db := NewDB()
+	r := db.MustCreate(tokenSchema(t))
+	r.CreateIndex("LABEL")
+	id, _ := r.Insert(Tuple{Int(1), Int(1), String("IBM"), String("O")})
+
+	c := db.Clone()
+	cr, err := c.Relation("TOKEN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cr.UpdateCol(id, 3, String("B-ORG")); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := r.Get(id)
+	if orig[3].AsString() != "O" {
+		t.Error("mutating clone changed original")
+	}
+	// Clone preserved indexes.
+	ids, _ := cr.Lookup("LABEL", String("B-ORG"))
+	if len(ids) != 1 {
+		t.Errorf("clone index lookup = %d rows, want 1", len(ids))
+	}
+	// Clone continues RowID sequence without collisions.
+	nid, _ := cr.Insert(Tuple{Int(2), Int(1), String("x"), String("O")})
+	if nid == id {
+		t.Error("clone reused a RowID")
+	}
+}
+
+func TestDBCatalog(t *testing.T) {
+	db := NewDB()
+	db.MustCreate(MustSchema("B", Column{"x", TInt}))
+	db.MustCreate(MustSchema("A", Column{"x", TInt}))
+	if _, err := db.Create(MustSchema("A", Column{"x", TInt})); err == nil {
+		t.Error("duplicate relation: want error")
+	}
+	if _, err := db.Relation("missing"); err == nil {
+		t.Error("missing relation: want error")
+	}
+	names := db.Names()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("Names = %v", names)
+	}
+	if err := db.Drop("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Drop("A"); err == nil {
+		t.Error("double drop: want error")
+	}
+	if _, err := db.Create(nil); err == nil {
+		t.Error("nil schema: want error")
+	}
+}
+
+func TestUpdateColValidation(t *testing.T) {
+	r := NewRelation(tokenSchema(t))
+	id, _ := r.Insert(Tuple{Int(1), Int(1), String("IBM"), String("O")})
+	if _, err := r.UpdateCol(id, 3, Int(5)); err == nil {
+		t.Error("type-violating UpdateCol: want error")
+	}
+	if _, err := r.UpdateCol(id, 99, String("x")); err == nil {
+		t.Error("out-of-range column: want error")
+	}
+	got, _ := r.Get(id)
+	if got[3].AsString() != "O" {
+		t.Error("failed update must not mutate row")
+	}
+}

@@ -1,0 +1,117 @@
+package relstore
+
+import "fmt"
+
+// Column describes one attribute of a relation schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema describes the name and typed attributes of a relation.
+type Schema struct {
+	Name string
+	Cols []Column
+
+	byName map[string]int
+}
+
+// NewSchema builds a schema and validates that column names are unique.
+func NewSchema(name string, cols ...Column) (*Schema, error) {
+	s := &Schema{Name: name, Cols: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relstore: schema %q: column %d has empty name", name, i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("relstore: schema %q: duplicate column %q", name, c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. Intended for
+// statically known schemas in tests and examples.
+func MustSchema(name string, cols ...Column) *Schema {
+	s, err := NewSchema(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ColIndex returns the position of the named column, or -1 if absent.
+func (s *Schema) ColIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Cols) }
+
+// Validate checks that the tuple conforms to the schema.
+func (s *Schema) Validate(t Tuple) error {
+	if len(t) != len(s.Cols) {
+		return fmt.Errorf("relstore: relation %q: tuple arity %d, want %d", s.Name, len(t), len(s.Cols))
+	}
+	for i, v := range t {
+		want := s.Cols[i].Type
+		got := v.Kind()
+		if got != want {
+			// Ints are acceptable where floats are expected.
+			if want == TFloat && got == TInt {
+				continue
+			}
+			return fmt.Errorf("relstore: relation %q: column %q has %v, want %v", s.Name, s.Cols[i].Name, got, want)
+		}
+	}
+	return nil
+}
+
+// Tuple is a realization of a value for each attribute of some schema.
+type Tuple []Value
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Key returns an injective string encoding of the whole tuple, usable as a
+// map key for multiset semantics.
+func (t Tuple) Key() string {
+	var b []byte
+	for _, v := range t {
+		b = v.appendKey(b)
+	}
+	return string(b)
+}
+
+// Equal reports element-wise equality with o.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple for display.
+func (t Tuple) String() string {
+	b := []byte{'('}
+	for i, v := range t {
+		if i > 0 {
+			b = append(b, ", "...)
+		}
+		b = append(b, v.String()...)
+	}
+	return string(append(b, ')'))
+}

@@ -1,0 +1,171 @@
+// Package relstore implements the in-memory relational storage engine that
+// holds the single possible world of the probabilistic database. It provides
+// typed schemas, bag relations with stable row identifiers, primary keys and
+// secondary hash indexes, and whole-database snapshots (used to run parallel
+// MCMC chains over identical initial worlds).
+//
+// The engine plays the role that Apache Derby played in the paper: a plain
+// deterministic DBMS that always stores exactly one world, treated as a black
+// box by the sampler.
+package relstore
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Type enumerates the column types supported by the engine.
+type Type uint8
+
+// Supported column types.
+const (
+	TInt Type = iota
+	TFloat
+	TString
+	TBool
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "STRING"
+	case TBool:
+		return "BOOL"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Value is a dynamically typed scalar stored in a tuple field. The zero
+// Value is the integer 0.
+type Value struct {
+	kind Type
+	i    int64
+	f    float64
+	s    string
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{kind: TInt, i: v} }
+
+// Float returns a floating-point Value.
+func Float(v float64) Value { return Value{kind: TFloat, f: v} }
+
+// String returns a string Value.
+func String(v string) Value { return Value{kind: TString, s: v} }
+
+// Bool returns a boolean Value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: TBool, i: i}
+}
+
+// Kind reports the type of the value.
+func (v Value) Kind() Type { return v.kind }
+
+// AsInt returns the integer payload. It is valid only for TInt values.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the numeric payload as a float64 for TInt and TFloat.
+func (v Value) AsFloat() float64 {
+	if v.kind == TInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string payload. It is valid only for TString values.
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean payload. It is valid only for TBool values.
+func (v Value) AsBool() bool { return v.i != 0 }
+
+// Equal reports whether two values are identical in type and payload,
+// except that TInt and TFloat compare numerically.
+func (v Value) Equal(o Value) bool {
+	if v.kind == o.kind {
+		switch v.kind {
+		case TInt, TBool:
+			return v.i == o.i
+		case TFloat:
+			return v.f == o.f
+		case TString:
+			return v.s == o.s
+		}
+	}
+	if (v.kind == TInt || v.kind == TFloat) && (o.kind == TInt || o.kind == TFloat) {
+		return v.AsFloat() == o.AsFloat()
+	}
+	return false
+}
+
+// Less imposes a total order within a type (numeric across TInt/TFloat).
+// Values of different non-numeric kinds order by kind.
+func (v Value) Less(o Value) bool {
+	if (v.kind == TInt || v.kind == TFloat) && (o.kind == TInt || o.kind == TFloat) {
+		if v.kind == TInt && o.kind == TInt {
+			return v.i < o.i
+		}
+		return v.AsFloat() < o.AsFloat()
+	}
+	if v.kind != o.kind {
+		return v.kind < o.kind
+	}
+	switch v.kind {
+	case TBool:
+		return v.i < o.i
+	case TString:
+		return v.s < o.s
+	}
+	return false
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case TInt:
+		return strconv.FormatInt(v.i, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TString:
+		return v.s
+	case TBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}
+
+// appendKey appends a self-delimiting binary encoding of the value to dst.
+// The encoding is injective so it can be used as a hash-map key component.
+func (v Value) appendKey(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case TInt, TBool:
+		u := uint64(v.i)
+		for s := 56; s >= 0; s -= 8 {
+			dst = append(dst, byte(u>>uint(s)))
+		}
+	case TFloat:
+		dst = strconv.AppendFloat(dst, v.f, 'b', -1, 64)
+		dst = append(dst, 0)
+	case TString:
+		dst = strconv.AppendInt(dst, int64(len(v.s)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, v.s...)
+	}
+	return dst
+}
+
+// Key returns an injective string encoding of the value, suitable for use
+// as a map key (for example in hash indexes and multiset counters).
+func (v Value) Key() string { return string(v.appendKey(nil)) }

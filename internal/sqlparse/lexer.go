@@ -1,0 +1,114 @@
+// Package sqlparse implements a hand-rolled SQL front-end for the query
+// dialect used in the paper's evaluation (Queries 1-4): single- and
+// multi-table SELECT with conjunctive WHERE clauses, COUNT(*) aggregates,
+// GROUP BY, and the correlated COUNT(*)-subquery equality pattern of
+// Query 3, which the planner lowers to a single incrementally
+// maintainable group-aggregate join.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkKeyword
+	tkString
+	tkNumber
+	tkSymbol
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased, symbols canonical
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"COUNT": true, "AS": true, "GROUP": true, "BY": true,
+	"SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"DISTINCT": true,
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(input) && input[j] != '\'' {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("sqlparse: unterminated string literal at offset %d", i)
+			}
+			toks = append(toks, token{tkString, input[i+1 : j], i})
+			i = j + 1
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tkNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			// Unquoted identifiers fold to upper case, as in standard SQL;
+			// schema names in the engine are canonically upper-cased.
+			up := strings.ToUpper(input[i:j])
+			if keywords[up] {
+				toks = append(toks, token{tkKeyword, up, i})
+			} else {
+				toks = append(toks, token{tkIdent, up, i})
+			}
+			i = j
+		default:
+			switch c {
+			case ',', '.', '(', ')', '=', '*':
+				toks = append(toks, token{tkSymbol, string(c), i})
+				i++
+			case '<':
+				if i+1 < len(input) && (input[i+1] == '=' || input[i+1] == '>') {
+					toks = append(toks, token{tkSymbol, input[i : i+2], i})
+					i += 2
+				} else {
+					toks = append(toks, token{tkSymbol, "<", i})
+					i++
+				}
+			case '>':
+				if i+1 < len(input) && input[i+1] == '=' {
+					toks = append(toks, token{tkSymbol, ">=", i})
+					i += 2
+				} else {
+					toks = append(toks, token{tkSymbol, ">", i})
+					i++
+				}
+			case '!':
+				if i+1 < len(input) && input[i+1] == '=' {
+					toks = append(toks, token{tkSymbol, "!=", i})
+					i += 2
+				} else {
+					return nil, fmt.Errorf("sqlparse: unexpected '!' at offset %d", i)
+				}
+			default:
+				return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tkEOF, "", len(input)})
+	return toks, nil
+}

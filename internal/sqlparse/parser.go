@@ -1,0 +1,363 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ColName is a possibly qualified column reference in the source text.
+type ColName struct {
+	Qual string
+	Name string
+}
+
+func (c ColName) String() string {
+	if c.Qual == "" {
+		return c.Name
+	}
+	return c.Qual + "." + c.Name
+}
+
+// SelectItem is one output of the select list: a plain column or an
+// aggregate call.
+type SelectItem struct {
+	Col  ColName // plain column when Agg == ""
+	Agg  string  // "", "COUNT", "SUM", "AVG", "MIN", "MAX"
+	Arg  ColName // aggregate argument (ignored for COUNT(*))
+	Star bool    // COUNT(*)
+	As   string  // optional output name
+}
+
+// TableRef is one FROM entry.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// Operand is the right-hand side of a comparison.
+type Operand struct {
+	IsCol bool
+	Col   ColName
+	IsStr bool
+	Str   string
+	IsInt bool
+	Int   int64
+	Float float64
+}
+
+// Cond is one conjunct of the WHERE clause: either a simple comparison or
+// an equality between two scalar COUNT(*) subqueries (Query 3's pattern).
+type Cond struct {
+	Left  ColName
+	Op    string
+	Right Operand
+
+	SubEq *SubEq
+}
+
+// SubQuery is a correlated scalar subquery SELECT COUNT(*) FROM t a WHERE ...
+type SubQuery struct {
+	Table TableRef
+	Conds []Cond
+}
+
+// SubEq is an equality between two subqueries.
+type SubEq struct {
+	A, B SubQuery
+}
+
+// Query is the parsed statement.
+type Query struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    []Cond
+	GroupBy  []ColName
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one SELECT statement of the supported dialect.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery(false)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tkEOF, "") {
+		return nil, p.errf("trailing input starting at %q", p.cur().text)
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+// parseQuery parses SELECT ... FROM ... [WHERE ...] [GROUP BY ...].
+// In subquery position (sub=true) GROUP BY is rejected and the select
+// list must be exactly COUNT(*).
+func (p *parser) parseQuery(sub bool) (*Query, error) {
+	if _, err := p.expect(tkKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if p.accept(tkKeyword, "DISTINCT") {
+		q.Distinct = true
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, item)
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	if sub {
+		if len(q.Items) != 1 || q.Items[0].Agg != "COUNT" || !q.Items[0].Star {
+			return nil, p.errf("subqueries must be SELECT COUNT(*)")
+		}
+	}
+	if _, err := p.expect(tkKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, tr)
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	if sub && len(q.From) != 1 {
+		return nil, p.errf("subqueries must reference exactly one table")
+	}
+	if p.accept(tkKeyword, "WHERE") {
+		for {
+			c, err := p.parseCond(sub)
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, c)
+			if !p.accept(tkKeyword, "AND") {
+				break
+			}
+		}
+	}
+	if !sub && p.accept(tkKeyword, "GROUP") {
+		if _, err := p.expect(tkKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColName()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.cur()
+	if t.kind == tkKeyword {
+		switch t.text {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.next()
+			if _, err := p.expect(tkSymbol, "("); err != nil {
+				return SelectItem{}, err
+			}
+			item := SelectItem{Agg: t.text}
+			if t.text == "COUNT" && p.accept(tkSymbol, "*") {
+				item.Star = true
+			} else {
+				col, err := p.parseColName()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.Arg = col
+			}
+			if _, err := p.expect(tkSymbol, ")"); err != nil {
+				return SelectItem{}, err
+			}
+			if p.accept(tkKeyword, "AS") {
+				name, err := p.expect(tkIdent, "")
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.As = name.text
+			}
+			return item, nil
+		}
+	}
+	col, err := p.parseColName()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Col: col}
+	if p.accept(tkKeyword, "AS") {
+		name, err := p.expect(tkIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.As = name.text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.expect(tkIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: name.text, Alias: name.text}
+	if p.at(tkIdent, "") {
+		tr.Alias = p.next().text
+	}
+	return tr, nil
+}
+
+func (p *parser) parseColName() (ColName, error) {
+	first, err := p.expect(tkIdent, "")
+	if err != nil {
+		return ColName{}, err
+	}
+	if p.accept(tkSymbol, ".") {
+		second, err := p.expect(tkIdent, "")
+		if err != nil {
+			return ColName{}, err
+		}
+		return ColName{Qual: first.text, Name: second.text}, nil
+	}
+	return ColName{Name: first.text}, nil
+}
+
+var cmpOps = map[string]bool{"=": true, "!=": true, "<>": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) parseCond(sub bool) (Cond, error) {
+	// Subquery equality: ( SELECT ... ) = ( SELECT ... ).
+	if !sub && p.at(tkSymbol, "(") {
+		p.next()
+		a, err := p.parseSubQuery()
+		if err != nil {
+			return Cond{}, err
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return Cond{}, err
+		}
+		if _, err := p.expect(tkSymbol, "="); err != nil {
+			return Cond{}, err
+		}
+		if _, err := p.expect(tkSymbol, "("); err != nil {
+			return Cond{}, err
+		}
+		b, err := p.parseSubQuery()
+		if err != nil {
+			return Cond{}, err
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return Cond{}, err
+		}
+		return Cond{SubEq: &SubEq{A: a, B: b}}, nil
+	}
+
+	left, err := p.parseColName()
+	if err != nil {
+		return Cond{}, err
+	}
+	op := p.cur()
+	if op.kind != tkSymbol || !cmpOps[op.text] {
+		return Cond{}, p.errf("expected comparison operator, found %q", op.text)
+	}
+	p.next()
+	if op.text == "<>" {
+		op.text = "!="
+	}
+	rhs, err := p.parseOperand()
+	if err != nil {
+		return Cond{}, err
+	}
+	return Cond{Left: left, Op: op.text, Right: rhs}, nil
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tkString:
+		p.next()
+		return Operand{IsStr: true, Str: t.text}, nil
+	case tkNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Operand{}, p.errf("bad number %q", t.text)
+			}
+			return Operand{Float: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Operand{}, p.errf("bad integer %q", t.text)
+		}
+		return Operand{IsInt: true, Int: n}, nil
+	case tkIdent:
+		col, err := p.parseColName()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{IsCol: true, Col: col}, nil
+	}
+	return Operand{}, p.errf("expected value or column, found %q", t.text)
+}
+
+func (p *parser) parseSubQuery() (SubQuery, error) {
+	q, err := p.parseQuery(true)
+	if err != nil {
+		return SubQuery{}, err
+	}
+	for _, c := range q.Where {
+		if c.SubEq != nil {
+			return SubQuery{}, p.errf("nested subqueries are not supported")
+		}
+	}
+	return SubQuery{Table: q.From[0], Conds: q.Where}, nil
+}

@@ -1,0 +1,384 @@
+package sqlparse
+
+import (
+	"fmt"
+
+	"factordb/internal/ra"
+	"factordb/internal/relstore"
+)
+
+// Compile parses the SQL text and lowers it to a relational-algebra plan.
+func Compile(sql string) (ra.Plan, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return PlanQuery(q)
+}
+
+// PlanQuery lowers a parsed query to a relational-algebra plan:
+// single-alias predicates are pushed below joins, cross-alias equalities
+// become hash-join conditions, and correlated COUNT(*)-subquery
+// equalities are rewritten into one shared group-aggregate join (making
+// Query 3 incrementally maintainable).
+func PlanQuery(q *Query) (ra.Plan, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("sqlparse: query has no FROM clause")
+	}
+	aliases := make(map[string]bool)
+	for _, tr := range q.From {
+		if aliases[tr.Alias] {
+			return nil, fmt.Errorf("sqlparse: duplicate table alias %q", tr.Alias)
+		}
+		aliases[tr.Alias] = true
+	}
+
+	singleTable := ""
+	if len(q.From) == 1 {
+		singleTable = q.From[0].Alias
+	}
+
+	// Partition WHERE conjuncts.
+	perAlias := make(map[string][]ra.Expr)
+	var joinConds []ra.EquiCond
+	var topFilters []ra.Expr
+	subEqIndex := 0
+	type groupPlan struct {
+		plan     ra.Plan
+		alias    string
+		joinCond ra.EquiCond
+		filter   ra.Expr
+	}
+	var groupPlans []groupPlan
+
+	for _, c := range q.Where {
+		if c.SubEq != nil {
+			gp, err := lowerSubEq(c.SubEq, aliases, subEqIndex)
+			if err != nil {
+				return nil, err
+			}
+			subEqIndex++
+			groupPlans = append(groupPlans, groupPlan(*gp))
+			continue
+		}
+		owner, expr, isJoin, jc, err := classifyCond(c, aliases, singleTable)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case isJoin:
+			joinConds = append(joinConds, jc)
+		case owner != "":
+			perAlias[owner] = append(perAlias[owner], expr)
+		default:
+			topFilters = append(topFilters, expr)
+		}
+	}
+
+	// Base plans: scan each table, pushing its private predicates.
+	type tagged struct {
+		plan    ra.Plan
+		aliases map[string]bool
+	}
+	var pending []tagged
+	for _, tr := range q.From {
+		var p ra.Plan = ra.NewScan(tr.Name, tr.Alias)
+		if preds := perAlias[tr.Alias]; len(preds) > 0 {
+			p = ra.NewSelect(p, ra.And(preds...))
+		}
+		pending = append(pending, tagged{plan: p, aliases: map[string]bool{tr.Alias: true}})
+	}
+	for _, gp := range groupPlans {
+		pending = append(pending, tagged{plan: gp.plan, aliases: map[string]bool{gp.alias: true}})
+		joinConds = append(joinConds, gp.joinCond)
+		topFilters = append(topFilters, gp.filter)
+	}
+
+	// Left-deep join in FROM order, picking up applicable equi-conditions.
+	cur := pending[0]
+	for _, nxt := range pending[1:] {
+		var on []ra.EquiCond
+		var rest []ra.EquiCond
+		for _, jc := range joinConds {
+			l, r := jc.Left.Rel, jc.Right.Rel
+			switch {
+			case cur.aliases[l] && nxt.aliases[r]:
+				on = append(on, jc)
+			case cur.aliases[r] && nxt.aliases[l]:
+				on = append(on, ra.EquiCond{Left: jc.Right, Right: jc.Left})
+			default:
+				rest = append(rest, jc)
+			}
+		}
+		joinConds = rest
+		cur.plan = ra.NewJoin(cur.plan, nxt.plan, on, nil)
+		for a := range nxt.aliases {
+			cur.aliases[a] = true
+		}
+	}
+	// Any join condition not consumed (e.g. three-way cycles) becomes a
+	// residual filter.
+	for _, jc := range joinConds {
+		topFilters = append(topFilters, ra.Eq(ra.Col(jc.Left), ra.Col(jc.Right)))
+	}
+	plan := cur.plan
+	if len(topFilters) > 0 {
+		plan = ra.NewSelect(plan, ra.And(topFilters...))
+	}
+	lowered, err := lowerSelectList(q, plan)
+	if err != nil {
+		return nil, err
+	}
+	if q.Distinct {
+		lowered = ra.NewDistinct(lowered)
+	}
+	return lowered, nil
+}
+
+// classifyCond decides whether a simple conjunct is a pushable
+// single-alias predicate, a join condition, or a top-level filter.
+func classifyCond(c Cond, aliases map[string]bool, singleTable string) (owner string, expr ra.Expr, isJoin bool, jc ra.EquiCond, err error) {
+	qualOf := func(col ColName) (string, error) {
+		if col.Qual == "" {
+			return singleTable, nil // "" means unknown when multiple tables
+		}
+		if !aliases[col.Qual] {
+			return "", fmt.Errorf("sqlparse: unknown table alias %q in %s", col.Qual, col)
+		}
+		return col.Qual, nil
+	}
+	lq, err := qualOf(c.Left)
+	if err != nil {
+		return "", nil, false, ra.EquiCond{}, err
+	}
+	op, err := cmpOpOf(c.Op)
+	if err != nil {
+		return "", nil, false, ra.EquiCond{}, err
+	}
+	lref := ra.C(c.Left.Qual, c.Left.Name)
+	if !c.Right.IsCol {
+		return lq, ra.Cmp(op, ra.Col(lref), ra.Const(operandValue(c.Right))), false, ra.EquiCond{}, nil
+	}
+	rq, err := qualOf(c.Right.Col)
+	if err != nil {
+		return "", nil, false, ra.EquiCond{}, err
+	}
+	rref := ra.C(c.Right.Col.Qual, c.Right.Col.Name)
+	if lq != "" && lq == rq {
+		return lq, ra.Cmp(op, ra.Col(lref), ra.Col(rref)), false, ra.EquiCond{}, nil
+	}
+	if c.Op == "=" && lq != "" && rq != "" && lq != rq {
+		return "", nil, true, ra.EquiCond{Left: lref, Right: rref}, nil
+	}
+	return "", ra.Cmp(op, ra.Col(lref), ra.Col(rref)), false, ra.EquiCond{}, nil
+}
+
+func cmpOpOf(op string) (ra.CmpOp, error) {
+	switch op {
+	case "=":
+		return ra.OpEq, nil
+	case "!=":
+		return ra.OpNe, nil
+	case "<":
+		return ra.OpLt, nil
+	case "<=":
+		return ra.OpLe, nil
+	case ">":
+		return ra.OpGt, nil
+	case ">=":
+		return ra.OpGe, nil
+	}
+	return 0, fmt.Errorf("sqlparse: unsupported operator %q", op)
+}
+
+func operandValue(o Operand) relstore.Value {
+	switch {
+	case o.IsStr:
+		return relstore.String(o.Str)
+	case o.IsInt:
+		return relstore.Int(o.Int)
+	default:
+		return relstore.Float(o.Float)
+	}
+}
+
+// lowerSubEq rewrites (SELECT COUNT(*) FROM t a WHERE φA AND corr) =
+// (SELECT COUNT(*) FROM t b WHERE φB AND corr) into a single group-
+// aggregate over t grouped by the correlation column with two COUNT_IF
+// aggregates, to be joined with the outer query on the correlation pair.
+func lowerSubEq(se *SubEq, outer map[string]bool, idx int) (*struct {
+	plan     ra.Plan
+	alias    string
+	joinCond ra.EquiCond
+	filter   ra.Expr
+}, error) {
+	if se.A.Table.Name != se.B.Table.Name {
+		return nil, fmt.Errorf("sqlparse: subquery equality over different tables %q and %q is not supported",
+			se.A.Table.Name, se.B.Table.Name)
+	}
+	galias := fmt.Sprintf("_g%d", idx)
+
+	extract := func(sq SubQuery) (outerCol ColName, innerCol string, preds []ra.Expr, err error) {
+		corrSeen := false
+		for _, c := range sq.Conds {
+			// A correlation conjunct links the subquery alias with an
+			// outer alias via equality.
+			if c.Right.IsCol && c.Op == "=" {
+				lIn := c.Left.Qual == sq.Table.Alias
+				rIn := c.Right.Col.Qual == sq.Table.Alias
+				lOut := outer[c.Left.Qual]
+				rOut := outer[c.Right.Col.Qual]
+				if (lIn && rOut) || (rIn && lOut) {
+					if corrSeen {
+						err = fmt.Errorf("sqlparse: subquery has multiple correlation predicates")
+						return
+					}
+					corrSeen = true
+					if lIn {
+						innerCol, outerCol = c.Left.Name, c.Right.Col
+					} else {
+						innerCol, outerCol = c.Right.Col.Name, c.Left
+					}
+					continue
+				}
+			}
+			// Anything else must be local to the subquery; requalify it
+			// onto the shared group scan alias.
+			expr, lerr := localSubCond(c, sq.Table.Alias, galias)
+			if lerr != nil {
+				err = lerr
+				return
+			}
+			preds = append(preds, expr)
+		}
+		if !corrSeen {
+			err = fmt.Errorf("sqlparse: subquery on %q has no correlation predicate", sq.Table.Name)
+		}
+		return
+	}
+
+	outA, inA, predsA, err := extract(se.A)
+	if err != nil {
+		return nil, err
+	}
+	outB, inB, predsB, err := extract(se.B)
+	if err != nil {
+		return nil, err
+	}
+	if inA != inB || outA != outB {
+		return nil, fmt.Errorf("sqlparse: subqueries must correlate on the same column pair (got %s~%s and %s~%s)",
+			outA, inA, outB, inB)
+	}
+
+	cntA := fmt.Sprintf("_sqa%d", idx)
+	cntB := fmt.Sprintf("_sqb%d", idx)
+	agg := ra.NewGroupAgg(
+		ra.NewScan(se.A.Table.Name, galias),
+		[]ra.ColRef{ra.C(galias, inA)},
+		ra.Agg{Fn: ra.FnCountIf, Pred: ra.And(predsA...), As: cntA},
+		ra.Agg{Fn: ra.FnCountIf, Pred: ra.And(predsB...), As: cntB},
+	)
+	return &struct {
+		plan     ra.Plan
+		alias    string
+		joinCond ra.EquiCond
+		filter   ra.Expr
+	}{
+		plan:     agg,
+		alias:    galias,
+		joinCond: ra.EquiCond{Left: ra.C(outA.Qual, outA.Name), Right: ra.C(galias, inA)},
+		filter:   ra.Eq(ra.Col(ra.C("", cntA)), ra.Col(ra.C("", cntB))),
+	}, nil
+}
+
+// localSubCond requalifies a subquery-local conjunct onto the group alias.
+func localSubCond(c Cond, subAlias, galias string) (ra.Expr, error) {
+	op, err := cmpOpOf(c.Op)
+	if err != nil {
+		return nil, err
+	}
+	requal := func(col ColName) (ra.ColRef, error) {
+		switch col.Qual {
+		case "", subAlias:
+			return ra.C(galias, col.Name), nil
+		default:
+			return ra.ColRef{}, fmt.Errorf("sqlparse: subquery predicate references foreign alias %q", col.Qual)
+		}
+	}
+	l, err := requal(c.Left)
+	if err != nil {
+		return nil, err
+	}
+	if !c.Right.IsCol {
+		return ra.Cmp(op, ra.Col(l), ra.Const(operandValue(c.Right))), nil
+	}
+	r, err := requal(c.Right.Col)
+	if err != nil {
+		return nil, err
+	}
+	return ra.Cmp(op, ra.Col(l), ra.Col(r)), nil
+}
+
+// lowerSelectList applies the final aggregation/projection.
+func lowerSelectList(q *Query, child ra.Plan) (ra.Plan, error) {
+	hasAgg := false
+	for _, it := range q.Items {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+	if !hasAgg {
+		if len(q.GroupBy) > 0 {
+			return nil, fmt.Errorf("sqlparse: GROUP BY without aggregates is not supported")
+		}
+		cols := make([]ra.ColRef, len(q.Items))
+		for i, it := range q.Items {
+			cols[i] = ra.C(it.Col.Qual, it.Col.Name)
+		}
+		return ra.NewProject(child, cols...), nil
+	}
+
+	groupSet := make(map[ColName]bool, len(q.GroupBy))
+	groupRefs := make([]ra.ColRef, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		groupSet[g] = true
+		groupRefs[i] = ra.C(g.Qual, g.Name)
+	}
+	var aggs []ra.Agg
+	outCols := make([]ra.ColRef, 0, len(q.Items))
+	for i, it := range q.Items {
+		if it.Agg == "" {
+			if !groupSet[it.Col] {
+				return nil, fmt.Errorf("sqlparse: column %s must appear in GROUP BY", it.Col)
+			}
+			outCols = append(outCols, ra.C(it.Col.Qual, it.Col.Name))
+			continue
+		}
+		name := it.As
+		if name == "" {
+			name = fmt.Sprintf("%s_%d", it.Agg, i)
+		}
+		a := ra.Agg{As: name}
+		switch it.Agg {
+		case "COUNT":
+			a.Fn = ra.FnCount
+		case "SUM":
+			a.Fn = ra.FnSum
+			a.Arg = ra.C(it.Arg.Qual, it.Arg.Name)
+		case "AVG":
+			a.Fn = ra.FnAvg
+			a.Arg = ra.C(it.Arg.Qual, it.Arg.Name)
+		case "MIN":
+			a.Fn = ra.FnMin
+			a.Arg = ra.C(it.Arg.Qual, it.Arg.Name)
+		case "MAX":
+			a.Fn = ra.FnMax
+			a.Arg = ra.C(it.Arg.Qual, it.Arg.Name)
+		default:
+			return nil, fmt.Errorf("sqlparse: unsupported aggregate %q", it.Agg)
+		}
+		aggs = append(aggs, a)
+		outCols = append(outCols, ra.C("", name))
+	}
+	return ra.NewProject(ra.NewGroupAgg(child, groupRefs, aggs...), outCols...), nil
+}

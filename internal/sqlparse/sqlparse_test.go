@@ -1,0 +1,242 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"factordb/internal/ra"
+	"factordb/internal/relstore"
+)
+
+// paper queries, verbatim modulo identifier spelling.
+const (
+	query1 = `SELECT STRING FROM TOKEN WHERE LABEL='B-PER'`
+	query2 = `SELECT COUNT(*) FROM TOKEN WHERE LABEL='B-PER'`
+	query3 = `SELECT T.DOC_ID FROM TOKEN T WHERE
+		(SELECT COUNT(*) FROM TOKEN T1 WHERE T1.LABEL='B-PER' AND T.DOC_ID=T1.DOC_ID)
+		=(SELECT COUNT(*) FROM TOKEN T1 WHERE T1.LABEL='B-ORG' AND T.DOC_ID=T1.DOC_ID)`
+	query4 = `SELECT T2.STRING FROM TOKEN T1, TOKEN T2
+		WHERE T1.STRING='Boston' AND T1.LABEL='B-ORG'
+		AND T1.DOC_ID=T2.DOC_ID AND T2.LABEL='B-PER'`
+)
+
+func testDB(t *testing.T) *relstore.DB {
+	t.Helper()
+	db := relstore.NewDB()
+	tok := db.MustCreate(relstore.MustSchema("TOKEN",
+		relstore.Column{Name: "TOK_ID", Type: relstore.TInt},
+		relstore.Column{Name: "DOC_ID", Type: relstore.TInt},
+		relstore.Column{Name: "STRING", Type: relstore.TString},
+		relstore.Column{Name: "LABEL", Type: relstore.TString},
+	))
+	rows := []struct {
+		id, doc int64
+		s, l    string
+	}{
+		{1, 1, "Clinton", "B-PER"},
+		{2, 1, "visited", "O"},
+		{3, 1, "Boston", "B-ORG"},
+		{4, 1, "Ortiz", "B-PER"},
+		{5, 2, "Boston", "B-LOC"},
+		{6, 2, "Smith", "B-PER"},
+		{7, 2, "IBM", "B-ORG"},
+		{8, 3, "the", "O"},
+	}
+	for _, r := range rows {
+		tok.Insert(relstore.Tuple{relstore.Int(r.id), relstore.Int(r.doc), relstore.String(r.s), relstore.String(r.l)})
+	}
+	return db
+}
+
+func run(t *testing.T, db *relstore.DB, sql string) *ra.Bag {
+	t.Helper()
+	plan, err := Compile(sql)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", sql, err)
+	}
+	bound, err := ra.Bind(db, plan)
+	if err != nil {
+		t.Fatalf("Bind(%q): %v", sql, err)
+	}
+	bag, err := ra.Eval(bound)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", sql, err)
+	}
+	return bag
+}
+
+func TestQuery1(t *testing.T) {
+	bag := run(t, testDB(t), query1)
+	if bag.Size() != 3 {
+		t.Fatalf("Query 1 size = %d, want 3", bag.Size())
+	}
+	if got := bag.Count(relstore.Tuple{relstore.String("Clinton")}.Key()); got != 1 {
+		t.Errorf("count(Clinton) = %d", got)
+	}
+}
+
+func TestQuery2(t *testing.T) {
+	rows := run(t, testDB(t), query2).Rows()
+	if len(rows) != 1 || rows[0].Tuple[0].AsInt() != 3 {
+		t.Fatalf("Query 2 = %v, want single row 3", rows)
+	}
+}
+
+func TestQuery3(t *testing.T) {
+	bag := run(t, testDB(t), query3)
+	// doc1: 2 PER vs 1 ORG (no). doc2: 1 vs 1 (yes). doc3: 0 vs 0 (yes).
+	want := map[int64]bool{2: true, 3: true}
+	got := map[int64]bool{}
+	bag.Each(func(_ string, r *ra.BagRow) bool {
+		got[r.Tuple[0].AsInt()] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Query 3 docs = %v, want %v", got, want)
+	}
+	for d := range want {
+		if !got[d] {
+			t.Errorf("doc %d missing from Query 3 answer", d)
+		}
+	}
+}
+
+func TestQuery4(t *testing.T) {
+	bag := run(t, testDB(t), query4)
+	// Boston/B-ORG only in doc 1; persons there: Clinton, Ortiz.
+	if bag.Len() != 2 {
+		t.Fatalf("Query 4 distinct = %d, want 2", bag.Len())
+	}
+	for _, name := range []string{"Clinton", "Ortiz"} {
+		if bag.Count(relstore.Tuple{relstore.String(name)}.Key()) != 1 {
+			t.Errorf("%s missing from Query 4 answer", name)
+		}
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	bag := run(t, testDB(t), `SELECT DOC_ID, COUNT(*) AS N FROM TOKEN GROUP BY DOC_ID`)
+	if bag.Len() != 3 {
+		t.Fatalf("groups = %d, want 3", bag.Len())
+	}
+	counts := map[int64]int64{}
+	bag.Each(func(_ string, r *ra.BagRow) bool {
+		counts[r.Tuple[0].AsInt()] = r.Tuple[1].AsInt()
+		return true
+	})
+	if counts[1] != 4 || counts[2] != 3 || counts[3] != 1 {
+		t.Errorf("per-doc counts = %v", counts)
+	}
+}
+
+func TestAggFunctions(t *testing.T) {
+	bag := run(t, testDB(t),
+		`SELECT MIN(TOK_ID) AS LO, MAX(TOK_ID) AS HI, SUM(TOK_ID) AS S, AVG(TOK_ID) AS A FROM TOKEN`)
+	rows := bag.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0].Tuple
+	if r[0].AsInt() != 1 || r[1].AsInt() != 8 || r[2].AsInt() != 36 || r[3].AsFloat() != 4.5 {
+		t.Errorf("aggregates = %v", r)
+	}
+}
+
+func TestComparisonOperatorsSQL(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want int64
+	}{
+		{`SELECT STRING FROM TOKEN WHERE TOK_ID < 3`, 2},
+		{`SELECT STRING FROM TOKEN WHERE TOK_ID <= 3`, 3},
+		{`SELECT STRING FROM TOKEN WHERE TOK_ID > 6`, 2},
+		{`SELECT STRING FROM TOKEN WHERE TOK_ID >= 6`, 3},
+		{`SELECT STRING FROM TOKEN WHERE TOK_ID != 1`, 7},
+		{`SELECT STRING FROM TOKEN WHERE TOK_ID <> 1`, 7},
+	}
+	for _, c := range cases {
+		if got := run(t, testDB(t), c.sql).Size(); got != c.want {
+			t.Errorf("%s: size = %d, want %d", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestColEqualsColSameTable(t *testing.T) {
+	if got := run(t, testDB(t), `SELECT STRING FROM TOKEN WHERE TOK_ID = DOC_ID`).Size(); got != 1 {
+		t.Errorf("size = %d, want 1 (row 1)", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		sql  string
+		frag string
+	}{
+		{``, "expected"},
+		{`SELECT`, "expected"},
+		{`SELECT X`, "expected \"FROM\""},
+		{`SELECT X FROM`, "expected"},
+		{`SELECT X FROM T WHERE`, "expected"},
+		{`SELECT X FROM T WHERE A ==`, "expected"},
+		{`SELECT X FROM T extra junk`, "trailing input"},
+		{`SELECT X FROM T WHERE A = 'unterminated`, "unterminated"},
+		{`SELECT X FROM T WHERE A ! B`, "unexpected '!'"},
+		{`SELECT X FROM T WHERE A = 12.5.5`, "bad number"},
+		{`SELECT X FROM T, T`, "duplicate table alias"},
+		{`SELECT X FROM T GROUP BY X`, "GROUP BY without aggregates"},
+		{`SELECT X, COUNT(*) FROM T`, "must appear in GROUP BY"},
+		{`SELECT X FROM T WHERE (SELECT STRING FROM U WHERE A=B)=(SELECT COUNT(*) FROM U WHERE A=B)`, "COUNT(*)"},
+		{`SELECT X FROM T WHERE (SELECT COUNT(*) FROM U U1 WHERE U1.A=1)=(SELECT COUNT(*) FROM U U1 WHERE T.B=U1.B)`, "no correlation"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.sql)
+		if err == nil {
+			t.Errorf("Compile(%q) succeeded, want error containing %q", c.sql, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Compile(%q) error %q does not contain %q", c.sql, err, c.frag)
+		}
+	}
+}
+
+func TestSubEqValidation(t *testing.T) {
+	// Different tables in the two subqueries.
+	sql := `SELECT T.A FROM T WHERE
+		(SELECT COUNT(*) FROM U U1 WHERE T.A=U1.A)
+		=(SELECT COUNT(*) FROM V V1 WHERE T.A=V1.A)`
+	if _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "different tables") {
+		t.Errorf("want different-tables error, got %v", err)
+	}
+	// Different correlation columns.
+	sql = `SELECT T.A FROM T WHERE
+		(SELECT COUNT(*) FROM U U1 WHERE T.A=U1.A)
+		=(SELECT COUNT(*) FROM U U2 WHERE T.B=U2.A)`
+	if _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "same column pair") {
+		t.Errorf("want same-column-pair error, got %v", err)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	if got := run(t, testDB(t), `select string from TOKEN where label='B-PER'`).Size(); got != 3 {
+		t.Errorf("lowercase keywords: size = %d, want 3", got)
+	}
+}
+
+func TestCrossJoinNoCondition(t *testing.T) {
+	bag := run(t, testDB(t), `SELECT A.STRING, B.STRING FROM TOKEN A, TOKEN B WHERE A.LABEL='B-ORG' AND B.LABEL='B-LOC'`)
+	// 2 B-ORG × 1 B-LOC.
+	if bag.Size() != 2 {
+		t.Errorf("cross size = %d, want 2", bag.Size())
+	}
+}
+
+func TestBindFailsOnUnknownColumnAtBindTime(t *testing.T) {
+	plan, err := Compile(`SELECT NOPE FROM TOKEN`)
+	if err != nil {
+		t.Fatalf("Compile should defer column resolution: %v", err)
+	}
+	if _, err := ra.Bind(testDB(t), plan); err == nil {
+		t.Error("Bind should reject unknown column")
+	}
+}

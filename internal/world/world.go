@@ -1,0 +1,120 @@
+// Package world bridges the MCMC sampler and the relational store: the
+// database always holds a single possible world (Section 3 of the paper),
+// and as inference mutates hidden fields the change log records the
+// removed and added tuples — the paper's auxiliary Δ⁻ ("deleted") and Δ⁺
+// ("added") tables — which the materialized-view query evaluator consumes.
+package world
+
+import (
+	"fmt"
+
+	"factordb/internal/ivm"
+	"factordb/internal/ra"
+	"factordb/internal/relstore"
+)
+
+// FieldRef identifies one uncertain field of the database: a (relation,
+// row, column) coordinate whose value is a hidden random variable.
+type FieldRef struct {
+	Rel string
+	Row relstore.RowID
+	Col int
+}
+
+// ChangeLog applies field updates to the store and accumulates the net
+// signed tuple delta since the last Drain.
+type ChangeLog struct {
+	db    *relstore.DB
+	delta ivm.BaseDelta
+
+	updates int64 // total field updates applied through the log
+}
+
+// NewChangeLog wraps a database.
+func NewChangeLog(db *relstore.DB) *ChangeLog {
+	return &ChangeLog{db: db, delta: ivm.NewBaseDelta()}
+}
+
+// DB returns the underlying store.
+func (l *ChangeLog) DB() *relstore.DB { return l.db }
+
+// SetField writes v into the referenced field, recording the old tuple in
+// Δ⁻ and the new tuple in Δ⁺. Writing the current value is a no-op.
+func (l *ChangeLog) SetField(ref FieldRef, v relstore.Value) error {
+	rel, err := l.db.Relation(ref.Rel)
+	if err != nil {
+		return err
+	}
+	cur, ok := rel.Get(ref.Row)
+	if !ok {
+		return fmt.Errorf("world: row %d not found in %q", ref.Row, ref.Rel)
+	}
+	if ref.Col < 0 || ref.Col >= len(cur) {
+		return fmt.Errorf("world: column %d out of range in %q", ref.Col, ref.Rel)
+	}
+	if cur[ref.Col].Equal(v) {
+		return nil
+	}
+	old, err := rel.UpdateCol(ref.Row, ref.Col, v)
+	if err != nil {
+		return err
+	}
+	now, _ := rel.Get(ref.Row)
+	l.delta.Add(ref.Rel, old, -1)
+	l.delta.Add(ref.Rel, now.Clone(), 1)
+	l.updates++
+	return nil
+}
+
+// GetField reads the referenced field.
+func (l *ChangeLog) GetField(ref FieldRef) (relstore.Value, error) {
+	rel, err := l.db.Relation(ref.Rel)
+	if err != nil {
+		return relstore.Value{}, err
+	}
+	t, ok := rel.Get(ref.Row)
+	if !ok {
+		return relstore.Value{}, fmt.Errorf("world: row %d not found in %q", ref.Row, ref.Rel)
+	}
+	if ref.Col < 0 || ref.Col >= len(t) {
+		return relstore.Value{}, fmt.Errorf("world: column %d out of range in %q", ref.Col, ref.Rel)
+	}
+	return t[ref.Col], nil
+}
+
+// Pending reports whether any net changes have accumulated.
+func (l *ChangeLog) Pending() bool { return !l.delta.Empty() }
+
+// Updates returns the total number of effective field updates applied.
+func (l *ChangeLog) Updates() int64 { return l.updates }
+
+// Drain returns the accumulated signed delta and resets the log. This is
+// the "cleaning and refreshing of the tables between deterministic query
+// executions" step of Section 4.2.
+func (l *ChangeLog) Drain() ivm.BaseDelta {
+	d := l.delta
+	l.delta = ivm.NewBaseDelta()
+	return d
+}
+
+// DeltaTables renders the pending delta for one relation as the paper's
+// two auxiliary tables: deleted (Δ⁻) holds tuples with negative net
+// counts, added (Δ⁺) those with positive counts. Intended for display and
+// debugging; Apply consumers use the signed form directly.
+func (l *ChangeLog) DeltaTables(rel string) (deleted, added []relstore.Tuple) {
+	bag, ok := l.delta[rel]
+	if !ok {
+		return nil, nil
+	}
+	bag.Each(func(_ string, r *ra.BagRow) bool {
+		n := r.N
+		for ; n < 0; n++ {
+			deleted = append(deleted, r.Tuple)
+		}
+		for ; n > 0; n-- {
+			added = append(added, r.Tuple)
+		}
+		return true
+	})
+	return deleted, added
+}
