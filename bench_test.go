@@ -31,6 +31,9 @@ var (
 
 func benchSystem(b *testing.B, tokens int, useSkip bool) *exp.NERSystem {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("corpus building and training are expensive; skipped in -short mode")
+	}
 	key := fmt.Sprintf("%d-%v", tokens, useSkip)
 	sysCacheMu.Lock()
 	defer sysCacheMu.Unlock()
@@ -142,6 +145,9 @@ func BenchmarkMHStep(b *testing.B) {
 // BenchmarkScoreDelta compares local delta scoring against full-document
 // rescoring: the factor-cancellation optimization of Appendix 9.2.
 func BenchmarkScoreDelta(b *testing.B) {
+	if testing.Short() {
+		b.Skip("corpus building is expensive; skipped in -short mode")
+	}
 	corpus, err := ie.Generate(ie.DefaultGenConfig(20_000, 5))
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,104 @@
+// Command factordbd is the factordb daemon: it builds and trains a
+// probabilistic NER database once at startup, then serves concurrent SQL
+// queries over HTTP while a pool of parallel MCMC chains keeps walking
+// the possible-world space. All in-flight queries share the chains'
+// walk-steps through incrementally maintained views, so concurrent load
+// adds view maintenance cost only.
+//
+// Usage:
+//
+//	factordbd -addr :8080 -tokens 50000 -chains 4 -steps 1000
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'", "samples": 128}
+//	GET  /healthz  liveness and chain-pool status
+//	GET  /metrics  Prometheus text exposition
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"factordb/internal/exp"
+	"factordb/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		tokens  = flag.Int("tokens", 20000, "number of tokens in the synthetic corpus")
+		seed    = flag.Int64("seed", 1, "random seed for corpus, training and chains")
+		chains  = flag.Int("chains", 0, "parallel MCMC chains (0 = GOMAXPROCS, capped at 8)")
+		steps   = flag.Int("steps", 1000, "MH walk-steps between samples (thinning interval k)")
+		burn    = flag.Int("burn", 0, "walk-steps to discard per chain before serving")
+		samples = flag.Int("samples", 128, "default per-query sample budget")
+		maxConc = flag.Int("max-concurrent", 16, "queries evaluated concurrently before queuing")
+		maxQ    = flag.Int("max-queued", 64, "queries queued before shedding with 503")
+		cacheN  = flag.Int("cache-size", 128, "result cache entries (negative disables)")
+		cacheT  = flag.Duration("cache-ttl", time.Minute, "result cache freshness bound")
+		noSkip  = flag.Bool("no-skip", false, "disable skip-chain factors (plain linear chain)")
+	)
+	flag.Parse()
+
+	log.Printf("building NER system (%d tokens, seed %d)...", *tokens, *seed)
+	start := time.Now()
+	sys, err := exp.BuildNER(exp.Config{NumTokens: *tokens, Seed: *seed, UseSkip: !*noSkip})
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("%s (built in %v)", sys.Describe(), time.Since(start).Round(time.Millisecond))
+
+	eng, err := serve.New(sys, serve.Config{
+		Chains:               *chains,
+		StepsPerSample:       *steps,
+		BurnIn:               *burn,
+		Seed:                 *seed + 42,
+		DefaultSamples:       *samples,
+		MaxConcurrentQueries: *maxConc,
+		MaxQueuedQueries:     *maxQ,
+		CacheSize:            *cacheN,
+		CacheTTL:             *cacheT,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+	log.Printf("engine up: %d chains, k=%d", eng.Chains(), *steps)
+
+	srv := &http.Server{Addr: *addr, Handler: eng.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "factordbd:", err)
+	os.Exit(1)
+}

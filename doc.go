@@ -1,13 +1,35 @@
-// Package factordb is a reproduction of "Scalable Probabilistic Databases
-// with Factor Graphs and MCMC" (Wick, McCallum, Miklau; arXiv:1005.1934,
-// 2010): a probabilistic database whose underlying relational store always
-// holds a single possible world, with uncertainty encoded by an external
-// factor graph and recovered through Metropolis-Hastings sampling. Query
-// answers are maintained incrementally across sampled worlds with
-// materialized-view maintenance, which is orders of magnitude faster than
-// re-running queries per world.
+// Package factordb reproduces and extends "Scalable Probabilistic
+// Databases with Factor Graphs and MCMC" (Wick, McCallum, Miklau;
+// PVLDB 2010, arXiv:1005.1934): a probabilistic database whose relational
+// store always holds a single possible world, with uncertainty encoded by
+// an external factor graph and recovered through Metropolis-Hastings
+// sampling. Query answers are maintained incrementally across sampled
+// worlds with materialized-view maintenance, which is orders of magnitude
+// faster than re-running queries per world.
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
-// paper-versus-measured record, and the examples/ directory for runnable
-// entry points.
+// The packages layer from model to server:
+//
+//	internal/factor    factor-graph templates and log-linear scoring
+//	internal/mcmc      Metropolis-Hastings walk over possible worlds
+//	internal/learn     SampleRank parameter estimation
+//	internal/ie        skip-chain NER model, corpus generator, proposer
+//	internal/coref     entity-resolution model (second workload)
+//	internal/relstore  the single-world relational store
+//	internal/ra        relational algebra: plans, binding, evaluation
+//	internal/sqlparse  SQL front end lowering to ra plans
+//	internal/ivm       incremental view maintenance over Δ⁻/Δ⁺ deltas
+//	internal/world     change log, epochs, snapshot publication
+//	internal/core      query evaluators (naive and materialized) + estimator
+//	internal/metrics   loss traces and serving counters
+//	internal/exp       experiment harness regenerating the paper's figures
+//	internal/serve     concurrent query-serving engine (factordbd)
+//
+// Three commands sit on top: cmd/factordb evaluates a single query from
+// the command line, cmd/experiments regenerates the paper's evaluation,
+// and cmd/factordbd serves concurrent SQL queries over HTTP from a pool
+// of parallel MCMC chains that share their walk-steps across all
+// in-flight queries.
+//
+// See README.md for the architecture tour and server usage, and the
+// examples/ directory for runnable entry points.
 package factordb

@@ -1,0 +1,3 @@
+module factordb
+
+go 1.24

@@ -286,6 +286,75 @@ func TestEstimator(t *testing.T) {
 	}
 }
 
+func TestEstimatorCloneIsIndependent(t *testing.T) {
+	sch := &ra.RowSchema{Cols: []ra.OutCol{{Ref: ra.C("", "s"), Type: relstore.TString}}}
+	mk := func(vals ...string) *ra.Bag {
+		b := ra.NewBag(sch)
+		for _, v := range vals {
+			b.Add(relstore.Tuple{relstore.String(v)}, 1)
+		}
+		return b
+	}
+	e := NewEstimator()
+	e.AddSample(mk("a", "b"))
+	c := e.Clone()
+	e.AddSample(mk("a"))
+	if c.Samples() != 1 || e.Samples() != 2 {
+		t.Fatalf("clone shares state: %d vs %d samples", c.Samples(), e.Samples())
+	}
+	aKey := relstore.Tuple{relstore.String("a")}.Key()
+	if c.Marginals()[aKey] != 1.0 || e.Marginals()[aKey] != 1.0 {
+		t.Errorf("marginals: clone %v orig %v", c.Marginals(), e.Marginals())
+	}
+	bKey := relstore.Tuple{relstore.String("b")}.Key()
+	if c.Marginals()[bKey] != 1.0 || e.Marginals()[bKey] != 0.5 {
+		t.Errorf("clone marginal drifted: %v vs %v", c.Marginals()[bKey], e.Marginals()[bKey])
+	}
+}
+
+func TestResultsCI(t *testing.T) {
+	sch := &ra.RowSchema{Cols: []ra.OutCol{{Ref: ra.C("", "s"), Type: relstore.TString}}}
+	e := NewEstimator()
+	for i := 0; i < 100; i++ {
+		b := ra.NewBag(sch)
+		b.Add(relstore.Tuple{relstore.String("always")}, 1)
+		if i < 50 {
+			b.Add(relstore.Tuple{relstore.String("half")}, 1)
+		}
+		e.AddSample(b)
+	}
+	for _, ci := range e.ResultsCI(1.96) {
+		if ci.Lo < 0 || ci.Hi > 1 || ci.Lo > ci.Hi {
+			t.Errorf("malformed interval: %+v", ci)
+		}
+		if ci.P < ci.Lo || ci.P > ci.Hi {
+			t.Errorf("interval excludes the point estimate: %+v", ci)
+		}
+		if ci.Lo == ci.Hi {
+			t.Errorf("degenerate interval at n=100: %+v", ci)
+		}
+	}
+	res := e.ResultsCI(1.96)
+	if len(res) != 2 || res[0].Tuple[0].AsString() != "always" {
+		t.Fatalf("ResultsCI order: %+v", res)
+	}
+	// p=1 at n=100: Wilson keeps the upper bound at 1 and pulls the lower
+	// bound strictly below it.
+	if res[0].Hi != 1 || res[0].Lo >= 1 || res[0].Lo < 0.9 {
+		t.Errorf("p=1 interval: %+v", res[0])
+	}
+	// The half tuple's interval must straddle 0.5 roughly symmetrically.
+	if res[1].Lo >= 0.5 || res[1].Hi <= 0.5 {
+		t.Errorf("p=0.5 interval: %+v", res[1])
+	}
+	// z=0 degenerates to the point estimate.
+	for _, ci := range e.ResultsCI(0) {
+		if ci.Lo != ci.P || ci.Hi != ci.P {
+			t.Errorf("z=0 interval should be the point estimate: %+v", ci)
+		}
+	}
+}
+
 func TestEstimatorIgnoresNonPositiveCounts(t *testing.T) {
 	sch := &ra.RowSchema{Cols: []ra.OutCol{{Ref: ra.C("", "s"), Type: relstore.TString}}}
 	b := ra.NewBag(sch)

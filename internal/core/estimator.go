@@ -13,6 +13,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 
 	"factordb/internal/ra"
@@ -111,4 +112,63 @@ func (e *Estimator) Merge(o *Estimator) {
 			e.tuples[k] = o.tuples[k]
 		}
 	}
+}
+
+// Clone returns an independent copy of the estimator. Tuples are shared
+// (they are never mutated); counts are copied. Serving chains publish
+// clones as epoch snapshots so readers merge consistent states while the
+// walk keeps accumulating.
+func (e *Estimator) Clone() *Estimator {
+	c := NewEstimator()
+	c.Merge(e)
+	return c
+}
+
+// TupleCI is one answer tuple with its marginal estimate and a confidence
+// interval for the true marginal.
+type TupleCI struct {
+	Tuple relstore.Tuple
+	P     float64
+	Lo    float64
+	Hi    float64
+}
+
+// ResultsCI returns the answer tuples with Wilson score intervals at the
+// given normal quantile z (1.96 for 95% confidence). The Wilson interval
+// stays inside [0,1] and remains informative for marginals near 0 or 1 at
+// the small sample counts typical of a bounded-latency query, where the
+// Wald interval collapses to a point. Note the interval treats samples as
+// independent; consecutive MCMC samples are positively correlated, so at
+// small thinning intervals coverage is optimistic — parallel chains
+// (whose samples are independent across chains) tighten this.
+func (e *Estimator) ResultsCI(z float64) []TupleCI {
+	res := e.Results()
+	out := make([]TupleCI, len(res))
+	n := float64(e.z)
+	for i, tp := range res {
+		lo, hi := tp.P, tp.P
+		if n > 0 && z > 0 {
+			z2 := z * z
+			denom := 1 + z2/n
+			center := (tp.P + z2/(2*n)) / denom
+			half := z / denom * math.Sqrt(tp.P*(1-tp.P)/n+z2/(4*n*n))
+			lo, hi = center-half, center+half
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > 1 {
+				hi = 1
+			}
+			// Guard against rounding at the extremes: the interval always
+			// contains the point estimate (analytically true for Wilson).
+			if lo > tp.P {
+				lo = tp.P
+			}
+			if hi < tp.P {
+				hi = tp.P
+			}
+		}
+		out[i] = TupleCI{Tuple: tp.Tuple, P: tp.P, Lo: lo, Hi: hi}
+	}
+	return out
 }

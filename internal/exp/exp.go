@@ -12,6 +12,7 @@ import (
 
 	"factordb/internal/core"
 	"factordb/internal/ie"
+	"factordb/internal/mcmc"
 	"factordb/internal/metrics"
 	"factordb/internal/relstore"
 	"factordb/internal/sqlparse"
@@ -115,6 +116,21 @@ func (s *NERSystem) NewChain(mode core.Mode, sql string, stepsPerSample int, see
 	if err != nil {
 		return nil, err
 	}
+	log, tg, err := s.newChainWorld()
+	if err != nil {
+		return nil, err
+	}
+	ev, err := core.NewEvaluator(mode, log, tg, plan, stepsPerSample, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Chain{Evaluator: ev, Tagger: tg, Log: log}, nil
+}
+
+// newChainWorld clones the prototype world and binds a fresh tagger to
+// it, applying the paper's batching parameters (five active documents,
+// re-drawn every 2000 proposals) when the corpus is large enough.
+func (s *NERSystem) newChainWorld() (*world.ChangeLog, *ie.Tagger, error) {
 	db := s.protoDB.Clone()
 	log := world.NewChangeLog(db)
 	tg := ie.NewTagger(s.Model, s.Corpus, ie.LO)
@@ -123,13 +139,22 @@ func (s *NERSystem) NewChain(mode core.Mode, sql string, stepsPerSample int, see
 		tg.StepsPerBatch = 2000
 	}
 	if err := tg.BindDB(log, s.rows); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	ev, err := core.NewEvaluator(mode, log, tg, plan, stepsPerSample, seed)
+	return log, tg, nil
+}
+
+// NewChainWorld clones the prototype world and returns it with a bound
+// proposer, for callers that drive the Metropolis-Hastings walk themselves
+// rather than through a core.Evaluator. The serve engine uses this to
+// stock its chain pool (it satisfies serve.Source); the chain index is
+// unused here because every clone starts from the same pristine world.
+func (s *NERSystem) NewChainWorld(_ int) (*world.ChangeLog, mcmc.Proposer, error) {
+	log, tg, err := s.newChainWorld()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &Chain{Evaluator: ev, Tagger: tg, Log: log}, nil
+	return log, tg, nil
 }
 
 // GroundTruth estimates reference marginals with a long materialized run
@@ -453,7 +478,8 @@ type TargetedRow struct {
 	Targeted   bool
 	TargetDocs int
 	TotalDocs  int
-	AUC        float64
+	AUC        float64 // area under loss-vs-wall-time (timing dependent)
+	StepAUC    float64 // area under loss-vs-walk-steps (deterministic)
 	Final      float64
 }
 
@@ -503,6 +529,7 @@ func AblationTargeted(n, samples, thin int, seed int64) ([]TargetedRow, error) {
 			TargetDocs: len(target),
 			TotalDocs:  len(sys.Corpus.Docs),
 			AUC:        tr.AUC(),
+			StepAUC:    tr.AUCSteps(),
 			Final:      tr.Final(),
 		})
 	}

@@ -147,9 +147,13 @@ func TestAblationTargetedSmoke(t *testing.T) {
 	if rows[1].TargetDocs <= 0 || rows[1].TargetDocs > rows[1].TotalDocs {
 		t.Errorf("target docs %d of %d", rows[1].TargetDocs, rows[1].TotalDocs)
 	}
-	// Targeting a selective query should not converge slower.
-	if rows[1].AUC > rows[0].AUC*1.5 {
-		t.Errorf("targeted AUC %.3f much worse than uniform %.3f", rows[1].AUC, rows[0].AUC)
+	// Targeting a selective query should not converge much slower. Compare
+	// the step-based AUC — wall-time AUC is scheduler noise — and allow a
+	// wide margin: at this corpus size per-seed MCMC variance swamps the
+	// targeting effect (seeds differ on which proposer wins), so this is a
+	// deterministic sanity bound, not a performance assertion.
+	if rows[1].StepAUC > rows[0].StepAUC*2 {
+		t.Errorf("targeted step-AUC %.3f much worse than uniform %.3f", rows[1].StepAUC, rows[0].StepAUC)
 	}
 }
 

@@ -265,6 +265,143 @@ func TestCancellingDeltaProducesNoChange(t *testing.T) {
 	}
 }
 
+// deleteRow removes one random surviving row from the base relation and
+// records the pure deletion (no matching insertion) in d.
+func deleteRow(rng *rand.Rand, tok *relstore.Relation, ids []relstore.RowID, d BaseDelta) []relstore.RowID {
+	i := rng.Intn(len(ids))
+	old, err := tok.Delete(ids[i])
+	if err != nil {
+		panic(err)
+	}
+	d.Add("TOKEN", old, -1)
+	return append(ids[:i], ids[i+1:]...)
+}
+
+// selfJoinPlan is Query 4's shape: persons joined to Boston orgs by doc.
+func selfJoinPlan() ra.Plan {
+	boston := ra.NewSelect(ra.NewScan("TOKEN", "T1"), ra.And(
+		ra.Eq(ra.Col(ra.C("T1", "STRING")), ra.Const(relstore.String("Boston"))),
+		ra.Eq(ra.Col(ra.C("T1", "LABEL")), ra.Const(relstore.String("B-ORG"))),
+	))
+	persons := ra.NewSelect(ra.NewScan("TOKEN", "T2"),
+		ra.Eq(ra.Col(ra.C("T2", "LABEL")), ra.Const(relstore.String("B-PER"))))
+	return ra.NewProject(
+		ra.NewJoin(boston, persons,
+			[]ra.EquiCond{{Left: ra.C("T1", "DOC_ID"), Right: ra.C("T2", "DOC_ID")}}, nil),
+		ra.C("T2", "STRING"),
+	)
+}
+
+// TestViewJoinUnderDeletions drives a join view with batches of pure
+// tuple deletions — rows leaving the base relation outright, not label
+// flips — until the relation empties, checking the maintained result
+// against a from-scratch evaluation after every batch. Deletions shrink
+// both join sides and must cancel previously matched pairs exactly.
+func TestViewJoinUnderDeletions(t *testing.T) {
+	db, tok, ids := buildTokenDB(64, 21)
+	bound, err := ra.Bind(db, selfJoinPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := NewView(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	for len(ids) > 0 {
+		d := NewBaseDelta()
+		for f := 0; f < 5 && len(ids) > 0; f++ {
+			ids = deleteRow(rng, tok, ids, d)
+		}
+		view.Apply(d)
+		full, err := ra.Eval(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !view.Result().Equal(full) {
+			t.Fatalf("after %d deletions view diverged\nview: %v\nfull: %v",
+				64-len(ids), dump(view.Result()), dump(full))
+		}
+	}
+	if view.Result().Len() != 0 {
+		t.Errorf("empty relation left a non-empty join view: %v", dump(view.Result()))
+	}
+}
+
+// TestViewJoinMixedDeletesAndFlips interleaves deletions with label flips
+// in the same delta batches, the regime an online store would produce.
+func TestViewJoinMixedDeletesAndFlips(t *testing.T) {
+	db, tok, ids := buildTokenDB(64, 23)
+	bound, err := ra.Bind(db, selfJoinPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := NewView(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(24))
+	for b := 0; b < 15; b++ {
+		d := NewBaseDelta()
+		for f := 0; f < 3; f++ {
+			flipLabel(rng, tok, ids, d)
+		}
+		if len(ids) > 8 {
+			ids = deleteRow(rng, tok, ids, d)
+		}
+		view.Apply(d)
+		full, err := ra.Eval(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !view.Result().Equal(full) {
+			t.Fatalf("batch %d: view diverged\nview: %v\nfull: %v",
+				b, dump(view.Result()), dump(full))
+		}
+	}
+}
+
+// TestViewGroupAggUnderDeletions checks grouped-aggregate maintenance
+// when group populations shrink to empty via pure deletions (groups must
+// vanish, MIN/MAX must re-derive from survivors).
+func TestViewGroupAggUnderDeletions(t *testing.T) {
+	db, tok, ids := buildTokenDB(48, 25)
+	p := ra.NewGroupAgg(
+		ra.NewScan("TOKEN", "T"),
+		[]ra.ColRef{ra.C("T", "DOC_ID")},
+		ra.Agg{Fn: ra.FnCount, As: "N"},
+		ra.Agg{Fn: ra.FnMin, Arg: ra.C("T", "TOK_ID"), As: "LO"},
+		ra.Agg{Fn: ra.FnMax, Arg: ra.C("T", "TOK_ID"), As: "HI"},
+	)
+	bound, err := ra.Bind(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := NewView(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(26))
+	for len(ids) > 0 {
+		d := NewBaseDelta()
+		for f := 0; f < 4 && len(ids) > 0; f++ {
+			ids = deleteRow(rng, tok, ids, d)
+		}
+		view.Apply(d)
+		full, err := ra.Eval(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !view.Result().Equal(full) {
+			t.Fatalf("with %d rows left view diverged\nview: %v\nfull: %v",
+				len(ids), dump(view.Result()), dump(full))
+		}
+	}
+	if view.Result().Len() != 0 {
+		t.Errorf("empty relation left non-empty aggregate view: %v", dump(view.Result()))
+	}
+}
+
 // TestViewLongRandomStream is a heavier randomized soak across all plan
 // shapes at once.
 func TestViewLongRandomStream(t *testing.T) {

@@ -107,6 +107,20 @@ func (tr *Trace) AUC() float64 {
 	return area
 }
 
+// AUCSteps returns the area under the loss curve over MCMC walk-steps
+// (trapezoidal) instead of wall time. Unlike AUC it is fully determined
+// by the seeded chain — no scheduler or machine-load noise — which makes
+// it the right summary for regression tests comparing two configurations.
+func (tr *Trace) AUCSteps() float64 {
+	var area float64
+	for i := 1; i < len(tr.Points); i++ {
+		a, b := tr.Points[i-1], tr.Points[i]
+		ds := float64(b.Steps - a.Steps)
+		area += ds * (a.Loss + b.Loss) / 2
+	}
+	return area
+}
+
 // MaxAbsDiff returns the largest absolute difference between two marginal
 // maps over the union of their keys.
 func MaxAbsDiff(a, b map[string]float64) float64 {

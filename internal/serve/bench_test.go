@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"factordb/internal/exp"
+)
+
+// BenchmarkEngineChainScaling measures wall time to answer one query with
+// a fixed total sample budget as the chain pool grows. Chains walk truly
+// in parallel, so with GOMAXPROCS >= 4 the 4-chain engine should finish
+// the budget at least ~2x faster than the single chain (the acceptance
+// bar; in practice closer to linear until memory bandwidth binds).
+func BenchmarkEngineChainScaling(b *testing.B) {
+	if testing.Short() {
+		b.Skip("corpus building is expensive; skipped in -short mode")
+	}
+	sys, err := exp.BuildNER(exp.Config{NumTokens: 30_000, Seed: 1, UseSkip: true, TrainSteps: 200_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const budget = 256
+	for _, chains := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("chains=%d", chains), func(b *testing.B) {
+			eng, err := New(sys, Config{Chains: chains, StepsPerSample: 1000, Seed: 9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Query(context.Background(), exp.Query1,
+					QueryOptions{Samples: budget, NoCache: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Samples)/res.Elapsed.Seconds(), "samples/s")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineConcurrentQueries measures aggregate throughput with 8
+// in-flight queries sharing the chains' walks — the multi-query
+// amortization the serving engine exists for.
+func BenchmarkEngineConcurrentQueries(b *testing.B) {
+	if testing.Short() {
+		b.Skip("corpus building is expensive; skipped in -short mode")
+	}
+	sys, err := exp.BuildNER(exp.Config{NumTokens: 30_000, Seed: 1, UseSkip: true, TrainSteps: 200_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(sys, Config{Chains: 4, StepsPerSample: 1000, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	queries := []string{exp.Query1, exp.Query2, exp.Query3, exp.Query4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		errs := make(chan error, 8)
+		for q := 0; q < 8; q++ {
+			go func(q int) {
+				_, err := eng.Query(context.Background(), queries[q%len(queries)],
+					QueryOptions{Samples: 64, NoCache: true})
+				errs <- err
+			}(q)
+		}
+		for q := 0; q < 8; q++ {
+			if err := <-errs; err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"factordb/internal/core"
+	"factordb/internal/ivm"
+	"factordb/internal/mcmc"
+	"factordb/internal/ra"
+	"factordb/internal/world"
+)
+
+// viewID identifies one registered query view within the engine.
+type viewID int64
+
+// chainView is one query's materialized view on one chain, owned entirely
+// by the chain goroutine. Readers never touch it: they consume the
+// epoch-stamped estimator snapshots published through cell.
+type chainView struct {
+	id     viewID
+	view   *ivm.View
+	est    *core.Estimator
+	target int64 // samples to collect before the view completes
+	cell   *world.Cell[*core.Estimator]
+	done   chan struct{} // closed by the chain when target is reached
+}
+
+// registerReq asks a chain to bind a plan against its world and start
+// sampling it. The reply carries the bind error, if any.
+type registerReq struct {
+	id     viewID
+	plan   ra.Plan
+	target int64
+	cell   *world.Cell[*core.Estimator]
+	done   chan struct{}
+	reply  chan error
+}
+
+// unregisterReq detaches a view (query cancelled or timed out). The reply
+// is closed once the view is gone so the caller can reuse the world.
+type unregisterReq struct {
+	id    viewID
+	reply chan struct{}
+}
+
+// chain is one member of the engine's pool: a private copy of the world
+// walked by its own Metropolis-Hastings sampler. All views registered on
+// the chain share the walk — one batch of k steps produces one sample for
+// every in-flight query, which is the paper's materialization trick
+// amortized across concurrent queries.
+type chain struct {
+	id      int
+	steps   int // k, walk-steps per epoch
+	log     *world.ChangeLog
+	sampler *mcmc.Sampler
+
+	ctl   chan any // registerReq | unregisterReq
+	stop  chan struct{}
+	done  chan struct{}
+	views map[viewID]*chainView
+
+	// curEpoch mirrors log.Epoch() for readers outside the chain
+	// goroutine (health checks); the log itself is goroutine-private.
+	curEpoch atomic.Int64
+
+	m *engineMetrics
+}
+
+func newChain(id, steps int, log *world.ChangeLog, p mcmc.Proposer, seed int64, m *engineMetrics) *chain {
+	return &chain{
+		id:      id,
+		steps:   steps,
+		log:     log,
+		sampler: mcmc.NewSampler(p, seed),
+		ctl:     make(chan any),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		views:   make(map[viewID]*chainView),
+		m:       m,
+	}
+}
+
+// run is the chain goroutine: burn in, then alternate between handling
+// control messages at epoch boundaries and walking. With no views
+// registered the chain parks on the control channel instead of burning
+// CPU; the world keeps its state, so mixing accumulates across queries.
+func (c *chain) run(burnIn int) {
+	defer close(c.done)
+	if burnIn > 0 {
+		c.walk(burnIn)
+		c.log.Drain()
+		c.curEpoch.Store(c.log.Epoch())
+	}
+	for {
+		if len(c.views) == 0 {
+			select {
+			case <-c.stop:
+				return
+			case msg := <-c.ctl:
+				c.handle(msg)
+			}
+			continue
+		}
+		select {
+		case <-c.stop:
+			return
+		case msg := <-c.ctl:
+			c.handle(msg)
+			continue
+		default:
+		}
+		c.epoch()
+	}
+}
+
+// epoch advances the walk by k steps, folds the resulting Δ⁻/Δ⁺ delta
+// into every registered view, and publishes fresh estimator snapshots.
+func (c *chain) epoch() {
+	c.walk(c.steps)
+	d := c.log.Drain()
+	epoch := c.log.Epoch()
+	c.curEpoch.Store(epoch)
+	for id, v := range c.views {
+		v.view.Apply(d)
+		v.est.AddSample(v.view.Result())
+		c.m.samples.Inc()
+		v.cell.Publish(epoch, v.est.Clone())
+		if v.est.Samples() >= v.target {
+			close(v.done)
+			delete(c.views, id)
+		}
+	}
+}
+
+// walk runs n MH steps and feeds the global step/acceptance counters.
+func (c *chain) walk(n int) {
+	s0, a0 := c.sampler.Steps(), c.sampler.Accepted()
+	c.sampler.Run(n)
+	c.m.steps.Add(c.sampler.Steps() - s0)
+	c.m.accepted.Add(c.sampler.Accepted() - a0)
+}
+
+func (c *chain) handle(msg any) {
+	switch req := msg.(type) {
+	case registerReq:
+		req.reply <- c.register(req)
+	case unregisterReq:
+		delete(c.views, req.id)
+		close(req.reply)
+	default:
+		panic(fmt.Sprintf("serve: unknown chain control message %T", msg))
+	}
+}
+
+// register binds the plan against this chain's world. Control messages
+// are only handled at epoch boundaries, right after a Drain, so the store
+// holds no pending deltas and the freshly initialized view is consistent
+// with the world from its first sample on.
+func (c *chain) register(req registerReq) error {
+	bound, err := ra.Bind(c.log.DB(), req.plan)
+	if err != nil {
+		return err
+	}
+	view, err := ivm.NewView(bound)
+	if err != nil {
+		return err
+	}
+	c.views[req.id] = &chainView{
+		id:     req.id,
+		view:   view,
+		est:    core.NewEstimator(),
+		target: req.target,
+		cell:   req.cell,
+		done:   req.done,
+	}
+	return nil
+}

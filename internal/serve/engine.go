@@ -1,0 +1,253 @@
+// Package serve is the concurrent query-serving subsystem: a long-lived
+// engine that owns one trained probabilistic database per process and
+// answers SQL queries over it while a pool of parallel MCMC chains keeps
+// walking the possible-world space.
+//
+// The design generalizes the paper's materialization trick (Section 4.2)
+// from one query to many: each chain owns a private clone of the world;
+// every in-flight query registers an incrementally maintained view on
+// every chain; and one batch of k walk-steps then yields one sample for
+// all of them at once, so the walk cost is amortized across the whole
+// concurrent workload. Chains publish epoch-stamped estimator snapshots
+// (world.Cell) after each batch, which is how query sessions read
+// consistent marginals without ever blocking the walk. Merging the
+// per-chain estimators is the paper's Section 5.4 parallelization:
+// samples from different chains are far more independent than consecutive
+// samples within one.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"factordb/internal/mcmc"
+	"factordb/internal/metrics"
+	"factordb/internal/world"
+)
+
+// Source provides independent world copies for the chain pool. The chain
+// index lets sources shard or pre-partition if they want; clones must be
+// fully independent (no shared mutable state).
+type Source interface {
+	NewChainWorld(chain int) (*world.ChangeLog, mcmc.Proposer, error)
+}
+
+// Config parameterizes an Engine. Zero values take the documented
+// defaults.
+type Config struct {
+	// Chains is the number of parallel MCMC chains (default: GOMAXPROCS,
+	// capped at 8).
+	Chains int
+	// StepsPerSample is k, the MH walk-steps between consecutive samples
+	// of every registered view (default 1000).
+	StepsPerSample int
+	// BurnIn is the number of walk-steps each chain discards before
+	// serving (default 0; the world keeps mixing across queries anyway).
+	BurnIn int
+	// Seed derives each chain's sampler seed via ChainSeed.
+	Seed int64
+
+	// DefaultSamples is the per-query total sample budget when the request
+	// does not specify one (default 128).
+	DefaultSamples int
+	// MaxConcurrentQueries bounds queries being evaluated at once
+	// (default 16); MaxQueuedQueries bounds those waiting for a slot
+	// (default 64). Beyond both, Query fails fast with ErrOverloaded.
+	MaxConcurrentQueries int
+	MaxQueuedQueries     int
+
+	// CacheSize is the result-cache capacity in entries (default 128;
+	// negative disables caching). CacheTTL bounds entry staleness
+	// (default 1 minute): marginal estimates do not invalidate like
+	// deterministic query results — more walking only refines them — so
+	// a short TTL trades freshness for the repeated-dashboard-query case.
+	CacheSize int
+	CacheTTL  time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Chains <= 0 {
+		cfg.Chains = runtime.GOMAXPROCS(0)
+		if cfg.Chains > 8 {
+			cfg.Chains = 8
+		}
+	}
+	if cfg.StepsPerSample <= 0 {
+		cfg.StepsPerSample = 1000
+	}
+	if cfg.DefaultSamples <= 0 {
+		cfg.DefaultSamples = 128
+	}
+	if cfg.MaxConcurrentQueries <= 0 {
+		cfg.MaxConcurrentQueries = 16
+	}
+	if cfg.MaxQueuedQueries <= 0 {
+		cfg.MaxQueuedQueries = 64
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 128
+	}
+	if cfg.CacheTTL <= 0 {
+		cfg.CacheTTL = time.Minute
+	}
+	return cfg
+}
+
+// ChainSeed derives the sampler seed of chain i from the engine seed.
+// Exported so tests can reproduce a chain's walk exactly with a
+// stand-alone evaluator.
+func ChainSeed(base int64, chain int) int64 {
+	return base + int64(chain)*104729 // spread seeds; 104729 is prime
+}
+
+// ErrClosed is returned by Query after Close.
+var ErrClosed = errors.New("serve: engine is closed")
+
+// engineMetrics bundles the counters shared by the chains and sessions.
+type engineMetrics struct {
+	reg      *metrics.Registry
+	steps    *metrics.Counter
+	accepted *metrics.Counter
+	samples  *metrics.Counter
+	queries  *metrics.Counter
+	rejected *metrics.Counter
+	failed   *metrics.Counter
+	hits     *metrics.Counter
+	latency  *metrics.Summary
+}
+
+// Engine owns the trained world and serves concurrent queries over it.
+type Engine struct {
+	cfg    Config
+	chains []*chain
+	admit  *admission
+	cache  *resultCache
+	m      *engineMetrics
+
+	start  time.Time
+	nextID atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New builds the chain pool from src and starts the chains. The engine
+// must be Closed to release the chain goroutines.
+func New(src Source, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	m := newEngineMetrics()
+	e := &Engine{
+		cfg:   cfg,
+		admit: newAdmission(cfg.MaxConcurrentQueries, cfg.MaxQueuedQueries),
+		cache: newResultCache(cfg.CacheSize, cfg.CacheTTL),
+		m:     m,
+		start: time.Now(),
+	}
+	for i := 0; i < cfg.Chains; i++ {
+		log, proposer, err := src.NewChainWorld(i)
+		if err != nil {
+			e.stopChains()
+			return nil, fmt.Errorf("serve: building chain %d: %w", i, err)
+		}
+		c := newChain(i, cfg.StepsPerSample, log, proposer, ChainSeed(cfg.Seed, i), m)
+		e.chains = append(e.chains, c)
+	}
+	for _, c := range e.chains {
+		go c.run(cfg.BurnIn)
+	}
+	e.registerDerivedMetrics()
+	return e, nil
+}
+
+func newEngineMetrics() *engineMetrics {
+	reg := metrics.NewRegistry()
+	return &engineMetrics{
+		reg:      reg,
+		steps:    reg.NewCounter("factordb_walk_steps_total", "Metropolis-Hastings walk-steps across all chains"),
+		accepted: reg.NewCounter("factordb_proposals_accepted_total", "accepted MH proposals across all chains"),
+		samples:  reg.NewCounter("factordb_query_samples_total", "view samples collected across all chains and queries"),
+		queries:  reg.NewCounter("factordb_queries_total", "queries admitted and evaluated"),
+		rejected: reg.NewCounter("factordb_queries_rejected_total", "queries rejected by admission control"),
+		failed:   reg.NewCounter("factordb_queries_failed_total", "queries that failed to compile or bind"),
+		hits:     reg.NewCounter("factordb_cache_hits_total", "queries answered from the result cache"),
+		latency:  reg.NewSummary("factordb_query_seconds", "per-query latency in seconds"),
+	}
+}
+
+// registerDerivedMetrics adds scrape-time gauges over engine state.
+func (e *Engine) registerDerivedMetrics() {
+	e.m.reg.NewGaugeFunc("factordb_chains", "parallel MCMC chains in the pool",
+		func() float64 { return float64(len(e.chains)) })
+	e.m.reg.NewGaugeFunc("factordb_acceptance_rate", "fraction of MH proposals accepted",
+		func() float64 {
+			steps := e.m.steps.Value()
+			if steps == 0 {
+				return 0
+			}
+			return float64(e.m.accepted.Value()) / float64(steps)
+		})
+	e.m.reg.NewGaugeFunc("factordb_samples_per_second", "view samples per second since engine start",
+		func() float64 {
+			elapsed := time.Since(e.start).Seconds()
+			if elapsed <= 0 {
+				return 0
+			}
+			return float64(e.m.samples.Value()) / elapsed
+		})
+	e.m.reg.NewGaugeFunc("factordb_queries_inflight", "queries currently admitted",
+		func() float64 { return float64(e.admit.inFlight()) })
+}
+
+// Metrics exposes the engine's metric registry (the /metrics endpoint).
+func (e *Engine) Metrics() *metrics.Registry { return e.m.reg }
+
+// Chains returns the pool size.
+func (e *Engine) Chains() int { return len(e.chains) }
+
+// Epoch returns the highest epoch any chain has completed — a liveness
+// signal for health checks. Individual chains may lag while parked idle.
+func (e *Engine) Epoch() int64 {
+	var max int64
+	for _, c := range e.chains {
+		if ep := c.curEpoch.Load(); ep > max {
+			max = ep
+		}
+	}
+	return max
+}
+
+// Uptime reports time since the engine started.
+func (e *Engine) Uptime() time.Duration { return time.Since(e.start) }
+
+// Close stops all chains and waits for them to park. In-flight queries
+// whose chains have already completed their targets still return; waiting
+// sessions are woken by their contexts.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.stopChains()
+}
+
+func (e *Engine) stopChains() {
+	for _, c := range e.chains {
+		close(c.stop)
+	}
+	for _, c := range e.chains {
+		<-c.done
+	}
+}
+
+func (e *Engine) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL        string  `json:"sql"`
+	Samples    int     `json:"samples,omitempty"`
+	TimeoutMS  int     `json:"timeout_ms,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	NoCache    bool    `json:"no_cache,omitempty"`
+}
+
+// queryResponse wraps Result with transport-level fields.
+type queryResponse struct {
+	*Result
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type healthResponse struct {
+	Status  string  `json:"status"`
+	Chains  int     `json:"chains"`
+	Epoch   int64   `json:"epoch"`
+	UptimeS float64 `json:"uptime_s"`
+}
+
+// MaxQueryTimeout caps the per-request timeout a client may ask for.
+const MaxQueryTimeout = 5 * time.Minute
+
+// DefaultQueryTimeout applies when the request does not set one.
+const DefaultQueryTimeout = 30 * time.Second
+
+// Handler returns the engine's HTTP API:
+//
+//	POST /query    {"sql": "...", "samples": 128, "timeout_ms": 5000}
+//	GET  /healthz  liveness and chain-pool status
+//	GET  /metrics  Prometheus text exposition
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", e.handleQuery)
+	mux.HandleFunc("GET /healthz", e.handleHealthz)
+	mux.HandleFunc("GET /metrics", e.handleMetrics)
+	return mux
+}
+
+func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"sql\" field"})
+		return
+	}
+	timeout := DefaultQueryTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > MaxQueryTimeout {
+			timeout = MaxQueryTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	res, err := e.Query(ctx, req.SQL, QueryOptions{
+		Samples:    req.Samples,
+		Confidence: req.Confidence,
+		NoCache:    req.NoCache,
+	})
+	if err != nil {
+		writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{Result: res, ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000})
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if e.isClosed() {
+		status = "closed"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthResponse{
+		Status:  status,
+		Chains:  e.Chains(),
+		Epoch:   e.Epoch(),
+		UptimeS: e.Uptime().Seconds(),
+	})
+}
+
+func (e *Engine) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	e.Metrics().WriteText(w)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

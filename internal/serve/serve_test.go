@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"factordb/internal/core"
+	"factordb/internal/exp"
+)
+
+// testSystem builds one small trained NER system shared by every test in
+// the package (construction dominates test time).
+var (
+	sysOnce sync.Once
+	sysVal  *exp.NERSystem
+	sysErr  error
+)
+
+func testSystem(t testing.TB) *exp.NERSystem {
+	t.Helper()
+	sysOnce.Do(func() {
+		sysVal, sysErr = exp.BuildNER(exp.Config{NumTokens: 3000, Seed: 5, UseSkip: true, TrainSteps: 20000})
+	})
+	if sysErr != nil {
+		t.Fatal(sysErr)
+	}
+	return sysVal
+}
+
+const testThin = 300
+
+func testEngine(t testing.TB, cfg Config) *Engine {
+	t.Helper()
+	if cfg.StepsPerSample == 0 {
+		cfg.StepsPerSample = testThin
+	}
+	eng, err := New(testSystem(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	return eng
+}
+
+// TestEngineMatchesSingleQueryEvaluator is the core consistency property:
+// a single-chain engine with a given seed walks the exact same chain as a
+// stand-alone materialized evaluator with that seed, so the served
+// marginals must be bitwise identical to core.Evaluator's.
+func TestEngineMatchesSingleQueryEvaluator(t *testing.T) {
+	sys := testSystem(t)
+	const seed, samples = 31, 40
+
+	eng := testEngine(t, Config{Chains: 1, Seed: seed})
+	res, err := eng.Query(context.Background(), exp.Query1, QueryOptions{Samples: samples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != samples {
+		t.Fatalf("engine collected %d samples, want %d", res.Samples, samples)
+	}
+
+	ch, err := sys.NewChain(core.Materialized, exp.Query1, testThin, ChainSeed(seed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Evaluator.Run(samples, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := ch.Evaluator.Results()
+	if len(res.Tuples) != len(want) {
+		t.Fatalf("engine answered %d tuples, evaluator %d", len(res.Tuples), len(want))
+	}
+	for i, tp := range want {
+		got := res.Tuples[i]
+		if got.P != tp.P || got.Values[0] != tp.Tuple[0].AsString() {
+			t.Errorf("tuple %d: engine (%v, %v) vs evaluator (%v, %v)",
+				i, got.Values[0], got.P, tp.Tuple[0].AsString(), tp.P)
+		}
+	}
+}
+
+// TestEngineServesConcurrentQueries is the integration test of the
+// acceptance criteria: 8 concurrent queries mixing the paper's Queries
+// 1–4 against one shared trained world.
+func TestEngineServesConcurrentQueries(t *testing.T) {
+	eng := testEngine(t, Config{Chains: 3, Seed: 7})
+	queries := []string{
+		exp.Query1, exp.Query2, exp.Query3, exp.Query4,
+		exp.Query1, exp.Query2, exp.Query3, exp.Query4,
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	out := make([]outcome, len(queries))
+	var wg sync.WaitGroup
+	for i, sql := range queries {
+		wg.Add(1)
+		go func(i int, sql string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			res, err := eng.Query(ctx, sql, QueryOptions{Samples: 60, NoCache: true})
+			out[i] = outcome{res, err}
+		}(i, sql)
+	}
+	wg.Wait()
+
+	for i, o := range out {
+		if o.err != nil {
+			t.Fatalf("query %d (%q): %v", i, queries[i], o.err)
+		}
+		if o.res.Samples < 60 {
+			t.Errorf("query %d: %d samples, want >= 60", i, o.res.Samples)
+		}
+		if o.res.Chains != 3 {
+			t.Errorf("query %d: served by %d chains", i, o.res.Chains)
+		}
+		if o.res.Partial {
+			t.Errorf("query %d: unexpectedly partial", i)
+		}
+		for _, tp := range o.res.Tuples {
+			if tp.P < 0 || tp.P > 1 || tp.Lo > tp.P || tp.Hi < tp.P {
+				t.Errorf("query %d: malformed tuple %+v", i, tp)
+			}
+		}
+	}
+	// Query 2 (global count) answers a distribution over counts: exactly
+	// one count per sample, so the marginals sum to 1.
+	var mass float64
+	for _, tp := range out[1].res.Tuples {
+		mass += tp.P
+	}
+	if mass < 0.999 || mass > 1.001 {
+		t.Errorf("Query 2 histogram mass = %v, want 1", mass)
+	}
+	// Query 1 must produce a non-degenerate answer on the trained world.
+	if len(out[0].res.Tuples) == 0 {
+		t.Error("Query 1 returned no tuples")
+	}
+
+	// The whole point of the shared-world engine: 8 queries × 60 samples
+	// landed while the chains walked far fewer than 8 × 60 × k steps,
+	// because in-flight queries share each chain's walk.
+	samples := eng.m.samples.Value()
+	if samples < 8*60 {
+		t.Errorf("samples counter = %d, want >= 480", samples)
+	}
+	steps := eng.m.steps.Value()
+	if naive := int64(8*60) * testThin; steps >= naive {
+		t.Errorf("walked %d steps for 8 queries — no amortization (naive cost %d)", steps, naive)
+	}
+}
+
+func TestQueryCache(t *testing.T) {
+	eng := testEngine(t, Config{Chains: 2, Seed: 11})
+	ctx := context.Background()
+	r1, err := eng.Query(ctx, exp.Query1, QueryOptions{Samples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Error("first evaluation reported cached")
+	}
+	r2, err := eng.Query(ctx, exp.Query1, QueryOptions{Samples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Error("second evaluation missed the cache")
+	}
+	if r2.Samples != r1.Samples || len(r2.Tuples) != len(r1.Tuples) {
+		t.Error("cached result differs from original")
+	}
+	// A different sample budget is a different cache key.
+	r3, err := eng.Query(ctx, exp.Query1, QueryOptions{Samples: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cached {
+		t.Error("different budget should not hit the cache")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	eng := testEngine(t, Config{Chains: 1, Seed: 13})
+	ctx := context.Background()
+	if _, err := eng.Query(ctx, "SELECT FROM", QueryOptions{}); err == nil || !strings.Contains(err.Error(), "bad query") {
+		t.Errorf("parse error not surfaced as bad query: %v", err)
+	}
+	if _, err := eng.Query(ctx, "SELECT X FROM NO_SUCH_TABLE", QueryOptions{Samples: 4}); err == nil || !strings.Contains(err.Error(), "bad query") {
+		t.Errorf("bind error not surfaced as bad query: %v", err)
+	}
+	if _, err := eng.Query(ctx, exp.Query1, QueryOptions{Confidence: 2}); err == nil {
+		t.Error("confidence outside (0,1) accepted")
+	}
+	expired, cancel := context.WithDeadline(ctx, time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := eng.Query(expired, exp.Query1, QueryOptions{Samples: 4, NoCache: true}); err == nil {
+		t.Error("expired context accepted")
+	}
+}
+
+func TestPartialResultOnTimeout(t *testing.T) {
+	eng := testEngine(t, Config{Chains: 2, Seed: 17})
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	// A budget far beyond what 400ms allows: the session must come back
+	// with whatever the chains produced, flagged partial.
+	res, err := eng.Query(ctx, exp.Query1, QueryOptions{Samples: 1_000_000, NoCache: true})
+	if err != nil {
+		// Acceptable only if not even one sample landed in time.
+		t.Skipf("no samples within the timeout on this machine: %v", err)
+	}
+	if !res.Partial {
+		t.Error("truncated query not flagged partial")
+	}
+	if res.Samples <= 0 || res.Samples >= 1_000_000 {
+		t.Errorf("partial sample count %d", res.Samples)
+	}
+}
+
+func TestEngineClose(t *testing.T) {
+	eng, err := New(testSystem(t), Config{Chains: 2, Seed: 19, StepsPerSample: testThin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	if _, err := eng.Query(context.Background(), exp.Query1, QueryOptions{}); err != ErrClosed {
+		t.Errorf("Query after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if a.inFlight() != 1 {
+		t.Fatalf("inFlight = %d", a.inFlight())
+	}
+	// Slot busy: one waiter fits in the queue, the next is shed.
+	waiterIn := make(chan error, 1)
+	go func() {
+		err := a.acquire(ctx)
+		waiterIn <- err
+	}()
+	// Wait until the waiter is queued before probing the overflow path.
+	for i := 0; a.waiting.Load() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.acquire(ctx); err != ErrOverloaded {
+		t.Errorf("queue overflow = %v, want ErrOverloaded", err)
+	}
+	a.release()
+	if err := <-waiterIn; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	a.release()
+
+	// Waiting honors context cancellation.
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	if err := a.acquire(short); err != context.DeadlineExceeded {
+		t.Errorf("cancelled wait = %v, want deadline exceeded", err)
+	}
+	a.release()
+}
+
+func TestResultCache(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := newResultCache(2, time.Minute)
+	r := &Result{SQL: "a"}
+	c.put("a", r, now)
+	if got, ok := c.get("a", now); !ok || got != r {
+		t.Fatal("immediate get missed")
+	}
+	// TTL expiry.
+	if _, ok := c.get("a", now.Add(2*time.Minute)); ok {
+		t.Error("expired entry served")
+	}
+	// LRU eviction at capacity 2: touching "a" makes "b" the victim.
+	c.put("a", r, now)
+	c.put("b", &Result{SQL: "b"}, now)
+	c.get("a", now)
+	c.put("c", &Result{SQL: "c"}, now)
+	if _, ok := c.get("b", now); ok {
+		t.Error("LRU victim survived")
+	}
+	if _, ok := c.get("a", now); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if c.len() != 2 {
+		t.Errorf("cache len = %d", c.len())
+	}
+	// Disabled cache.
+	d := newResultCache(-1, time.Minute)
+	d.put("x", r, now)
+	if _, ok := d.get("x", now); ok {
+		t.Error("disabled cache served an entry")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	eng := testEngine(t, Config{Chains: 2, Seed: 23})
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+
+	// POST /query happy path.
+	body := `{"sql": "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'", "samples": 8}`
+	resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query status %d", resp.StatusCode)
+	}
+	var qr struct {
+		Tuples    []TupleResult `json:"tuples"`
+		Samples   int64         `json:"samples"`
+		ElapsedMS float64       `json:"elapsed_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if qr.Samples < 8 {
+		t.Errorf("samples = %d", qr.Samples)
+	}
+
+	// Client errors.
+	for _, bad := range []string{`not json`, `{}`, `{"sql": "SELECT"}`} {
+		resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// GET /healthz.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hr.Status != "ok" || hr.Chains != 2 {
+		t.Errorf("healthz = %d %+v", resp.StatusCode, hr)
+	}
+
+	// GET /metrics.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, want := range []string{
+		"factordb_walk_steps_total",
+		"factordb_query_samples_total",
+		"factordb_queries_total",
+		"factordb_acceptance_rate",
+		"factordb_query_seconds_count",
+		"factordb_chains 2",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"factordb/internal/core"
+	"factordb/internal/sqlparse"
+	"factordb/internal/world"
+)
+
+// ErrBadQuery wraps SQL compile and bind failures so transports can map
+// them to client errors (HTTP 400) rather than server faults.
+var ErrBadQuery = errors.New("serve: bad query")
+
+// QueryOptions tunes one query evaluation.
+type QueryOptions struct {
+	// Samples is the total sample budget across all chains (0 = engine
+	// default). More samples tighten the confidence intervals at the cost
+	// of latency: the walk advances k steps per sample per chain.
+	Samples int
+	// Confidence is the two-sided interval mass in (0,1); 0 means 0.95.
+	Confidence float64
+	// NoCache bypasses the result cache for this query.
+	NoCache bool
+}
+
+// TupleResult is one answer tuple with its marginal and interval.
+type TupleResult struct {
+	Values []string `json:"values"`
+	P      float64  `json:"p"`
+	Lo     float64  `json:"ci_lo"`
+	Hi     float64  `json:"ci_hi"`
+}
+
+// Result is a completed (or deadline-truncated) query answer.
+type Result struct {
+	SQL        string        `json:"sql"`
+	Tuples     []TupleResult `json:"tuples"`
+	Samples    int64         `json:"samples"`
+	Chains     int           `json:"chains"`
+	Epoch      int64         `json:"epoch"` // latest chain epoch merged in
+	Confidence float64       `json:"confidence"`
+	Partial    bool          `json:"partial"` // deadline hit before the budget
+	Cached     bool          `json:"cached"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+}
+
+// registration tracks one chain's share of a query.
+type registration struct {
+	c    *chain
+	id   viewID
+	cell *world.Cell[*core.Estimator]
+	done chan struct{}
+}
+
+// Query compiles sql, registers a materialized view for it on every chain
+// in the pool, and blocks until the sample budget is met or ctx expires.
+// Because the views of all in-flight queries share each chain's walk, the
+// marginal cost of a concurrent query is its view maintenance only — the
+// k walk-steps per sample are already paid for.
+//
+// If ctx expires after at least one sample was collected, the partial
+// estimate is returned with Partial set: MCMC estimates are anytime, and
+// a truncated answer with wide intervals beats an error.
+func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Result, error) {
+	if e.isClosed() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opts.Samples <= 0 {
+		opts.Samples = e.cfg.DefaultSamples
+	}
+	if opts.Confidence == 0 {
+		opts.Confidence = 0.95
+	}
+	if opts.Confidence <= 0 || opts.Confidence >= 1 {
+		e.m.failed.Inc()
+		return nil, fmt.Errorf("%w: confidence %v outside (0,1)", ErrBadQuery, opts.Confidence)
+	}
+
+	key := fmt.Sprintf("%s|n=%d|c=%v", sql, opts.Samples, opts.Confidence)
+	if !opts.NoCache {
+		if res, ok := e.cache.get(key, time.Now()); ok {
+			e.m.hits.Inc()
+			hit := *res
+			hit.Cached = true
+			return &hit, nil
+		}
+	}
+
+	plan, err := sqlparse.Compile(sql)
+	if err != nil {
+		e.m.failed.Inc()
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+
+	if err := e.admit.acquire(ctx); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			e.m.rejected.Inc()
+		}
+		return nil, err
+	}
+	defer e.admit.release()
+
+	start := time.Now()
+	perChain := int64((opts.Samples + len(e.chains) - 1) / len(e.chains))
+	regs := make([]registration, 0, len(e.chains))
+	defer func() {
+		// Detach any view that has not completed on its own; completed
+		// views were already removed by the chain.
+		for _, r := range regs {
+			select {
+			case <-r.done:
+			default:
+				r.c.unregister(r.id)
+			}
+		}
+	}()
+	for _, c := range e.chains {
+		reg := registration{
+			c:    c,
+			id:   viewID(e.nextID.Add(1)),
+			cell: &world.Cell[*core.Estimator]{},
+			done: make(chan struct{}),
+		}
+		if err := c.registerView(ctx, registerReq{
+			id:     reg.id,
+			plan:   plan,
+			target: perChain,
+			cell:   reg.cell,
+			done:   reg.done,
+		}); err != nil {
+			e.m.failed.Inc()
+			if errors.Is(err, ErrClosed) || errors.Is(err, ctx.Err()) {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+		regs = append(regs, reg)
+	}
+
+	partial := false
+wait:
+	for _, r := range regs {
+		select {
+		case <-r.done:
+		case <-ctx.Done():
+			partial = true
+			break wait
+		}
+	}
+
+	merged := core.NewEstimator()
+	var epoch int64
+	for _, r := range regs {
+		if snap, ok := r.cell.Load(); ok {
+			merged.Merge(snap.State)
+			if snap.Epoch > epoch {
+				epoch = snap.Epoch
+			}
+		}
+	}
+	if merged.Samples() == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// All chains hit their targets yet nothing was published — cannot
+		// happen (a completed view publishes every sample), so any zero
+		// here is a real bug, not a timeout.
+		return nil, fmt.Errorf("serve: no samples collected for %q", sql)
+	}
+
+	z := math.Sqrt2 * math.Erfinv(opts.Confidence)
+	cis := merged.ResultsCI(z)
+	tuples := make([]TupleResult, len(cis))
+	for i, ci := range cis {
+		vals := make([]string, len(ci.Tuple))
+		for j, v := range ci.Tuple {
+			vals[j] = v.String()
+		}
+		tuples[i] = TupleResult{Values: vals, P: ci.P, Lo: ci.Lo, Hi: ci.Hi}
+	}
+	res := &Result{
+		SQL:        sql,
+		Tuples:     tuples,
+		Samples:    merged.Samples(),
+		Chains:     len(regs),
+		Epoch:      epoch,
+		Confidence: opts.Confidence,
+		Partial:    partial,
+		Elapsed:    time.Since(start),
+	}
+	e.m.queries.Inc()
+	e.m.latency.Observe(res.Elapsed.Seconds())
+	if !opts.NoCache && !partial {
+		e.cache.put(key, res, time.Now())
+	}
+	return res, nil
+}
+
+// registerView sends a registration to the chain goroutine and waits for
+// the bind result, honoring ctx and engine shutdown.
+func (c *chain) registerView(ctx context.Context, req registerReq) error {
+	req.reply = make(chan error, 1)
+	select {
+	case c.ctl <- req:
+	case <-c.done:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-req.reply:
+		return err
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+// unregister detaches a view, waiting until the chain has dropped it so
+// the caller knows no further snapshots will be published.
+func (c *chain) unregister(id viewID) {
+	req := unregisterReq{id: id, reply: make(chan struct{})}
+	select {
+	case c.ctl <- req:
+	case <-c.done:
+		return
+	}
+	select {
+	case <-req.reply:
+	case <-c.done:
+	}
+}

@@ -200,6 +200,70 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestPlannerErrorPaths exercises PlanQuery's own validation, including
+// branches the parser cannot reach through Compile (it rejects an empty
+// FROM clause syntactically before planning).
+func TestPlannerErrorPaths(t *testing.T) {
+	// Empty FROM: only reachable by planning a hand-built AST.
+	q := &Query{Items: []SelectItem{{Col: ColName{Name: "X"}}}}
+	if _, err := PlanQuery(q); err == nil || !strings.Contains(err.Error(), "no FROM clause") {
+		t.Errorf("empty FROM: %v", err)
+	}
+
+	// Duplicate alias, through the planner directly and through Compile.
+	q = &Query{
+		Items: []SelectItem{{Col: ColName{Qual: "T", Name: "X"}}},
+		From:  []TableRef{{Name: "TOKEN", Alias: "T"}, {Name: "TOKEN", Alias: "T"}},
+	}
+	if _, err := PlanQuery(q); err == nil || !strings.Contains(err.Error(), "duplicate table alias") {
+		t.Errorf("duplicate alias: %v", err)
+	}
+	if _, err := Compile(`SELECT A.X FROM TOKEN A, OTHER A`); err == nil ||
+		!strings.Contains(err.Error(), "duplicate table alias") {
+		t.Error("Compile should reject duplicate aliases across different tables")
+	}
+
+	// Unknown alias referenced in WHERE.
+	for _, sql := range []string{
+		`SELECT T.X FROM TOKEN T WHERE U.Y = 1`,
+		`SELECT T.X FROM TOKEN T WHERE T.X = U.Y`,
+	} {
+		if _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "unknown table alias") {
+			t.Errorf("Compile(%q): %v", sql, err)
+		}
+	}
+
+	// A subquery predicate may only reference the subquery's own alias.
+	sql := `SELECT T.A FROM T, S WHERE
+		(SELECT COUNT(*) FROM U U1 WHERE T.A=U1.A AND S.B=1)
+		=(SELECT COUNT(*) FROM U U2 WHERE T.A=U2.A)`
+	if _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "foreign alias") {
+		t.Errorf("foreign alias in subquery: %v", err)
+	}
+
+	// Multiple correlation predicates in one subquery.
+	sql = `SELECT T.A FROM T WHERE
+		(SELECT COUNT(*) FROM U U1 WHERE T.A=U1.A AND T.B=U1.B)
+		=(SELECT COUNT(*) FROM U U2 WHERE T.A=U2.A)`
+	if _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "multiple correlation") {
+		t.Errorf("multiple correlation predicates: %v", err)
+	}
+}
+
+// TestUnknownTableFailsAtBind confirms where the unknown-table error
+// lives: the planner is catalog-free, so a missing relation surfaces when
+// the plan is bound against a database.
+func TestUnknownTableFailsAtBind(t *testing.T) {
+	plan, err := Compile(`SELECT X FROM NO_SUCH_TABLE`)
+	if err != nil {
+		t.Fatalf("Compile should not consult the catalog: %v", err)
+	}
+	_, err = ra.Bind(testDB(t), plan)
+	if err == nil || !strings.Contains(err.Error(), "NO_SUCH_TABLE") {
+		t.Errorf("Bind against missing table: %v", err)
+	}
+}
+
 func TestSubEqValidation(t *testing.T) {
 	// Different tables in the two subqueries.
 	sql := `SELECT T.A FROM T WHERE

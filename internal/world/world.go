@@ -28,6 +28,7 @@ type ChangeLog struct {
 	delta ivm.BaseDelta
 
 	updates int64 // total field updates applied through the log
+	epoch   int64 // number of Drains so far
 }
 
 // NewChangeLog wraps a database.
@@ -88,14 +89,22 @@ func (l *ChangeLog) Pending() bool { return !l.delta.Empty() }
 // Updates returns the total number of effective field updates applied.
 func (l *ChangeLog) Updates() int64 { return l.updates }
 
-// Drain returns the accumulated signed delta and resets the log. This is
-// the "cleaning and refreshing of the tables between deterministic query
-// executions" step of Section 4.2.
+// Drain returns the accumulated signed delta and resets the log, closing
+// the current epoch. This is the "cleaning and refreshing of the tables
+// between deterministic query executions" step of Section 4.2.
 func (l *ChangeLog) Drain() ivm.BaseDelta {
 	d := l.delta
 	l.delta = ivm.NewBaseDelta()
+	l.epoch++
 	return d
 }
+
+// Epoch returns the number of completed epochs: every Drain closes one.
+// Between two Drains the world passes through many intermediate states;
+// an epoch boundary is the only place where the store, the delta tables
+// and any maintained views are simultaneously consistent, which is what
+// makes it the unit of snapshot publication (see Cell).
+func (l *ChangeLog) Epoch() int64 { return l.epoch }
 
 // DeltaTables renders the pending delta for one relation as the paper's
 // two auxiliary tables: deleted (Δ⁻) holds tuples with negative net
