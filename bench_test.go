@@ -10,6 +10,7 @@ package factordb
 // to-half-error sweeps) lives in cmd/experiments.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -289,4 +290,47 @@ func BenchmarkCorefSampling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sampler.Step()
 	}
+}
+
+// BenchmarkFacadeOverhead measures what the public API costs over direct
+// core.Evaluator wiring: each iteration evaluates one full query (fresh
+// chain world, bind, burn-free sampling run) on the same plan, corpus,
+// thinning interval and seed — once through DB.Query and once by hand.
+// The difference is the facade's own overhead: SQL re-compilation, the
+// options plumbing, and Rows materialization with Wilson intervals.
+func BenchmarkFacadeOverhead(b *testing.B) {
+	const (
+		benchSeed    = 7
+		queriesPerOp = 4 // samples per query evaluation
+	)
+	sys := benchSystem(b, 20_000, true) // skips under -short, like the corpus benchmarks
+	db, err := Open(NER(NERConfig{Tokens: 20_000, Seed: 1, TrainSteps: 200_000}),
+		WithSteps(benchThin), WithSeed(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+
+	b.Run("facade", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			rows, err := db.Query(ctx, Query1, Samples(queriesPerOp))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows.Close()
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ch, err := sys.NewChain(core.Materialized, exp.Query1, benchThin, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ch.Evaluator.Run(queriesPerOp, nil); err != nil {
+				b.Fatal(err)
+			}
+			ch.Evaluator.Estimator().ResultsCI(1.96)
+		}
+	})
 }

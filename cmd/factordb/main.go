@@ -1,7 +1,7 @@
 // Command factordb is a small CLI over the probabilistic database: it
-// builds a synthetic NER world of the requested size, trains the
-// skip-chain model with SampleRank, and evaluates a SQL query with either
-// the naive or the materialized MCMC evaluator, printing tuple marginals.
+// opens the synthetic NER workload through the public factordb facade,
+// evaluates a SQL query with the naive or materialized MCMC evaluator,
+// and prints tuple marginals with confidence intervals.
 //
 // Usage:
 //
@@ -10,13 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"factordb/internal/core"
-	"factordb/internal/exp"
+	"factordb"
 )
 
 func main() {
@@ -37,57 +37,74 @@ func main() {
 	if sql == "" {
 		switch *paperQ {
 		case 1:
-			sql = exp.Query1
+			sql = factordb.Query1
 		case 2:
-			sql = exp.Query2
+			sql = factordb.Query2
 		case 3:
-			sql = exp.Query3
+			sql = factordb.Query3
 		case 4:
-			sql = exp.Query4
+			sql = factordb.Query4
 		default:
 			fatal(fmt.Errorf("unknown paper query %d (want 1..4)", *paperQ))
 		}
 	}
-	var m core.Mode
-	switch *mode {
-	case "naive":
-		m = core.Naive
-	case "materialized":
-		m = core.Materialized
-	default:
-		fatal(fmt.Errorf("unknown mode %q (want naive or materialized)", *mode))
+	m, err := factordb.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("building NER system (%d tokens, seed %d)...\n", *tokens, *seed)
 	start := time.Now()
-	sys, err := exp.BuildNER(exp.Config{NumTokens: *tokens, Seed: *seed, UseSkip: !*noSkip})
+	db, err := factordb.Open(
+		factordb.NER(factordb.NERConfig{Tokens: *tokens, Seed: *seed, LinearChain: *noSkip}),
+		factordb.WithMode(m),
+		factordb.WithSteps(*thin),
+		factordb.WithSeed(*seed+42),
+	)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s (built in %v)\n", sys.Describe(), time.Since(start).Round(time.Millisecond))
+	defer db.Close()
+	fmt.Printf("%s (built in %v)\n", db.Describe(), time.Since(start).Round(time.Millisecond))
 
-	ch, err := sys.NewChain(m, sql, *thin, *seed+42)
-	if err != nil {
-		fatal(err)
-	}
 	fmt.Printf("query: %s\nmode: %s, %d samples x %d steps\n", sql, m, *samples, *thin)
-	start = time.Now()
-	if err := ch.Evaluator.Run(*samples, nil); err != nil {
+	rows, err := db.Query(context.Background(), sql, factordb.Samples(*samples))
+	if err != nil {
 		fatal(err)
 	}
-	elapsed := time.Since(start)
-	fmt.Printf("sampling done in %v (%s)\n\n", elapsed.Round(time.Millisecond), ch.Evaluator.Sampler())
+	defer rows.Close()
+	fmt.Printf("sampling done in %v (%d samples)\n\n", rows.Elapsed().Round(time.Millisecond), rows.Samples())
 
-	results := ch.Evaluator.Results()
-	fmt.Printf("answer tuples: %d\n", len(results))
-	fmt.Printf("%-40s %s\n", "TUPLE", "P")
-	for i, tp := range results {
-		if i >= *top {
-			fmt.Printf("... (%d more)\n", len(results)-i)
+	fmt.Printf("answer tuples: %d\n", rows.Len())
+	fmt.Printf("%-40s %-7s %s\n", "TUPLE", "P", "95% CI")
+	n := 0
+	for rows.Next() {
+		if n >= *top {
+			fmt.Printf("... (%d more)\n", rows.Len()-n)
 			break
 		}
-		fmt.Printf("%-40s %.4f\n", tp.Tuple.String(), tp.P)
+		vals, err := rows.Row()
+		if err != nil {
+			fatal(err)
+		}
+		lo, hi := rows.CI()
+		fmt.Printf("%-40s %.4f  [%.3f, %.3f]\n", tupleString(vals), rows.Prob(), lo, hi)
+		n++
 	}
+	if err := rows.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func tupleString(vals []any) string {
+	s := "("
+	for i, v := range vals {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprint(v)
+	}
+	return s + ")"
 }
 
 func fatal(err error) {

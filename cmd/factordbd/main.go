@@ -1,9 +1,9 @@
-// Command factordbd is the factordb daemon: it builds and trains a
-// probabilistic NER database once at startup, then serves concurrent SQL
-// queries over HTTP while a pool of parallel MCMC chains keeps walking
-// the possible-world space. All in-flight queries share the chains'
-// walk-steps through incrementally maintained views, so concurrent load
-// adds view maintenance cost only.
+// Command factordbd is the factordb daemon: it opens the probabilistic
+// NER database once at startup through the public facade in served mode,
+// then answers concurrent SQL queries over HTTP while a pool of parallel
+// MCMC chains keeps walking the possible-world space. All in-flight
+// queries share the chains' walk-steps through incrementally maintained
+// views, so concurrent load adds view maintenance cost only.
 //
 // Usage:
 //
@@ -28,8 +28,7 @@ import (
 	"syscall"
 	"time"
 
-	"factordb/internal/exp"
-	"factordb/internal/serve"
+	"factordb"
 )
 
 func main() {
@@ -51,30 +50,25 @@ func main() {
 
 	log.Printf("building NER system (%d tokens, seed %d)...", *tokens, *seed)
 	start := time.Now()
-	sys, err := exp.BuildNER(exp.Config{NumTokens: *tokens, Seed: *seed, UseSkip: !*noSkip})
+	db, err := factordb.Open(
+		factordb.NER(factordb.NERConfig{Tokens: *tokens, Seed: *seed, LinearChain: *noSkip}),
+		factordb.WithMode(factordb.ModeServed),
+		factordb.WithChains(*chains),
+		factordb.WithSteps(*steps),
+		factordb.WithBurnIn(*burn),
+		factordb.WithSeed(*seed+42),
+		factordb.WithSamples(*samples),
+		factordb.WithQueryLimits(*maxConc, *maxQ),
+		factordb.WithCache(*cacheN, *cacheT),
+	)
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("%s (built in %v)", sys.Describe(), time.Since(start).Round(time.Millisecond))
+	defer db.Close()
+	log.Printf("%s (built in %v)", db.Describe(), time.Since(start).Round(time.Millisecond))
+	log.Printf("engine up: %d chains, k=%d", db.Chains(), *steps)
 
-	eng, err := serve.New(sys, serve.Config{
-		Chains:               *chains,
-		StepsPerSample:       *steps,
-		BurnIn:               *burn,
-		Seed:                 *seed + 42,
-		DefaultSamples:       *samples,
-		MaxConcurrentQueries: *maxConc,
-		MaxQueuedQueries:     *maxQ,
-		CacheSize:            *cacheN,
-		CacheTTL:             *cacheT,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	defer eng.Close()
-	log.Printf("engine up: %d chains, k=%d", eng.Chains(), *steps)
-
-	srv := &http.Server{Addr: *addr, Handler: eng.Handler()}
+	srv := &http.Server{Addr: *addr, Handler: db.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", *addr)

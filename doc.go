@@ -7,7 +7,51 @@
 // worlds with materialized-view maintenance, which is orders of magnitude
 // faster than re-running queries per world.
 //
-// The packages layer from model to server:
+// # Public API
+//
+// The package root is the facade every caller programs against. Open a
+// workload model under an evaluation strategy, pose SQL, and stream
+// answer tuples with their marginal probabilities and confidence
+// intervals:
+//
+//	db, err := factordb.Open(
+//	    factordb.NER(factordb.NERConfig{Tokens: 20000}),
+//	    factordb.WithMode(factordb.ModeMaterialized),
+//	)
+//	...
+//	rows, err := db.Query(ctx, factordb.Query1)
+//	...
+//	for rows.Next() {
+//	    var s string
+//	    rows.Scan(&s)
+//	    lo, hi := rows.CI()
+//	    fmt.Println(s, rows.Prob(), lo, hi)
+//	}
+//
+// Models: NER (the paper's skip-chain named-entity workload) and Coref
+// (entity resolution). Modes: ModeNaive re-runs the query per sample
+// (Algorithm 3), ModeMaterialized maintains the answer incrementally
+// from the sampler's deltas (Algorithm 1, the paper's central result),
+// and ModeServed runs a pool of parallel MCMC chains whose walk-steps
+// are shared by all in-flight queries. One engine, one API, three
+// strategies — the paper's equivalence made a contract: every mode
+// estimates the same answer distribution.
+//
+// The sibling package factordb/sqldriver registers the same facade with
+// database/sql under the driver name "factordb":
+//
+//	db, err := sql.Open("factordb", "ner?tokens=20000&mode=materialized&samples=100")
+//	rows, err := db.QueryContext(ctx, "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'")
+//
+// with the tuple marginal and confidence interval surfaced as trailing
+// P, CI_LO and CI_HI columns.
+//
+// DB.Handler exposes the HTTP transport (POST /query, GET /healthz,
+// GET /metrics) that cmd/factordbd serves.
+//
+// # Internals
+//
+// The internal packages layer from model to server:
 //
 //	internal/factor    factor-graph templates and log-linear scoring
 //	internal/mcmc      Metropolis-Hastings walk over possible worlds
@@ -22,13 +66,12 @@
 //	internal/core      query evaluators (naive and materialized) + estimator
 //	internal/metrics   loss traces and serving counters
 //	internal/exp       experiment harness regenerating the paper's figures
-//	internal/serve     concurrent query-serving engine (factordbd)
+//	internal/serve     concurrent query-serving engine (ModeServed)
 //
-// Three commands sit on top: cmd/factordb evaluates a single query from
-// the command line, cmd/experiments regenerates the paper's evaluation,
-// and cmd/factordbd serves concurrent SQL queries over HTTP from a pool
-// of parallel MCMC chains that share their walk-steps across all
-// in-flight queries.
+// Three commands sit on top of the facade: cmd/factordb evaluates a
+// single query from the command line, cmd/factordbd serves concurrent
+// SQL queries over HTTP, and cmd/experiments regenerates the paper's
+// evaluation through the internal harness.
 //
 // See README.md for the architecture tour and server usage, and the
 // examples/ directory for runnable entry points.

@@ -1,56 +1,69 @@
 // Aggregates example: sampling-based evaluation handles arbitrary
 // relational-algebra extensions without closing the representation under
 // each operator (Section 5.5). Evaluates the paper's two aggregate
-// queries — the global COUNT of person mentions (Query 2, whose answer
-// distribution is the peaked histogram of Figure 7) and the correlated
-// per-document count-equality query (Query 3).
+// queries through the public facade — the global COUNT of person
+// mentions (Query 2, whose answer distribution is the peaked histogram
+// of Figure 7) and the correlated per-document count-equality query
+// (Query 3).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
-	"factordb/internal/core"
-	"factordb/internal/exp"
+	"factordb"
 )
 
 func main() {
-	sys, err := exp.BuildNER(exp.Config{NumTokens: 40000, Seed: 31, UseSkip: true})
+	ctx := context.Background()
+	db, err := factordb.Open(
+		factordb.NER(factordb.NERConfig{Tokens: 40000, Seed: 31}),
+		factordb.WithSteps(2000),
+		factordb.WithSeed(3),
+		factordb.WithSamples(400),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(sys.Describe())
+	defer db.Close()
+	fmt.Println(db.Describe())
 
 	// Query 2: distribution over the number of B-PER tokens.
-	q2, err := sys.NewChain(core.Materialized, exp.Query2, 2000, 3)
+	rows, err := db.Query(ctx, factordb.Query2)
 	if err != nil {
-		log.Fatal(err)
-	}
-	if err := q2.Evaluator.Run(400, nil); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nQuery 2 — person mention count distribution:")
-	for _, tp := range q2.Evaluator.Results() {
-		bar := strings.Repeat("#", int(tp.P*120))
-		fmt.Printf("  %6d  %.3f %s\n", tp.Tuple[0].AsInt(), tp.P, bar)
+	for rows.Next() {
+		var count int64
+		if err := rows.Scan(&count); err != nil {
+			log.Fatal(err)
+		}
+		bar := strings.Repeat("#", int(rows.Prob()*120))
+		fmt.Printf("  %6d  %.3f %s\n", count, rows.Prob(), bar)
 	}
+	rows.Close()
 
 	// Query 3: documents whose person and organization counts agree.
-	q3, err := sys.NewChain(core.Materialized, exp.Query3, 2000, 5)
+	rows, err = db.Query(ctx, factordb.Query3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := q3.Evaluator.Run(400, nil); err != nil {
-		log.Fatal(err)
-	}
-	res := q3.Evaluator.Results()
-	fmt.Printf("\nQuery 3 — documents with #PER = #ORG: %d candidates\n", len(res))
-	for i, tp := range res {
-		if i >= 10 {
-			fmt.Printf("  ... (%d more)\n", len(res)-i)
+	defer rows.Close()
+	fmt.Printf("\nQuery 3 — documents with #PER = #ORG: %d candidates\n", rows.Len())
+	n := 0
+	for rows.Next() {
+		if n >= 10 {
+			fmt.Printf("  ... (%d more)\n", rows.Len()-n)
 			break
 		}
-		fmt.Printf("  doc %-6d %.3f\n", tp.Tuple[0].AsInt(), tp.P)
+		var doc int64
+		if err := rows.Scan(&doc); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  doc %-6d %.3f\n", doc, rows.Prob())
+		n++
 	}
 }

@@ -1,75 +1,54 @@
 // Entity-resolution example (Figure 1, bottom row): mentions like
 // "John Smith", "J. Smith" and "J. Simms" are clustered into entities by
 // MCMC over a pairwise-cohesion factor graph, with the clustering written
-// through to a MENTION relation. A self-join SQL query then asks, for
-// each pair of mentions, the probability that they refer to the same
-// entity — a query no closed representation system handles natively but
-// which sampling answers for free.
+// through to a MENTION relation. A self-join SQL query — posed through
+// the public facade exactly like the NER queries — then asks, for each
+// pair of mentions, the probability that they refer to the same entity: a
+// query no closed representation system handles natively but which
+// sampling answers for free.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"factordb/internal/core"
-	"factordb/internal/coref"
-	"factordb/internal/relstore"
-	"factordb/internal/sqlparse"
-	"factordb/internal/world"
+	"factordb"
 )
 
 func main() {
-	mentions, err := coref.Generate(coref.GenConfig{NumEntities: 6, MentionsPerEntity: 4, Seed: 17})
+	db, err := factordb.Open(
+		factordb.Coref(factordb.CorefConfig{Entities: 6, MentionsPerEntity: 4, Seed: 17}),
+		factordb.WithSteps(500),
+		factordb.WithSeed(23),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%d mentions of %d entities\n", len(mentions), 6)
-
-	db := relstore.NewDB()
-	rows, err := coref.LoadMentions(db, mentions)
-	if err != nil {
-		log.Fatal(err)
-	}
-	state := coref.NewSingletonState(mentions)
-	proposer := coref.NewMoveProposer(state, coref.DefaultModel())
-	chLog := world.NewChangeLog(db)
-	if err := proposer.BindDB(chLog, rows); err != nil {
-		log.Fatal(err)
-	}
+	defer db.Close()
+	fmt.Println(db.Describe())
 
 	// Same-entity probability for every mention pair, via a self-join on
 	// the hidden CLUSTER field.
-	const sql = `SELECT M1.MENTION_ID, M2.MENTION_ID FROM MENTION M1, MENTION M2
+	const sql = `SELECT M1.STRING, M2.STRING FROM MENTION M1, MENTION M2
  WHERE M1.CLUSTER = M2.CLUSTER AND M1.MENTION_ID < M2.MENTION_ID`
-	plan, err := sqlparse.Compile(sql)
+	rows, err := db.Query(context.Background(), sql, factordb.Samples(400))
 	if err != nil {
 		log.Fatal(err)
 	}
-	ev, err := core.NewEvaluator(core.Materialized, chLog, proposer, plan, 500, 23)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := ev.Run(400, nil); err != nil {
-		log.Fatal(err)
-	}
+	defer rows.Close()
 
-	p, r, f1 := state.PairwiseF1()
-	fmt.Printf("final-world pairwise P/R/F1 vs gold: %.2f/%.2f/%.2f (%s)\n", p, r, f1, ev.Sampler())
-
-	fmt.Println("\nmost confident coreferent pairs:")
-	byStr := func(id int64) string { return mentions[id].Str }
+	fmt.Printf("\nmost confident coreferent pairs (%d samples):\n", rows.Samples())
 	count := 0
-	for _, tp := range ev.Results() {
-		if tp.P < 0.5 || count >= 12 {
+	for rows.Next() && count < 12 {
+		if rows.Prob() < 0.5 {
 			break
 		}
-		a, b := tp.Tuple[0].AsInt(), tp.Tuple[1].AsInt()
-		gold := " "
-		if mentions[a].Gold == mentions[b].Gold {
-			gold = "*"
+		var a, b string
+		if err := rows.Scan(&a, &b); err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("  %s %-18s ~ %-18s %.3f\n", gold, byStr(a), byStr(b), tp.P)
+		fmt.Printf("  %-18s ~ %-18s %.3f\n", a, b, rows.Prob())
 		count++
 	}
-	fmt.Println("(* = same gold entity)")
 }

@@ -1,47 +1,59 @@
-// Quickstart: build a small probabilistic database over uncertain NER
-// output, pose the paper's Query 1, and read back tuples with their
-// probabilities — first with the naive evaluator, then with the
-// materialized-view evaluator, confirming they estimate the same answer
-// while the latter avoids rescanning the database per sample.
+// Quickstart: open a small probabilistic database over uncertain NER
+// output through the public factordb API, pose the paper's Query 1, and
+// read back tuples with their probabilities — first with the naive
+// evaluator, then with the materialized-view evaluator, confirming they
+// estimate the same answer while the latter avoids rescanning the
+// database per sample. The same database is also reachable through
+// database/sql; see the sqldriver package.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
 
-	"factordb/internal/core"
-	"factordb/internal/exp"
+	"factordb"
 )
 
 func main() {
-	// 1. Build the system: synthetic corpus, skip-chain CRF trained with
-	// SampleRank, and a TOKEN relation holding one possible world.
-	sys, err := exp.BuildNER(exp.Config{NumTokens: 20000, Seed: 42, UseSkip: true})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(sys.Describe())
+	ctx := context.Background()
+
+	// 1. Pick the workload: synthetic corpus, skip-chain CRF trained
+	// with SampleRank, and a TOKEN relation holding one possible world.
+	model := factordb.NER(factordb.NERConfig{Tokens: 20000, Seed: 42})
 
 	// 2. Ask for every string labeled B-PER, with probabilities.
-	const sql = `SELECT STRING FROM TOKEN WHERE LABEL='B-PER'`
-	fmt.Println("query:", sql)
+	fmt.Println("query:", factordb.Query1)
 
-	for _, mode := range []core.Mode{core.Naive, core.Materialized} {
-		chain, err := sys.NewChain(mode, sql, 2000, 7)
+	// A DB is bound to one evaluation strategy, so comparing modes means
+	// one Open (and hence one model build + training run) per mode.
+	for _, mode := range []factordb.Mode{factordb.ModeNaive, factordb.ModeMaterialized} {
+		db, err := factordb.Open(model,
+			factordb.WithMode(mode),
+			factordb.WithSteps(2000),
+			factordb.WithSeed(7),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		start := time.Now()
-		if err := chain.Evaluator.Run(100, nil); err != nil {
+		fmt.Println(db.Describe())
+
+		rows, err := db.Query(ctx, factordb.Query1, factordb.Samples(100))
+		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\n%s evaluator: 100 samples in %v\n", mode, time.Since(start).Round(time.Millisecond))
-		for i, tp := range chain.Evaluator.Results() {
-			if i >= 8 {
-				break
+		fmt.Printf("\n%s evaluator: %d samples in %v\n", mode, rows.Samples(), rows.Elapsed().Round(1e6))
+		n := 0
+		for rows.Next() && n < 8 {
+			var s string
+			if err := rows.Scan(&s); err != nil {
+				log.Fatal(err)
 			}
-			fmt.Printf("  %-20s %.3f\n", tp.Tuple.String(), tp.P)
+			lo, hi := rows.CI()
+			fmt.Printf("  %-20s %.3f [%.3f, %.3f]\n", s, rows.Prob(), lo, hi)
+			n++
 		}
+		rows.Close()
+		db.Close()
 	}
 }

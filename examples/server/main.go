@@ -1,9 +1,10 @@
-// Example server starts the serving engine in-process — no HTTP — and
-// fires 8 concurrent SQL queries (the paper's Queries 1–4, twice each)
-// against one shared trained world, printing per-query latency and the
-// aggregate sampling throughput. Because every in-flight query registers
-// a materialized view on every chain, the 8 queries share each chain's
-// Metropolis-Hastings walk instead of paying for 8 private ones.
+// Example server opens the serving engine in-process — no HTTP — through
+// the public facade and fires 8 concurrent SQL queries (the paper's
+// Queries 1–4, twice each) against one shared trained world, printing
+// per-query latency and the aggregate sampling throughput. Because every
+// in-flight query registers a materialized view on every chain, the 8
+// queries share each chain's Metropolis-Hastings walk instead of paying
+// for 8 private ones.
 package main
 
 import (
@@ -13,58 +14,63 @@ import (
 	"sync"
 	"time"
 
-	"factordb/internal/exp"
-	"factordb/internal/serve"
+	"factordb"
 )
 
 func main() {
 	fmt.Println("building and training a 20k-token NER world...")
 	start := time.Now()
-	sys, err := exp.BuildNER(exp.Config{NumTokens: 20000, Seed: 1, UseSkip: true})
+	db, err := factordb.Open(
+		factordb.NER(factordb.NERConfig{Tokens: 20000, Seed: 1}),
+		factordb.WithMode(factordb.ModeServed),
+		factordb.WithChains(4),
+		factordb.WithSteps(1000),
+		factordb.WithSeed(7),
+	)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("%s (in %v)\n", sys.Describe(), time.Since(start).Round(time.Millisecond))
-
-	eng, err := serve.New(sys, serve.Config{Chains: 4, StepsPerSample: 1000, Seed: 7})
-	if err != nil {
-		fail(err)
-	}
-	defer eng.Close()
-	fmt.Printf("engine up: %d chains\n\n", eng.Chains())
+	defer db.Close()
+	fmt.Printf("%s (in %v)\n", db.Describe(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("engine up: %d chains\n\n", db.Chains())
 
 	queries := []string{
-		exp.Query1, exp.Query2, exp.Query3, exp.Query4,
-		exp.Query1, exp.Query2, exp.Query3, exp.Query4,
+		factordb.Query1, factordb.Query2, factordb.Query3, factordb.Query4,
+		factordb.Query1, factordb.Query2, factordb.Query3, factordb.Query4,
 	}
 	var wg sync.WaitGroup
-	results := make([]*serve.Result, len(queries))
+	results := make([]*factordb.Rows, len(queries))
 	wallStart := time.Now()
 	for i, sql := range queries {
 		wg.Add(1)
 		go func(i int, sql string) {
 			defer wg.Done()
-			res, err := eng.Query(context.Background(), sql,
-				serve.QueryOptions{Samples: 128, NoCache: true})
+			rows, err := db.Query(context.Background(), sql,
+				factordb.Samples(128), factordb.NoCache())
 			if err != nil {
 				fail(err)
 			}
-			results[i] = res
+			results[i] = rows
 		}(i, sql)
 	}
 	wg.Wait()
 	wall := time.Since(wallStart)
 
 	var total int64
-	for i, res := range results {
-		total += res.Samples
+	for i, rows := range results {
+		total += rows.Samples()
 		top := "(empty)"
-		if len(res.Tuples) > 0 {
-			t := res.Tuples[0]
-			top = fmt.Sprintf("%v p=%.3f [%.3f, %.3f]", t.Values, t.P, t.Lo, t.Hi)
+		if rows.Next() {
+			vals, err := rows.Row()
+			if err != nil {
+				fail(err)
+			}
+			lo, hi := rows.CI()
+			top = fmt.Sprintf("%v p=%.3f [%.3f, %.3f]", vals, rows.Prob(), lo, hi)
 		}
 		fmt.Printf("Q%-2d %7.1fms  %3d tuples  %3d samples  top: %s\n",
-			i%4+1, float64(res.Elapsed.Microseconds())/1000, len(res.Tuples), res.Samples, top)
+			i%4+1, float64(rows.Elapsed().Microseconds())/1000, rows.Len(), rows.Samples(), top)
+		rows.Close()
 	}
 	fmt.Printf("\n8 concurrent queries in %v wall: %d samples total, %.0f samples/s aggregate\n",
 		wall.Round(time.Millisecond), total, float64(total)/wall.Seconds())

@@ -1,50 +1,54 @@
 // Top-k example: MystiQ-style ranked answers (Section 2's related work)
-// fall out of the sampling representation for free — rank tuples by
-// estimated marginal and attach Monte Carlo standard errors. This example
-// also demonstrates the query-targeted proposal distribution suggested as
-// future work in the paper: Query 4 only reads documents containing
-// "Boston", so the sampler is restricted to them, converging on the
+// fall out of the sampling representation for free — Rows iterates
+// tuples by descending estimated marginal with confidence intervals
+// attached. This example also demonstrates the query-targeted proposal
+// distribution suggested as future work in the paper: Query 4 only reads
+// documents containing "Boston", so the model is opened with a target
+// substring and the sampler is restricted to them, converging on the
 // relevant marginals with a fraction of the proposals.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"factordb/internal/core"
-	"factordb/internal/exp"
-	"factordb/internal/ie"
+	"factordb"
 )
 
 func main() {
-	sys, err := exp.BuildNER(exp.Config{NumTokens: 30000, Seed: 7, UseSkip: true})
+	db, err := factordb.Open(
+		factordb.NER(factordb.NERConfig{Tokens: 30000, Seed: 7, TargetSubstring: "Boston"}),
+		factordb.WithSteps(2000),
+		factordb.WithSeed(11),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(sys.Describe())
+	defer db.Close()
+	fmt.Println(db.Describe())
 
-	target := ie.DocsContaining(sys.Corpus, "Boston")
-	fmt.Printf("Query 4 depends on %d of %d documents (those containing \"Boston\")\n",
-		len(target), len(sys.Corpus.Docs))
-
-	chain, err := sys.NewChain(core.Materialized, exp.Query4, 2000, 11)
+	rows, err := db.Query(context.Background(), factordb.Query4, factordb.Samples(500))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if len(target) > 0 {
-		if err := chain.Tagger.TargetDocs(target); err != nil {
-			log.Fatal(err)
+	defer rows.Close()
+
+	fmt.Println("\ntop-10 persons co-occurring with Boston/B-ORG (p with 95% CI):")
+	shown, confident := 0, 0
+	for rows.Next() {
+		if rows.Prob() > 0.9 {
+			confident++
+		}
+		if shown < 10 {
+			var s string
+			if err := rows.Scan(&s); err != nil {
+				log.Fatal(err)
+			}
+			lo, hi := rows.CI()
+			fmt.Printf("  %-20s %.3f [%.3f, %.3f]\n", s, rows.Prob(), lo, hi)
+			shown++
 		}
 	}
-	if err := chain.Evaluator.Run(500, nil); err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Println("\ntop-10 persons co-occurring with Boston/B-ORG (p ± stderr):")
-	for _, ts := range chain.Evaluator.Estimator().TopK(10) {
-		fmt.Printf("  %-20s %.3f ± %.3f\n", ts.Tuple.String(), ts.P, ts.StdErr)
-	}
-
-	confident := chain.Evaluator.Estimator().Above(0.9)
-	fmt.Printf("\n%d answer tuples exceed the 0.9 threshold\n", len(confident))
+	fmt.Printf("\n%d answer tuples exceed the 0.9 threshold\n", confident)
 }

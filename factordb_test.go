@@ -1,0 +1,477 @@
+package factordb
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"factordb/internal/core"
+	"factordb/internal/exp"
+)
+
+// The facade tests share one small trained NER corpus configuration;
+// the direct system and each facade DB built from it are trained
+// identically (generation and SampleRank are deterministic in the seed),
+// which is what makes exact facade-vs-direct comparisons possible.
+const (
+	testTokens     = 3000
+	testTrainSteps = 20000
+	testCorpusSeed = 5
+	testThin       = 300
+	testChainSeed  = 9
+)
+
+func testNERConfig() NERConfig {
+	return NERConfig{Tokens: testTokens, Seed: testCorpusSeed, TrainSteps: testTrainSteps}
+}
+
+// directSystem is the reference exp.NERSystem, built once.
+var (
+	directOnce sync.Once
+	directSys  *exp.NERSystem
+	directErr  error
+)
+
+func directSystem(t testing.TB) *exp.NERSystem {
+	t.Helper()
+	directOnce.Do(func() {
+		directSys, directErr = exp.BuildNER(exp.Config{
+			NumTokens: testTokens, Seed: testCorpusSeed, TrainSteps: testTrainSteps, UseSkip: true,
+		})
+	})
+	if directErr != nil {
+		t.Fatal(directErr)
+	}
+	return directSys
+}
+
+// sharedDB returns the facade DB for a mode, built once per mode and
+// shared across tests (training dominates test time). The served DB gets
+// two chains. Tests must not Close a shared DB; lifecycle tests open
+// their own cheap coref database instead.
+var (
+	dbOnce map[Mode]*sync.Once
+	dbVal  = map[Mode]*DB{}
+	dbErr  = map[Mode]error{}
+	dbInit sync.Once
+)
+
+func sharedDB(t testing.TB, mode Mode) *DB {
+	t.Helper()
+	dbInit.Do(func() {
+		dbOnce = map[Mode]*sync.Once{
+			ModeNaive: new(sync.Once), ModeMaterialized: new(sync.Once), ModeServed: new(sync.Once),
+		}
+	})
+	dbOnce[mode].Do(func() {
+		opts := []Option{WithMode(mode), WithSteps(testThin), WithSeed(testChainSeed)}
+		if mode == ModeServed {
+			opts = append(opts, WithChains(2))
+		}
+		dbVal[mode], dbErr[mode] = Open(NER(testNERConfig()), opts...)
+	})
+	if dbErr[mode] != nil {
+		t.Fatal(dbErr[mode])
+	}
+	return dbVal[mode]
+}
+
+// openCorefDB opens a private entity-resolution database — cheap to
+// build (no training), used by lifecycle and error-path tests.
+func openCorefDB(t testing.TB, opts ...Option) *DB {
+	t.Helper()
+	db, err := Open(Coref(CorefConfig{Entities: 5, MentionsPerEntity: 3, Seed: 17}),
+		append([]Option{WithSteps(200), WithSeed(23)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// TestFacadeMatchesDirectEvaluator is the central equivalence property of
+// the API redesign: on the paper's Query 1, the facade in both local
+// modes returns bitwise the same marginals as wiring up a core.Evaluator
+// by hand with the same corpus, thinning interval, seed and budget.
+func TestFacadeMatchesDirectEvaluator(t *testing.T) {
+	const samples = 40
+	sys := directSystem(t)
+	for _, mode := range []Mode{ModeNaive, ModeMaterialized} {
+		t.Run(mode.String(), func(t *testing.T) {
+			db := sharedDB(t, mode)
+			rows, err := db.Query(context.Background(), Query1, Samples(samples))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rows.Close()
+			if rows.Samples() != samples {
+				t.Fatalf("facade collected %d samples, want %d", rows.Samples(), samples)
+			}
+
+			coreMode := core.Naive
+			if mode == ModeMaterialized {
+				coreMode = core.Materialized
+			}
+			ch, err := sys.NewChain(coreMode, exp.Query1, testThin, testChainSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ch.Evaluator.Run(samples, nil); err != nil {
+				t.Fatal(err)
+			}
+			want := ch.Evaluator.Results()
+			if rows.Len() != len(want) {
+				t.Fatalf("facade answered %d tuples, evaluator %d", rows.Len(), len(want))
+			}
+			if len(want) == 0 {
+				t.Fatal("degenerate test: Query 1 returned no tuples")
+			}
+			for i := 0; rows.Next(); i++ {
+				var s string
+				if err := rows.Scan(&s); err != nil {
+					t.Fatal(err)
+				}
+				if s != want[i].Tuple[0].AsString() || rows.Prob() != want[i].P {
+					t.Errorf("tuple %d: facade (%v, %v) vs evaluator (%v, %v)",
+						i, s, rows.Prob(), want[i].Tuple[0].AsString(), want[i].P)
+				}
+				lo, hi := rows.CI()
+				if lo > rows.Prob() || hi < rows.Prob() || lo < 0 || hi > 1 {
+					t.Errorf("tuple %d: malformed interval [%v, %v] around %v", i, lo, hi, rows.Prob())
+				}
+			}
+		})
+	}
+}
+
+// TestNaiveMatchesMaterialized pins Algorithm 1 against Algorithm 3
+// through the public API: with the same seed both modes follow the same
+// walk, so the answers must agree exactly — the paper's equivalence,
+// observable by any client of the facade.
+func TestNaiveMatchesMaterialized(t *testing.T) {
+	const samples = 25
+	results := map[Mode]map[string]float64{}
+	for _, mode := range []Mode{ModeNaive, ModeMaterialized} {
+		db := sharedDB(t, mode)
+		rows, err := db.Query(context.Background(), Query1, Samples(samples))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]float64{}
+		for rows.Next() {
+			var s string
+			if err := rows.Scan(&s); err != nil {
+				t.Fatal(err)
+			}
+			got[s] = rows.Prob()
+		}
+		rows.Close()
+		results[mode] = got
+	}
+	naive, mater := results[ModeNaive], results[ModeMaterialized]
+	if len(naive) == 0 || len(naive) != len(mater) {
+		t.Fatalf("tuple sets differ: naive %d, materialized %d", len(naive), len(mater))
+	}
+	for s, p := range naive {
+		if mp, ok := mater[s]; !ok || mp != p {
+			t.Errorf("tuple %q: naive p=%v, materialized p=%v (present=%v)", s, p, mp, ok)
+		}
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	db := openCorefDB(t)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	if _, err := db.Query(context.Background(), Query1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Query after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestBadQueryErrors(t *testing.T) {
+	db := openCorefDB(t)
+	ctx := context.Background()
+
+	// Parse errors carry their position through the facade verbatim.
+	_, err := db.Query(ctx, "SELECT STRING, FROM TOKEN")
+	if !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("parse failure = %v, want ErrBadQuery", err)
+	}
+	if !strings.Contains(err.Error(), "line 1 column 16") {
+		t.Errorf("parse error lost its position: %v", err)
+	}
+
+	// Bind errors (unknown table) are bad queries too.
+	if _, err := db.Query(ctx, "SELECT X FROM NO_SUCH_TABLE"); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("bind failure = %v, want ErrBadQuery", err)
+	}
+
+	// Confidence outside (0,1).
+	if _, err := db.Query(ctx, PairQuery, Confidence(2)); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("confidence 2 = %v, want ErrBadQuery", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	db := openCorefDB(t)
+
+	// Already-cancelled context fails before any work.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Query(cancelled, PairQuery); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ctx = %v, want context.Canceled", err)
+	}
+
+	// Cancelled mid-query: a budget far beyond the deadline. Without
+	// AllowPartial the facade reports the context error.
+	short, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	if _, err := db.Query(short, PairQuery, Samples(1<<30)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("mid-query deadline = %v, want context.DeadlineExceeded", err)
+	}
+
+	// With AllowPartial the truncated estimate comes back instead.
+	short2, cancel3 := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel3()
+	rows, err := db.Query(short2, PairQuery, Samples(1<<30), AllowPartial())
+	if err != nil {
+		// Legal only if not even one sample landed before the deadline.
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("partial query = %v", err)
+		}
+		t.Skipf("no samples within the deadline on this machine: %v", err)
+	}
+	defer rows.Close()
+	if !rows.Partial() {
+		t.Error("truncated query not flagged partial")
+	}
+	if rows.Samples() <= 0 {
+		t.Errorf("partial rows carry %d samples", rows.Samples())
+	}
+}
+
+// TestServedMode exercises the facade over the concurrent engine: the
+// same Query call, same Rows, backed by the chain pool.
+func TestServedMode(t *testing.T) {
+	db := sharedDB(t, ModeServed)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows, err := db.Query(context.Background(), Query1, Samples(20), NoCache())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer rows.Close()
+			if rows.Chains() != 2 {
+				t.Errorf("query %d served by %d chains, want 2", i, rows.Chains())
+			}
+			if rows.Samples() < 20 {
+				t.Errorf("query %d: %d samples, want >= 20", i, rows.Samples())
+			}
+			for rows.Next() {
+				if p := rows.Prob(); p < 0 || p > 1 {
+					t.Errorf("query %d: probability %v out of range", i, p)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("query %d: %v", i, err)
+		}
+	}
+
+	// The result cache is reachable through the facade.
+	r1, err := db.Query(context.Background(), Query1, Samples(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+	r2, err := db.Query(context.Background(), Query1, Samples(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if !r2.Cached() {
+		t.Error("second identical query missed the cache")
+	}
+}
+
+// TestCorefWorkload opens the second workload through the same API.
+func TestCorefWorkload(t *testing.T) {
+	db := openCorefDB(t)
+	rows, err := db.Query(context.Background(), PairQuery, Samples(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if got := rows.Columns(); len(got) != 2 || got[0] != "MENTION_ID" || got[1] != "MENTION_ID" {
+		t.Errorf("columns = %v", got)
+	}
+	seen := 0
+	for rows.Next() {
+		var a, b int64
+		if err := rows.Scan(&a, &b); err != nil {
+			t.Fatal(err)
+		}
+		if a >= b {
+			t.Errorf("pair (%d, %d) violates MENTION_ID ordering", a, b)
+		}
+		if p := rows.Prob(); p <= 0 || p > 1 {
+			t.Errorf("pair (%d, %d): probability %v out of range", a, b, p)
+		}
+		seen++
+	}
+	if seen == 0 {
+		t.Error("no coreferent pairs sampled")
+	}
+}
+
+func TestRowsScanContract(t *testing.T) {
+	db := sharedDB(t, ModeMaterialized)
+	rows, err := db.Query(context.Background(), Query2, Samples(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if got := rows.Columns(); len(got) != 1 || got[0] != "PERSONS" {
+		t.Errorf("columns = %v, want [PERSONS]", got)
+	}
+	if err := rows.Scan(new(int64)); err == nil {
+		t.Error("Scan before Next succeeded")
+	}
+	if !rows.Next() {
+		t.Fatal("empty Query 2 answer")
+	}
+	// The COUNT column is an int: int64, int, float64 and any all work;
+	// bool does not.
+	var i64 int64
+	var f float64
+	var anyv any
+	if err := rows.Scan(&i64); err != nil {
+		t.Errorf("Scan into *int64: %v", err)
+	}
+	if err := rows.Scan(&f); err != nil {
+		t.Errorf("Scan into *float64: %v", err)
+	}
+	if err := rows.Scan(&anyv); err != nil {
+		t.Errorf("Scan into *any: %v", err)
+	}
+	if err := rows.Scan(new(bool)); err == nil {
+		t.Error("Scan int column into *bool succeeded")
+	}
+	if err := rows.Scan(new(int64), new(int64)); err == nil {
+		t.Error("Scan with wrong arity succeeded")
+	}
+	if _, ok := anyv.(int64); !ok {
+		t.Errorf("any destination got %T, want int64", anyv)
+	}
+	rows.Close()
+	if rows.Next() {
+		t.Error("Next after Close returned true")
+	}
+}
+
+// TestHandlerEndpoints covers the HTTP transport now served by the
+// facade (moved here from internal/serve).
+func TestHandlerEndpoints(t *testing.T) {
+	db := sharedDB(t, ModeServed)
+	srv := httptest.NewServer(db.Handler())
+	defer srv.Close()
+
+	// POST /query happy path.
+	body := `{"sql": "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'", "samples": 8}`
+	resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query status %d", resp.StatusCode)
+	}
+	var qr struct {
+		Columns []string    `json:"columns"`
+		Tuples  []tupleJSON `json:"tuples"`
+		Samples int64       `json:"samples"`
+		Chains  int         `json:"chains"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if qr.Samples < 8 || qr.Chains != 2 {
+		t.Errorf("samples = %d chains = %d", qr.Samples, qr.Chains)
+	}
+	if len(qr.Columns) != 1 || qr.Columns[0] != "STRING" {
+		t.Errorf("columns = %v", qr.Columns)
+	}
+	for _, tp := range qr.Tuples {
+		if len(tp.Values) != 1 || tp.P < 0 || tp.P > 1 || tp.Lo > tp.P || tp.Hi < tp.P {
+			t.Errorf("malformed tuple %+v", tp)
+		}
+	}
+
+	// Client errors.
+	for _, bad := range []string{`not json`, `{}`, `{"sql": "SELECT"}`} {
+		resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// GET /healthz.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hr.Status != "ok" || hr.Chains != 2 || hr.Mode != "served" {
+		t.Errorf("healthz = %d %+v", resp.StatusCode, hr)
+	}
+
+	// GET /metrics.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, want := range []string{
+		"factordb_walk_steps_total",
+		"factordb_query_samples_total",
+		"factordb_queries_total",
+		"factordb_acceptance_rate",
+		"factordb_query_seconds_count",
+		"factordb_chains 2",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

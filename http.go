@@ -1,0 +1,180 @@
+package factordb
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL        string  `json:"sql"`
+	Samples    int     `json:"samples,omitempty"`
+	TimeoutMS  int     `json:"timeout_ms,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	NoCache    bool    `json:"no_cache,omitempty"`
+}
+
+// tupleJSON is one answer tuple on the wire.
+type tupleJSON struct {
+	Values []string `json:"values"`
+	P      float64  `json:"p"`
+	Lo     float64  `json:"ci_lo"`
+	Hi     float64  `json:"ci_hi"`
+}
+
+// queryResponse is the POST /query answer.
+type queryResponse struct {
+	SQL        string      `json:"sql"`
+	Columns    []string    `json:"columns,omitempty"`
+	Tuples     []tupleJSON `json:"tuples"`
+	Samples    int64       `json:"samples"`
+	Chains     int         `json:"chains"`
+	Epoch      int64       `json:"epoch"`
+	Confidence float64     `json:"confidence"`
+	Partial    bool        `json:"partial"`
+	Cached     bool        `json:"cached"`
+	ElapsedMS  float64     `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type healthResponse struct {
+	Status  string  `json:"status"`
+	Mode    string  `json:"mode"`
+	Chains  int     `json:"chains"`
+	Epoch   int64   `json:"epoch"`
+	UptimeS float64 `json:"uptime_s"`
+}
+
+// MaxQueryTimeout caps the per-request timeout a client may ask for.
+const MaxQueryTimeout = 5 * time.Minute
+
+// DefaultQueryTimeout applies when the request does not set one.
+const DefaultQueryTimeout = 30 * time.Second
+
+// Handler returns the database's HTTP API, the transport cmd/factordbd
+// serves. It works under every mode; ModeServed is the one built for
+// concurrent load.
+//
+//	POST /query    {"sql": "...", "samples": 128, "timeout_ms": 5000}
+//	GET  /healthz  liveness and chain-pool status
+//	GET  /metrics  Prometheus text exposition
+func (db *DB) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", db.handleQuery)
+	mux.HandleFunc("GET /healthz", db.handleHealthz)
+	mux.HandleFunc("GET /metrics", db.handleMetrics)
+	return mux
+}
+
+func (db *DB) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"sql\" field"})
+		return
+	}
+	timeout := DefaultQueryTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > MaxQueryTimeout {
+			timeout = MaxQueryTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// HTTP clients get anytime semantics: a timeout that lands after the
+	// first sample returns the truncated estimate flagged partial.
+	opts := []QueryOption{AllowPartial()}
+	if req.Samples > 0 {
+		opts = append(opts, Samples(req.Samples))
+	}
+	if req.Confidence != 0 {
+		opts = append(opts, Confidence(req.Confidence))
+	}
+	if req.NoCache {
+		opts = append(opts, NoCache())
+	}
+	rows, err := db.Query(ctx, req.SQL, opts...)
+	if err != nil {
+		writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+		return
+	}
+	defer rows.Close()
+	resp := queryResponse{
+		SQL:        req.SQL,
+		Columns:    rows.Columns(),
+		Tuples:     make([]tupleJSON, 0, rows.Len()),
+		Samples:    rows.Samples(),
+		Chains:     rows.Chains(),
+		Epoch:      rows.epoch,
+		Confidence: rows.Confidence(),
+		Partial:    rows.Partial(),
+		Cached:     rows.Cached(),
+		ElapsedMS:  float64(rows.Elapsed().Microseconds()) / 1000,
+	}
+	for rows.Next() {
+		tp := rows.cis[rows.i]
+		vals := make([]string, len(tp.Tuple))
+		for i, v := range tp.Tuple {
+			vals[i] = v.String()
+		}
+		resp.Tuples = append(resp.Tuples, tupleJSON{Values: vals, P: tp.P, Lo: tp.Lo, Hi: tp.Hi})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (db *DB) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if db.isClosed() {
+		status = "closed"
+		code = http.StatusServiceUnavailable
+	}
+	var epoch int64
+	if db.eng != nil {
+		epoch = db.eng.Epoch()
+	}
+	writeJSON(w, code, healthResponse{
+		Status:  status,
+		Mode:    db.opts.mode.String(),
+		Chains:  db.Chains(),
+		Epoch:   epoch,
+		UptimeS: time.Since(db.start).Seconds(),
+	})
+}
+
+func (db *DB) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	db.Metrics().WriteText(w)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"fmt"
+
+	"factordb/internal/coref"
+	"factordb/internal/mcmc"
+	"factordb/internal/relstore"
+	"factordb/internal/world"
+)
+
+// PairQuery is the entity-resolution analogue of the paper's evaluation
+// queries: for every pair of mentions, the probability that they refer to
+// the same entity — the self-join on the hidden CLUSTER field of
+// Figure 1's bottom row.
+const PairQuery = `SELECT M1.MENTION_ID, M2.MENTION_ID FROM MENTION M1, MENTION M2
+ WHERE M1.CLUSTER = M2.CLUSTER AND M1.MENTION_ID < M2.MENTION_ID`
+
+// CorefConfig parameterizes the entity-resolution workload.
+type CorefConfig struct {
+	NumEntities       int
+	MentionsPerEntity int
+	Seed              int64
+}
+
+// CorefSystem is the entity-resolution probabilistic database: a fixed
+// set of generated mentions plus the pairwise-cohesion model, from which
+// independent chain worlds (MENTION relations with singleton clusterings)
+// are stocked on demand. It satisfies the same chain-world contract as
+// NERSystem, so the serving engine and the public facade treat the two
+// workloads identically.
+type CorefSystem struct {
+	Mentions []coref.Mention
+	Model    coref.PairScorer
+	cfg      CorefConfig
+}
+
+// BuildCoref generates the mention set once; worlds are materialized per
+// chain because the clustering state is mutable.
+func BuildCoref(cfg CorefConfig) (*CorefSystem, error) {
+	if cfg.NumEntities <= 0 {
+		cfg.NumEntities = 6
+	}
+	if cfg.MentionsPerEntity <= 0 {
+		cfg.MentionsPerEntity = 4
+	}
+	mentions, err := coref.Generate(coref.GenConfig{
+		NumEntities:       cfg.NumEntities,
+		MentionsPerEntity: cfg.MentionsPerEntity,
+		Seed:              cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CorefSystem{Mentions: mentions, Model: coref.DefaultModel(), cfg: cfg}, nil
+}
+
+// NewChainWorld materializes a fresh MENTION relation with singleton
+// clusters and binds a move proposer to it. Every world is fully
+// independent: proposer state, clustering and store share nothing.
+func (s *CorefSystem) NewChainWorld(_ int) (*world.ChangeLog, mcmc.Proposer, error) {
+	db := relstore.NewDB()
+	rows, err := coref.LoadMentions(db, s.Mentions)
+	if err != nil {
+		return nil, nil, err
+	}
+	state := coref.NewSingletonState(s.Mentions)
+	proposer := coref.NewMoveProposer(state, s.Model)
+	log := world.NewChangeLog(db)
+	if err := proposer.BindDB(log, rows); err != nil {
+		return nil, nil, err
+	}
+	return log, proposer, nil
+}
+
+// Describe returns a one-line summary of the workload.
+func (s *CorefSystem) Describe() string {
+	return fmt.Sprintf("coref system: %d mentions of %d entities",
+		len(s.Mentions), s.cfg.NumEntities)
+}

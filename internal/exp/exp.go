@@ -157,6 +157,14 @@ func (s *NERSystem) NewChainWorld(_ int) (*world.ChangeLog, mcmc.Proposer, error
 	return log, tg, nil
 }
 
+// NewChainTagger is NewChainWorld with the proposer returned as the
+// concrete *ie.Tagger, for callers that need tagger-level controls —
+// notably TargetDocs, the query-targeted proposal restriction the public
+// facade exposes as an option.
+func (s *NERSystem) NewChainTagger(_ int) (*world.ChangeLog, *ie.Tagger, error) {
+	return s.newChainWorld()
+}
+
 // GroundTruth estimates reference marginals with a long materialized run
 // on a private chain (the paper's methodology, Section 5.2).
 func (s *NERSystem) GroundTruth(sql string, samples, thin int, seed int64) (map[string]float64, error) {

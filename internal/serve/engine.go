@@ -147,6 +147,9 @@ func New(src Source, cfg Config) (*Engine, error) {
 		m:     m,
 		start: time.Now(),
 	}
+	// Each chain goroutine starts as soon as its world is cloned, so the
+	// error path below can always stopChains: every chain in e.chains has
+	// a running goroutine that will close its done channel.
 	for i := 0; i < cfg.Chains; i++ {
 		log, proposer, err := src.NewChainWorld(i)
 		if err != nil {
@@ -155,8 +158,6 @@ func New(src Source, cfg Config) (*Engine, error) {
 		}
 		c := newChain(i, cfg.StepsPerSample, log, proposer, ChainSeed(cfg.Seed, i), m)
 		e.chains = append(e.chains, c)
-	}
-	for _, c := range e.chains {
 		go c.run(cfg.BurnIn)
 	}
 	e.registerDerivedMetrics()
@@ -205,6 +206,11 @@ func (e *Engine) registerDerivedMetrics() {
 // Metrics exposes the engine's metric registry (the /metrics endpoint).
 func (e *Engine) Metrics() *metrics.Registry { return e.m.reg }
 
+// NoteBadQuery feeds the failed-query counter for queries rejected
+// before reaching the engine — the facade compiles SQL up front, so its
+// compile failures are recorded here rather than lost.
+func (e *Engine) NoteBadQuery() { e.m.failed.Inc() }
+
 // Chains returns the pool size.
 func (e *Engine) Chains() int { return len(e.chains) }
 
@@ -223,9 +229,11 @@ func (e *Engine) Epoch() int64 {
 // Uptime reports time since the engine started.
 func (e *Engine) Uptime() time.Duration { return time.Since(e.start) }
 
-// Close stops all chains and waits for them to park. In-flight queries
-// whose chains have already completed their targets still return; waiting
-// sessions are woken by their contexts.
+// Close stops all chains and waits for them to park. Close is idempotent
+// and safe to call concurrently with in-flight Query: sessions waiting on
+// chain completion are woken by the chains' shutdown and return either
+// the partial estimate collected so far or ErrClosed if nothing landed.
+// Query calls issued after Close fail fast with ErrClosed.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {

@@ -2,10 +2,6 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
-	"io"
-	"net/http"
-	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -239,6 +235,46 @@ func TestEngineClose(t *testing.T) {
 	}
 }
 
+// TestCloseDuringInflightQuery races Close against a Query that could
+// never finish its budget: the session must be woken by the chain
+// shutdown and return promptly — either ErrClosed (nothing sampled yet)
+// or a partial result — instead of blocking until its context expires.
+func TestCloseDuringInflightQuery(t *testing.T) {
+	eng, err := New(testSystem(t), Config{Chains: 2, Seed: 29, StepsPerSample: testThin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := eng.Query(context.Background(), exp.Query1,
+			QueryOptions{Samples: 1 << 30, NoCache: true})
+		done <- outcome{res, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the query register its views
+	eng.Close()
+	select {
+	case o := <-done:
+		switch {
+		case o.err == nil:
+			if !o.res.Partial {
+				t.Error("query truncated by Close not flagged partial")
+			}
+		case o.err != ErrClosed:
+			t.Errorf("query racing Close = %v, want ErrClosed or partial result", o.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Query did not return after Close — session is deadlocked")
+	}
+	// And again fully closed: the fast-fail path.
+	if _, err := eng.Query(context.Background(), exp.Query1, QueryOptions{}); err != ErrClosed {
+		t.Errorf("Query after Close = %v, want ErrClosed", err)
+	}
+}
+
 func TestAdmissionControl(t *testing.T) {
 	a := newAdmission(1, 1)
 	ctx := context.Background()
@@ -313,79 +349,5 @@ func TestResultCache(t *testing.T) {
 	}
 }
 
-func TestHTTPEndpoints(t *testing.T) {
-	eng := testEngine(t, Config{Chains: 2, Seed: 23})
-	srv := httptest.NewServer(eng.Handler())
-	defer srv.Close()
-
-	// POST /query happy path.
-	body := `{"sql": "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'", "samples": 8}`
-	resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("POST /query status %d", resp.StatusCode)
-	}
-	var qr struct {
-		Tuples    []TupleResult `json:"tuples"`
-		Samples   int64         `json:"samples"`
-		ElapsedMS float64       `json:"elapsed_ms"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if qr.Samples < 8 {
-		t.Errorf("samples = %d", qr.Samples)
-	}
-
-	// Client errors.
-	for _, bad := range []string{`not json`, `{}`, `{"sql": "SELECT"}`} {
-		resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(bad))
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("body %q: status %d, want 400", bad, resp.StatusCode)
-		}
-	}
-
-	// GET /healthz.
-	resp, err = http.Get(srv.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var hr healthResponse
-	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || hr.Status != "ok" || hr.Chains != 2 {
-		t.Errorf("healthz = %d %+v", resp.StatusCode, hr)
-	}
-
-	// GET /metrics.
-	resp, err = http.Get(srv.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	for _, want := range []string{
-		"factordb_walk_steps_total",
-		"factordb_query_samples_total",
-		"factordb_queries_total",
-		"factordb_acceptance_rate",
-		"factordb_query_seconds_count",
-		"factordb_chains 2",
-	} {
-		if !strings.Contains(string(raw), want) {
-			t.Errorf("/metrics missing %q", want)
-		}
-	}
-}
+// The HTTP endpoints formerly tested here moved behind the public facade;
+// see TestHandlerEndpoints in the repository root package.

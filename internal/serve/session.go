@@ -47,7 +47,17 @@ type Result struct {
 	Partial    bool          `json:"partial"` // deadline hit before the budget
 	Cached     bool          `json:"cached"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
+
+	// cis carries the typed answer tuples (relstore values rather than
+	// rendered strings) for in-process consumers — the factordb facade
+	// and its database/sql driver — which must not lose column types to
+	// JSON formatting.
+	cis []core.TupleCI
 }
+
+// TupleCIs returns the typed answer tuples with confidence intervals, in
+// the same order as Tuples.
+func (r *Result) TupleCIs() []core.TupleCI { return r.cis }
 
 // registration tracks one chain's share of a query.
 type registration struct {
@@ -146,10 +156,26 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 	}
 
 	partial := false
+	closed := false
 wait:
 	for _, r := range regs {
+		// Drain completions first: if the view already hit its target, a
+		// simultaneously-closing chain or expiring context must not win
+		// the select below and mark a complete answer partial.
 		select {
 		case <-r.done:
+			continue
+		default:
+		}
+		select {
+		case <-r.done:
+		case <-r.c.done:
+			// Engine closed underneath us: the chain goroutine has exited
+			// and will never complete this view. Return whatever was
+			// published rather than blocking until ctx expires.
+			partial = true
+			closed = true
+			break wait
 		case <-ctx.Done():
 			partial = true
 			break wait
@@ -167,6 +193,9 @@ wait:
 		}
 	}
 	if merged.Samples() == 0 {
+		if closed {
+			return nil, ErrClosed
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -195,6 +224,7 @@ wait:
 		Confidence: opts.Confidence,
 		Partial:    partial,
 		Elapsed:    time.Since(start),
+		cis:        cis,
 	}
 	e.m.queries.Inc()
 	e.m.latency.Observe(res.Elapsed.Seconds())

@@ -36,6 +36,32 @@ var keywords = map[string]bool{
 	"DISTINCT": true,
 }
 
+// lineCol converts a byte offset into 1-based line and column numbers,
+// the coordinates quoted in every lexer and parser error. Errors surface
+// verbatim to database/sql users, so they must locate the fault in the
+// query text the user actually wrote, newlines included.
+func lineCol(input string, off int) (line, col int) {
+	if off > len(input) {
+		off = len(input)
+	}
+	line, col = 1, 1
+	for _, c := range input[:off] {
+		if c == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// posErrf formats an error prefixed with the line/column of offset off.
+func posErrf(input string, off int, format string, args ...any) error {
+	line, col := lineCol(input, off)
+	return fmt.Errorf("sqlparse: line %d column %d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
 // lex splits the input into tokens.
 func lex(input string) ([]token, error) {
 	var toks []token
@@ -51,7 +77,7 @@ func lex(input string) ([]token, error) {
 				j++
 			}
 			if j >= len(input) {
-				return nil, fmt.Errorf("sqlparse: unterminated string literal at offset %d", i)
+				return nil, posErrf(input, i, "unterminated string literal")
 			}
 			toks = append(toks, token{tkString, input[i+1 : j], i})
 			i = j + 1
@@ -102,10 +128,10 @@ func lex(input string) ([]token, error) {
 					toks = append(toks, token{tkSymbol, "!=", i})
 					i += 2
 				} else {
-					return nil, fmt.Errorf("sqlparse: unexpected '!' at offset %d", i)
+					return nil, posErrf(input, i, "unexpected '!'")
 				}
 			default:
-				return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+				return nil, posErrf(input, i, "unexpected character %q", c)
 			}
 		}
 	}

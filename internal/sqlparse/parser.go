@@ -1,7 +1,6 @@
 package sqlparse
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 )
@@ -77,6 +76,7 @@ type Query struct {
 }
 
 type parser struct {
+	src  string // original query text, for line/column error positions
 	toks []token
 	i    int
 }
@@ -87,7 +87,7 @@ func Parse(input string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{src: input, toks: toks}
 	q, err := p.parseQuery(false)
 	if err != nil {
 		return nil, err
@@ -118,11 +118,17 @@ func (p *parser) expect(kind tokKind, text string) (token, error) {
 	if p.at(kind, text) {
 		return p.next(), nil
 	}
-	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+	want := `"` + text + `"`
+	if text == "" {
+		// Expectations on a bare kind (identifiers, in this dialect) have
+		// no literal spelling to quote.
+		want = "identifier"
+	}
+	return token{}, p.errf("expected %s, found %q", want, p.cur().text)
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("sqlparse: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+	return posErrf(p.src, p.cur().pos, format, args...)
 }
 
 // parseQuery parses SELECT ... FROM ... [WHERE ...] [GROUP BY ...].

@@ -304,3 +304,45 @@ func TestBindFailsOnUnknownColumnAtBindTime(t *testing.T) {
 		t.Error("Bind should reject unknown column")
 	}
 }
+
+func TestErrorPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+		want string // the "line L column C" fragment the error must carry
+	}{
+		// Parser error on line 1: "FROM" missing after the select list.
+		{"missing from", `SELECT STRING, FROM TOKEN`, "line 1 column 16"},
+		// Parser error on a later line: bad operand after '=' — the
+		// keyword WHERE cannot start an operand. Offsets are bytes into
+		// the full text; the position must restart per line.
+		{"bad operand line 2", "SELECT STRING FROM TOKEN\nWHERE LABEL = WHERE", "line 2 column 15"},
+		// Lexer error: unterminated string literal.
+		{"unterminated string", "SELECT STRING FROM TOKEN WHERE LABEL='B-PER", "line 1 column 38"},
+		// Lexer error: stray character on line 3.
+		{"bad char line 3", "SELECT STRING\nFROM TOKEN\nWHERE LABEL ; 'B-PER'", "line 3 column 13"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.sql)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error", tc.sql)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Parse(%q) error = %q, want it to contain %q", tc.sql, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLineCol(t *testing.T) {
+	input := "ab\ncde\nf"
+	for _, tc := range []struct{ off, line, col int }{
+		{0, 1, 1}, {1, 1, 2}, {2, 1, 3}, // the newline itself is on line 1
+		{3, 2, 1}, {6, 2, 4}, {7, 3, 1}, {8, 3, 2}, {99, 3, 2},
+	} {
+		if l, c := lineCol(input, tc.off); l != tc.line || c != tc.col {
+			t.Errorf("lineCol(%d) = %d:%d, want %d:%d", tc.off, l, c, tc.line, tc.col)
+		}
+	}
+}

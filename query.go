@@ -1,0 +1,200 @@
+package factordb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"factordb/internal/core"
+	"factordb/internal/ra"
+	"factordb/internal/serve"
+	"factordb/internal/sqlparse"
+)
+
+// queryOptions tunes one query evaluation; zero values inherit the DB
+// defaults set at Open.
+type queryOptions struct {
+	samples      int
+	confidence   float64
+	noCache      bool
+	allowPartial bool
+}
+
+// QueryOption configures one DB.Query call.
+type QueryOption func(*queryOptions)
+
+// Samples overrides the sample budget for this query. More samples
+// tighten the confidence intervals at the cost of latency.
+func Samples(n int) QueryOption { return func(o *queryOptions) { o.samples = n } }
+
+// Confidence overrides the two-sided confidence-interval mass in (0,1)
+// for this query.
+func Confidence(c float64) QueryOption { return func(o *queryOptions) { o.confidence = c } }
+
+// NoCache bypasses the served-mode result cache for this query.
+func NoCache() QueryOption { return func(o *queryOptions) { o.noCache = true } }
+
+// AllowPartial opts into anytime semantics: if the context expires (or
+// the DB closes) after at least one sample was collected, Query returns
+// the truncated estimate with Rows.Partial set instead of an error. MCMC
+// estimates are anytime — a truncated answer with wide intervals can beat
+// a timeout. Without this option, interrupted queries return the context
+// error (or ErrClosed), matching database/sql expectations.
+func AllowPartial() QueryOption { return func(o *queryOptions) { o.allowPartial = true } }
+
+// Query evaluates one SQL SELECT over the possible-world distribution and
+// returns a streaming iterator over the answer tuples, each carrying its
+// estimated marginal probability and confidence interval, sorted by
+// descending probability. The evaluation strategy is the one the DB was
+// opened with: naive and materialized evaluate on a private chain in the
+// calling goroutine; served registers the query on the shared chain pool.
+func (db *DB) Query(ctx context.Context, sql string, opts ...QueryOption) (*Rows, error) {
+	if db.isClosed() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	qo := queryOptions{samples: db.opts.samples, confidence: db.opts.confidence}
+	for _, f := range opts {
+		f(&qo)
+	}
+	if qo.samples <= 0 {
+		qo.samples = db.opts.samples
+	}
+	if qo.confidence <= 0 || qo.confidence >= 1 {
+		return nil, fmt.Errorf("%w: confidence %v outside (0,1)", ErrBadQuery, qo.confidence)
+	}
+	// Compile here even though the served engine compiles again: the
+	// facade owns the output column names (the engine result carries only
+	// tuples), and local modes need the plan anyway. Compilation is
+	// microseconds against a sampling run.
+	plan, err := sqlparse.Compile(sql)
+	if err != nil {
+		db.countFailed()
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	cols := ra.OutputColumns(plan)
+	if db.eng != nil {
+		return db.queryServed(ctx, sql, cols, qo)
+	}
+	return db.queryLocal(ctx, sql, plan, cols, qo)
+}
+
+// queryServed delegates to the serving engine and maps its errors and
+// partial-result semantics onto the facade contract.
+func (db *DB) queryServed(ctx context.Context, sql string, cols []string, qo queryOptions) (*Rows, error) {
+	res, err := db.eng.Query(ctx, sql, serve.QueryOptions{
+		Samples:    qo.samples,
+		Confidence: qo.confidence,
+		NoCache:    qo.noCache,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, serve.ErrClosed):
+			return nil, ErrClosed
+		case errors.Is(err, serve.ErrBadQuery):
+			// Re-brand the engine's bad-query sentinel, keeping the
+			// underlying compile/bind detail intact.
+			detail := strings.TrimPrefix(err.Error(), serve.ErrBadQuery.Error()+": ")
+			return nil, fmt.Errorf("%w: %s", ErrBadQuery, detail)
+		case errors.Is(err, serve.ErrOverloaded):
+			return nil, ErrOverloaded
+		}
+		return nil, err
+	}
+	if res.Partial && !qo.allowPartial {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		// Partial without a dead context means the engine closed under us.
+		return nil, ErrClosed
+	}
+	return &Rows{
+		cols:       cols,
+		cis:        res.TupleCIs(),
+		i:          -1,
+		samples:    res.Samples,
+		chains:     res.Chains,
+		epoch:      res.Epoch,
+		confidence: res.Confidence,
+		partial:    res.Partial,
+		cached:     res.Cached,
+		elapsed:    res.Elapsed,
+	}, nil
+}
+
+// queryLocal evaluates the query on a private chain in the calling
+// goroutine — Algorithm 3 (naive) or Algorithm 1 (materialized).
+func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, cols []string, qo queryOptions) (*Rows, error) {
+	start := time.Now()
+	log, proposer, err := db.sys.NewChainWorld(0)
+	if err != nil {
+		return nil, err
+	}
+	mode := core.Naive
+	if db.opts.mode == ModeMaterialized {
+		mode = core.Materialized
+	}
+	ev, err := core.NewEvaluator(mode, log, proposer, plan, db.opts.steps, db.opts.seed)
+	if err != nil {
+		db.countFailed()
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	if db.opts.burnIn > 0 {
+		ev.Burn(db.opts.burnIn)
+	}
+	partial := false
+	for i := 0; i < qo.samples; i++ {
+		// The context is honored between samples: one sample is k
+		// walk-steps plus one (incremental) evaluation, the natural
+		// cancellation granularity of the algorithm.
+		if ctx.Err() != nil || db.isClosed() {
+			partial = true
+			break
+		}
+		if err := ev.CollectSample(); err != nil {
+			return nil, err
+		}
+	}
+	est := ev.Estimator()
+	if partial {
+		if est.Samples() == 0 || !qo.allowPartial {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, ErrClosed
+		}
+	}
+	db.queries.Inc()
+	elapsed := time.Since(start)
+	db.latency.Observe(elapsed.Seconds())
+	return &Rows{
+		cols:       cols,
+		cis:        est.ResultsCI(normalQuantile(qo.confidence)),
+		i:          -1,
+		samples:    est.Samples(),
+		chains:     1,
+		epoch:      log.Epoch(),
+		confidence: qo.confidence,
+		partial:    partial,
+		elapsed:    elapsed,
+	}, nil
+}
+
+func (db *DB) countFailed() {
+	if db.eng != nil {
+		db.eng.NoteBadQuery()
+		return
+	}
+	db.failed.Inc()
+}
+
+// normalQuantile converts a two-sided confidence mass into the normal
+// quantile z used by the Wilson interval (0.95 → 1.96).
+func normalQuantile(confidence float64) float64 {
+	return math.Sqrt2 * math.Erfinv(confidence)
+}

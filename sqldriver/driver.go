@@ -1,0 +1,335 @@
+// Package sqldriver registers factordb with database/sql under the
+// driver name "factordb", so the probabilistic database is reachable
+// through the standard library's tooling:
+//
+//	import (
+//	    "database/sql"
+//	    _ "factordb/sqldriver"
+//	)
+//
+//	db, err := sql.Open("factordb", "ner?tokens=20000&mode=materialized&samples=100")
+//	rows, err := db.QueryContext(ctx, "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'")
+//
+// The DSN is "<model>?<params>": model "ner" or "coref", with model
+// parameters (ner: tokens, seed, train_steps, tokens_per_doc,
+// temperature, linear, target; coref: entities, mentions, seed) and
+// engine parameters (mode=naive|materialized|served, samples, steps,
+// chains, burn, confidence, seed) mixed in one query string.
+//
+// Every result row carries the query's output columns followed by three
+// trailing columns: P (the tuple's marginal probability), CI_LO and
+// CI_HI (its confidence interval). Result sets are ordered by descending
+// probability.
+//
+// The workload model is built — and for NER, trained — once per sql.DB
+// on first use, not per connection: all pooled connections share one
+// underlying factordb.DB, which is released when the sql.DB is closed.
+// Statements take no placeholder arguments, and Exec and transactions
+// are not supported: the store is a sampled possible world, mutated only
+// by its MCMC chains.
+package sqldriver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+
+	"factordb"
+)
+
+func init() {
+	sql.Register("factordb", &Driver{})
+}
+
+// Driver is the database/sql driver. It implements DriverContext, so
+// each sql.DB gets one Connector holding one shared factordb.DB.
+type Driver struct{}
+
+var (
+	_ driver.Driver        = (*Driver)(nil)
+	_ driver.DriverContext = (*Driver)(nil)
+)
+
+// Open implements driver.Driver for clients that bypass OpenConnector.
+func (d *Driver) Open(dsn string) (driver.Conn, error) {
+	c, err := d.OpenConnector(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return c.Connect(context.Background())
+}
+
+// OpenConnector parses the DSN eagerly (so malformed DSNs fail at
+// sql.Open time on first use) and defers the expensive model build to
+// the first connection.
+func (d *Driver) OpenConnector(dsn string) (driver.Connector, error) {
+	model, opts, err := parseDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &connector{drv: d, model: model, opts: opts}, nil
+}
+
+// connector owns the one factordb.DB shared by every pooled connection.
+type connector struct {
+	drv   *Driver
+	model factordb.Model
+	opts  []factordb.Option
+
+	once sync.Once
+	db   *factordb.DB
+	err  error
+}
+
+var _ io.Closer = (*connector)(nil) // sql.DB.Close closes the connector
+
+func (c *connector) Connect(context.Context) (driver.Conn, error) {
+	c.once.Do(func() { c.db, c.err = factordb.Open(c.model, c.opts...) })
+	if c.err != nil {
+		return nil, c.err
+	}
+	return &conn{db: c.db}, nil
+}
+
+func (c *connector) Driver() driver.Driver { return c.drv }
+
+// Close releases the shared database; database/sql calls it from
+// sql.DB.Close.
+func (c *connector) Close() error {
+	var err error
+	c.once.Do(func() {}) // settle the build state
+	if c.db != nil {
+		err = c.db.Close()
+	}
+	return err
+}
+
+// parseDSN splits "<model>?<params>" and maps the parameters onto a
+// workload config and Open options.
+func parseDSN(dsn string) (factordb.Model, []factordb.Option, error) {
+	name := dsn
+	rawQuery := ""
+	if i := strings.IndexByte(dsn, '?'); i >= 0 {
+		name, rawQuery = dsn[:i], dsn[i+1:]
+	}
+	params, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sqldriver: bad DSN %q: %v", dsn, err)
+	}
+	p := &dsnParams{values: params}
+
+	var model factordb.Model
+	switch name {
+	case "ner":
+		model = factordb.NER(factordb.NERConfig{
+			Tokens:          p.intVal("tokens"),
+			Seed:            p.int64Val("seed"),
+			TrainSteps:      p.intVal("train_steps"),
+			TokensPerDoc:    p.intVal("tokens_per_doc"),
+			Temperature:     p.floatVal("temperature"),
+			LinearChain:     p.boolVal("linear"),
+			TargetSubstring: p.strVal("target"),
+		})
+	case "coref":
+		model = factordb.Coref(factordb.CorefConfig{
+			Entities:          p.intVal("entities"),
+			MentionsPerEntity: p.intVal("mentions"),
+			Seed:              p.int64Val("seed"),
+		})
+	default:
+		return nil, nil, fmt.Errorf("sqldriver: unknown model %q in DSN (want ner or coref)", name)
+	}
+
+	var opts []factordb.Option
+	if s := p.strVal("mode"); s != "" {
+		mode, err := factordb.ParseMode(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts = append(opts, factordb.WithMode(mode))
+	}
+	if n := p.intVal("samples"); n > 0 {
+		opts = append(opts, factordb.WithSamples(n))
+	}
+	if n := p.intVal("steps"); n > 0 {
+		opts = append(opts, factordb.WithSteps(n))
+	}
+	if n := p.intVal("chains"); n > 0 {
+		opts = append(opts, factordb.WithChains(n))
+	}
+	if n := p.intVal("burn"); n > 0 {
+		opts = append(opts, factordb.WithBurnIn(n))
+	}
+	if c := p.floatVal("confidence"); c != 0 {
+		opts = append(opts, factordb.WithConfidence(c))
+	}
+	if s := p.strVal("seed"); s != "" {
+		opts = append(opts, factordb.WithSeed(p.int64Val("seed")))
+	}
+	if p.err != nil {
+		return nil, nil, p.err
+	}
+	return model, opts, nil
+}
+
+// dsnParams accumulates the first conversion error instead of forcing a
+// check at every read.
+type dsnParams struct {
+	values url.Values
+	err    error
+}
+
+func (p *dsnParams) strVal(key string) string { return p.values.Get(key) }
+
+func (p *dsnParams) intVal(key string) int {
+	s := p.values.Get(key)
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil && p.err == nil {
+		p.err = fmt.Errorf("sqldriver: DSN parameter %s=%q is not an integer", key, s)
+	}
+	return n
+}
+
+func (p *dsnParams) int64Val(key string) int64 {
+	s := p.values.Get(key)
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil && p.err == nil {
+		p.err = fmt.Errorf("sqldriver: DSN parameter %s=%q is not an integer", key, s)
+	}
+	return n
+}
+
+func (p *dsnParams) floatVal(key string) float64 {
+	s := p.values.Get(key)
+	if s == "" {
+		return 0
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil && p.err == nil {
+		p.err = fmt.Errorf("sqldriver: DSN parameter %s=%q is not a number", key, s)
+	}
+	return f
+}
+
+func (p *dsnParams) boolVal(key string) bool {
+	s := p.values.Get(key)
+	if s == "" {
+		return false
+	}
+	b, err := strconv.ParseBool(s)
+	if err != nil && p.err == nil {
+		p.err = fmt.Errorf("sqldriver: DSN parameter %s=%q is not a boolean", key, s)
+	}
+	return b
+}
+
+// conn is one pooled connection over the shared database. The underlying
+// factordb.DB is concurrency-safe, so conn holds no state of its own and
+// Close is a no-op (the connector owns the DB lifetime).
+type conn struct {
+	db *factordb.DB
+}
+
+var (
+	_ driver.Conn           = (*conn)(nil)
+	_ driver.QueryerContext = (*conn)(nil)
+)
+
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return &stmt{conn: c, query: query}, nil
+}
+
+func (c *conn) Close() error { return nil }
+
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, fmt.Errorf("sqldriver: transactions are not supported")
+}
+
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, fmt.Errorf("sqldriver: placeholder arguments are not supported")
+	}
+	fr, err := c.db.Query(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(fr), nil
+}
+
+// stmt is a trivially prepared statement: the dialect has no
+// placeholders, so preparation is deferred entirely to query time.
+type stmt struct {
+	conn  *conn
+	query string
+}
+
+var (
+	_ driver.Stmt             = (*stmt)(nil)
+	_ driver.StmtQueryContext = (*stmt)(nil)
+)
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return 0 }
+
+func (s *stmt) Exec([]driver.Value) (driver.Result, error) {
+	return nil, fmt.Errorf("sqldriver: the database is read-only (worlds are mutated by MCMC, not SQL)")
+}
+
+func (s *stmt) Query([]driver.Value) (driver.Rows, error) {
+	return s.QueryContext(context.Background(), nil)
+}
+
+func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	return s.conn.QueryContext(ctx, s.query, args)
+}
+
+// rows adapts factordb.Rows to driver.Rows, appending the probability
+// and confidence-interval columns after the query's own output columns.
+type rows struct {
+	fr   *factordb.Rows
+	cols []string
+}
+
+var _ driver.Rows = (*rows)(nil)
+
+func newRows(fr *factordb.Rows) *rows {
+	cols := append(append([]string{}, fr.Columns()...), "P", "CI_LO", "CI_HI")
+	return &rows{fr: fr, cols: cols}
+}
+
+func (r *rows) Columns() []string { return r.cols }
+
+func (r *rows) Close() error { return r.fr.Close() }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if !r.fr.Next() {
+		return io.EOF
+	}
+	vals, err := r.fr.Row()
+	if err != nil {
+		return err
+	}
+	if want := len(vals) + 3; len(dest) != want {
+		return fmt.Errorf("sqldriver: destination holds %d values, row has %d", len(dest), want)
+	}
+	for i, v := range vals {
+		dest[i] = v
+	}
+	lo, hi := r.fr.CI()
+	dest[len(vals)] = r.fr.Prob()
+	dest[len(vals)+1] = lo
+	dest[len(vals)+2] = hi
+	return nil
+}
