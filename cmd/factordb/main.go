@@ -7,6 +7,7 @@
 //
 //	factordb -tokens 50000 -query "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'" -samples 200
 //	factordb -paper-query 3 -mode naive
+//	factordb -paper-query 4 -limit 10   # ranked: ORDER BY P DESC LIMIT 10
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"factordb"
@@ -29,6 +31,7 @@ func main() {
 		samples = flag.Int("samples", 200, "number of query samples to collect")
 		thin    = flag.Int("thin", 2000, "MH walk-steps between samples (paper: 10000)")
 		top     = flag.Int("top", 20, "print at most this many answer tuples")
+		limit   = flag.Int("limit", 0, "rank in SQL: append ORDER BY P DESC LIMIT n to the query (0 = off)")
 		noSkip  = flag.Bool("no-skip", false, "disable skip-chain factors (plain linear chain)")
 	)
 	flag.Parse()
@@ -47,6 +50,13 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown paper query %d (want 1..4)", *paperQ))
 		}
+	}
+	if *limit > 0 {
+		up := strings.ToUpper(sql)
+		if strings.Contains(up, "ORDER BY") || strings.Contains(up, "LIMIT") {
+			fatal(fmt.Errorf("-limit cannot be combined with a query that already has ORDER BY or LIMIT"))
+		}
+		sql += fmt.Sprintf("\n ORDER BY P DESC LIMIT %d", *limit)
 	}
 	m, err := factordb.ParseMode(*mode)
 	if err != nil {

@@ -37,6 +37,22 @@
 // strategies — the paper's equivalence made a contract: every mode
 // estimates the same answer distribution.
 //
+// The SQL dialect covers the paper's evaluation queries and ranked
+// retrieval: SELECT [DISTINCT] with comparisons, joins and correlated
+// COUNT(*)-subquery equalities in WHERE; COUNT/SUM/AVG/MIN/MAX with
+// GROUP BY and HAVING; and ORDER BY / LIMIT. The pseudo-column P names
+// a tuple's estimated marginal probability, so MystiQ-style top-k is
+// first-class SQL:
+//
+//	rows, err := db.Query(ctx, factordb.Query4Ranked) // ... ORDER BY P DESC LIMIT 10
+//
+// Ranking happens inside the engine: results arrive ordered and
+// truncated, and the served mode stops refining tuples that can no
+// longer enter the top k once the confidence intervals separate.
+// ORDER BY over ordinary columns with a LIMIT instead ranks inside
+// every sampled world (maintained incrementally), making a tuple's
+// marginal its probability of ranking in the top k of a possible world.
+//
 // The sibling package factordb/sqldriver registers the same facade with
 // database/sql under the driver name "factordb":
 //

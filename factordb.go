@@ -15,11 +15,12 @@ import (
 // against the NER workload, plus the entity-resolution pair query for the
 // coref workload.
 const (
-	Query1    = exp.Query1    // persons: SELECT STRING FROM TOKEN WHERE LABEL='B-PER'
-	Query2    = exp.Query2    // global person count (aggregate)
-	Query3    = exp.Query3    // docs with #PER = #ORG (correlated subqueries)
-	Query4    = exp.Query4    // persons co-occurring with Boston/B-ORG (join)
-	PairQuery = exp.PairQuery // coref: same-entity probability per mention pair
+	Query1       = exp.Query1       // persons: SELECT STRING FROM TOKEN WHERE LABEL='B-PER'
+	Query2       = exp.Query2       // global person count (aggregate)
+	Query3       = exp.Query3       // docs with #PER = #ORG (correlated subqueries)
+	Query4       = exp.Query4       // persons co-occurring with Boston/B-ORG (join)
+	Query4Ranked = exp.Query4Ranked // Query 4 top-10 by marginal (ORDER BY P DESC LIMIT 10)
+	PairQuery    = exp.PairQuery    // coref: same-entity probability per mention pair
 )
 
 // Sentinel errors of the public API. All are matched with errors.Is;

@@ -151,6 +151,105 @@ func TestFacadeMatchesDirectEvaluator(t *testing.T) {
 	}
 }
 
+// TestRankedQueryEquivalence is the ranked-query acceptance property:
+// SELECT ... ORDER BY P DESC LIMIT k returns exactly the prefix of the
+// fetch-all answer (which is sorted by descending marginal), with
+// identical tuples and marginals — the SQL replaces the client-side
+// over-fetch-and-sort pattern losslessly. Local modes re-walk the same
+// seeded chain per query, so the comparison is exact.
+func TestRankedQueryEquivalence(t *testing.T) {
+	const samples = 40
+	const k = 3
+	db := sharedDB(t, ModeMaterialized)
+	ctx := context.Background()
+
+	full, err := db.Query(ctx, Query1, Samples(samples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	type ans struct {
+		s string
+		p float64
+	}
+	var baseline []ans
+	for full.Next() {
+		var s string
+		if err := full.Scan(&s); err != nil {
+			t.Fatal(err)
+		}
+		baseline = append(baseline, ans{s, full.Prob()})
+	}
+	if len(baseline) <= k {
+		t.Fatalf("degenerate corpus: only %d answer tuples", len(baseline))
+	}
+
+	ranked, err := db.Query(ctx, Query1+" ORDER BY P DESC LIMIT 3", Samples(samples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ranked.Close()
+	if ranked.Len() != k {
+		t.Fatalf("LIMIT %d returned %d tuples", k, ranked.Len())
+	}
+	for i := 0; ranked.Next(); i++ {
+		var s string
+		if err := ranked.Scan(&s); err != nil {
+			t.Fatal(err)
+		}
+		if s != baseline[i].s || ranked.Prob() != baseline[i].p {
+			t.Errorf("rank %d: ranked (%q, %v) vs fetch-all (%q, %v)",
+				i, s, ranked.Prob(), baseline[i].s, baseline[i].p)
+		}
+	}
+
+	// Ascending order flips the ranking; it must still truncate and
+	// come back non-decreasing in P.
+	asc, err := db.Query(ctx, Query1+" ORDER BY P ASC LIMIT 2", Samples(samples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer asc.Close()
+	if asc.Len() != 2 {
+		t.Fatalf("ASC LIMIT 2 returned %d tuples", asc.Len())
+	}
+	prev := -1.0
+	for asc.Next() {
+		if asc.Prob() < prev {
+			t.Errorf("ascending ranking violated: %v after %v", asc.Prob(), prev)
+		}
+		prev = asc.Prob()
+	}
+}
+
+// TestHavingThroughFacade smoke-tests the HAVING lowering end-to-end:
+// a grouped aggregate filtered post-aggregation, ranked and truncated.
+func TestHavingThroughFacade(t *testing.T) {
+	db := sharedDB(t, ModeMaterialized)
+	rows, err := db.Query(context.Background(),
+		`SELECT DOC_ID, COUNT(*) AS N FROM TOKEN GROUP BY DOC_ID HAVING COUNT(*) > 3 ORDER BY P DESC LIMIT 5`,
+		Samples(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if rows.Len() > 5 {
+		t.Fatalf("LIMIT 5 returned %d tuples", rows.Len())
+	}
+	if got := rows.Columns(); len(got) != 2 || got[0] != "DOC_ID" || got[1] != "N" {
+		t.Errorf("columns = %v, want [DOC_ID N]", got)
+	}
+	for rows.Next() {
+		var doc, n int64
+		if err := rows.Scan(&doc, &n); err != nil {
+			t.Fatal(err)
+		}
+		if n <= 3 {
+			t.Errorf("HAVING COUNT(*) > 3 leaked a group with %d rows", n)
+		}
+	}
+}
+
 // TestNaiveMatchesMaterialized pins Algorithm 1 against Algorithm 3
 // through the public API: with the same seed both modes follow the same
 // walk, so the answers must agree exactly — the paper's equivalence,
@@ -385,6 +484,57 @@ func TestRowsScanContract(t *testing.T) {
 	rows.Close()
 	if rows.Next() {
 		t.Error("Next after Close returned true")
+	}
+}
+
+// TestHandlerRequestHardening covers the malformed-request paths of
+// POST /query: every one must answer 400 without touching the engine —
+// oversized bodies, unknown fields (a misspelled option silently ignored
+// is worse than an error), trailing garbage, and broken JSON.
+func TestHandlerRequestHardening(t *testing.T) {
+	db := openCorefDB(t)
+	srv := httptest.NewServer(db.Handler())
+	defer srv.Close()
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var er struct {
+			Error string `json:"error"`
+		}
+		if resp.StatusCode != http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == "" {
+				t.Errorf("error response for %.40q lacks an error message (%v)", body, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"broken JSON", `{"sql": `},
+		{"not JSON at all", `SELECT STRING FROM TOKEN`},
+		{"unknown field", `{"sql": "SELECT MENTION_ID FROM MENTION", "smaples": 5}`},
+		{"trailing garbage", `{"sql": "SELECT MENTION_ID FROM MENTION"} {"again": true}`},
+		{"oversized body", `{"sql": "SELECT MENTION_ID FROM MENTION", "pad": "` +
+			strings.Repeat("x", MaxQueryBodyBytes) + `"}`},
+		{"missing sql", `{}`},
+	}
+	for _, c := range cases {
+		if got := post(c.body); got != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, got)
+		}
+	}
+
+	// A well-formed request still works after all the rejects.
+	if got := post(`{"sql": "SELECT MENTION_ID FROM MENTION WHERE CLUSTER=0", "samples": 2}`); got != http.StatusOK {
+		t.Errorf("well-formed request: status %d, want 200", got)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"time"
 )
@@ -35,6 +36,7 @@ type queryResponse struct {
 	Epoch      int64       `json:"epoch"`
 	Confidence float64     `json:"confidence"`
 	Partial    bool        `json:"partial"`
+	EarlyStop  bool        `json:"early_stop,omitempty"`
 	Cached     bool        `json:"cached"`
 	ElapsedMS  float64     `json:"elapsed_ms"`
 }
@@ -57,6 +59,11 @@ const MaxQueryTimeout = 5 * time.Minute
 // DefaultQueryTimeout applies when the request does not set one.
 const DefaultQueryTimeout = 30 * time.Second
 
+// MaxQueryBodyBytes bounds the POST /query request body. Query requests
+// are a few hundred bytes of SQL and options; anything near the cap is
+// either abuse or a client bug, and must not buffer unbounded memory.
+const MaxQueryBodyBytes = 1 << 20
+
 // Handler returns the database's HTTP API, the transport cmd/factordbd
 // serves. It works under every mode; ModeServed is the one built for
 // concurrent load.
@@ -73,9 +80,20 @@ func (db *DB) Handler() http.Handler {
 }
 
 func (db *DB) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Every malformed-request path below answers 400: oversized bodies
+	// (surfaced by MaxBytesReader through Decode), invalid JSON, unknown
+	// fields (likely a misspelled option the client believes is applied),
+	// and trailing garbage after the JSON object.
+	r.Body = http.MaxBytesReader(w, r.Body, MaxQueryBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := dec.Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "trailing data after JSON body"})
 		return
 	}
 	if req.SQL == "" {
@@ -119,6 +137,7 @@ func (db *DB) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Epoch:      rows.epoch,
 		Confidence: rows.Confidence(),
 		Partial:    rows.Partial(),
+		EarlyStop:  rows.EarlyStopped(),
 		Cached:     rows.Cached(),
 		ElapsedMS:  float64(rows.Elapsed().Microseconds()) / 1000,
 	}

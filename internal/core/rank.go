@@ -1,0 +1,47 @@
+package core
+
+import (
+	"sort"
+
+	"factordb/internal/ra"
+)
+
+// SortTupleCIs orders the final probabilistic answer according to the
+// query's result spec and truncates it to the spec's limit, in place.
+// With no explicit order keys the input order (descending marginal with
+// deterministic tie-breaks, as produced by Estimator.Results) is kept;
+// ties under the explicit keys also fall back to that order, so ranked
+// answers are deterministic for a given estimate.
+func SortTupleCIs(cis []TupleCI, spec ra.ResultSpec) []TupleCI {
+	if len(spec.Order) > 0 {
+		sort.SliceStable(cis, func(i, j int) bool {
+			return rankLess(&cis[i], &cis[j], spec.Order)
+		})
+	}
+	if spec.Limit > 0 && int64(len(cis)) > spec.Limit {
+		cis = cis[:spec.Limit]
+	}
+	return cis
+}
+
+func rankLess(a, b *TupleCI, keys []ra.ResultOrder) bool {
+	for _, k := range keys {
+		if k.ByProb {
+			switch {
+			case a.P < b.P:
+				return !k.Desc
+			case b.P < a.P:
+				return k.Desc
+			}
+			continue
+		}
+		av, bv := a.Tuple[k.Index], b.Tuple[k.Index]
+		switch {
+		case av.Less(bv):
+			return !k.Desc
+		case bv.Less(av):
+			return k.Desc
+		}
+	}
+	return false // stable sort keeps the default order on full ties
+}

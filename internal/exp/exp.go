@@ -14,6 +14,7 @@ import (
 	"factordb/internal/ie"
 	"factordb/internal/mcmc"
 	"factordb/internal/metrics"
+	"factordb/internal/ra"
 	"factordb/internal/relstore"
 	"factordb/internal/sqlparse"
 	"factordb/internal/world"
@@ -29,6 +30,12 @@ const (
 	Query4 = `SELECT T2.STRING FROM TOKEN T1, TOKEN T2
  WHERE T1.STRING='Boston' AND T1.LABEL='B-ORG'
  AND T1.DOC_ID=T2.DOC_ID AND T2.LABEL='B-PER'`
+
+	// Query4Ranked is Query 4 as a first-class ranked query: the ten
+	// highest-marginal answers, ordered and truncated by the engine via
+	// the P pseudo-column (MystiQ-style top-k, Section 2's related work).
+	Query4Ranked = Query4 + `
+ ORDER BY P DESC LIMIT 10`
 )
 
 // NERSystem is a trained skip-chain NER probabilistic database: the
@@ -106,13 +113,25 @@ type Chain struct {
 	Evaluator *core.Evaluator
 	Tagger    *ie.Tagger
 	Log       *world.ChangeLog
+
+	// Spec is the compiled query's result-level ranking (ORDER BY /
+	// LIMIT / the P pseudo-column). Evaluator.Results is the raw
+	// estimate; RankedResultsCI applies the spec.
+	Spec ra.ResultSpec
+}
+
+// RankedResultsCI returns the chain's current answer with Wilson
+// intervals at normal quantile z, ordered and truncated per the
+// query's ORDER BY / LIMIT clauses (a no-op for unranked queries).
+func (c *Chain) RankedResultsCI(z float64) []core.TupleCI {
+	return core.SortTupleCIs(c.Evaluator.Estimator().ResultsCI(z), c.Spec)
 }
 
 // NewChain clones the prototype world and builds an evaluator over it.
 // The paper's batching parameters (five active documents, re-drawn every
 // 2000 proposals) are applied when the corpus is large enough.
 func (s *NERSystem) NewChain(mode core.Mode, sql string, stepsPerSample int, seed int64) (*Chain, error) {
-	plan, err := sqlparse.Compile(sql)
+	plan, spec, err := sqlparse.Compile(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +143,7 @@ func (s *NERSystem) NewChain(mode core.Mode, sql string, stepsPerSample int, see
 	if err != nil {
 		return nil, err
 	}
-	return &Chain{Evaluator: ev, Tagger: tg, Log: log}, nil
+	return &Chain{Evaluator: ev, Tagger: tg, Log: log, Spec: spec}, nil
 }
 
 // newChainWorld clones the prototype world and binds a fresh tagger to

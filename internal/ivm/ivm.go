@@ -149,6 +149,12 @@ func compile(b *ra.Bound) (op, error) {
 			return nil, err
 		}
 		return &distinctOp{b: b, child: child}, nil
+	case ra.KOrderLimit:
+		child, err := compile(b.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return newOrderLimitOp(b, child), nil
 	}
 	return nil, fmt.Errorf("ivm: cannot compile bound kind %d", b.Kind)
 }

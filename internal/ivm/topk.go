@@ -1,0 +1,151 @@
+package ivm
+
+import (
+	"sort"
+
+	"factordb/internal/ra"
+	"factordb/internal/relstore"
+)
+
+// olEntry is one distinct child row tracked by the order/limit operator,
+// with its net multiplicity.
+type olEntry struct {
+	key   string
+	tuple relstore.Tuple
+	n     int64
+}
+
+// orderLimitOp incrementally maintains the per-world top-k of its child:
+// a bounded ordered output backed by the full multiset of child rows, so
+// deletions during view maintenance are exact — when a row leaves the
+// top k, its successor is already at hand instead of requiring a re-scan
+// (the same keep-everything strategy the MIN/MAX aggregates use in
+// groupagg.go, here kept sorted so reading the top k is a prefix walk).
+//
+// State is the entry multiset (map by tuple key) plus a sorted slice of
+// the entries with positive count; the previously emitted top-k bag is
+// retained so apply can emit the signed difference −old +new.
+type orderLimitOp struct {
+	b       *ra.Bound
+	child   op
+	entries map[string]*olEntry
+	sorted  []*olEntry // entries with n > 0, ascending in sort order
+	emitted *ra.Bag    // last emitted top-k output
+}
+
+func newOrderLimitOp(b *ra.Bound, child op) *orderLimitOp {
+	return &orderLimitOp{b: b, child: child}
+}
+
+// less orders entries by the sort keys with the injective tuple key as
+// final tie-break, matching evalOrderLimit exactly.
+func (o *orderLimitOp) less(a, b *olEntry) bool {
+	if c := ra.CompareTuples(a.tuple, b.tuple, o.b.SortIdx, o.b.SortDesc); c != 0 {
+		return c < 0
+	}
+	return a.key < b.key
+}
+
+func (o *orderLimitOp) init() (*ra.Bag, error) {
+	in, err := o.child.init()
+	if err != nil {
+		return nil, err
+	}
+	o.entries = make(map[string]*olEntry, in.Len())
+	o.sorted = o.sorted[:0]
+	in.Each(func(k string, r *ra.BagRow) bool {
+		e := &olEntry{key: k, tuple: r.Tuple, n: r.N}
+		o.entries[k] = e
+		if e.n > 0 {
+			o.sorted = append(o.sorted, e)
+		}
+		return true
+	})
+	sort.Slice(o.sorted, func(i, j int) bool { return o.less(o.sorted[i], o.sorted[j]) })
+	o.emitted = o.topK()
+	return o.emitted.Clone(), nil
+}
+
+func (o *orderLimitOp) apply(d BaseDelta) *ra.Bag {
+	din := o.child.apply(d)
+	din.Each(func(k string, r *ra.BagRow) bool {
+		o.upsert(k, r.Tuple, r.N)
+		return true
+	})
+	newOut := o.topK()
+	diff := ra.NewBag(o.b.Schema)
+	diff.AddBag(newOut, 1)
+	diff.AddBag(o.emitted, -1)
+	o.emitted = newOut
+	return diff
+}
+
+// upsert folds a signed multiplicity change for one distinct row into the
+// multiset, keeping the ordered buffer in step. Entries whose net count
+// drops to or below zero leave the buffer (a transiently negative count
+// is retained in the map so a later matching insertion restores it).
+func (o *orderLimitOp) upsert(key string, t relstore.Tuple, dn int64) {
+	e, ok := o.entries[key]
+	if !ok {
+		e = &olEntry{key: key, tuple: t, n: dn}
+		o.entries[key] = e
+		if e.n > 0 {
+			o.insert(e)
+		}
+		return
+	}
+	wasLive := e.n > 0
+	e.n += dn
+	switch {
+	case e.n == 0:
+		delete(o.entries, key)
+		if wasLive {
+			o.remove(e)
+		}
+	case wasLive && e.n < 0:
+		o.remove(e)
+	case !wasLive && e.n > 0:
+		o.insert(e)
+	}
+}
+
+// insert places e into the ordered buffer at its sort position.
+func (o *orderLimitOp) insert(e *olEntry) {
+	i := sort.Search(len(o.sorted), func(i int) bool { return !o.less(o.sorted[i], e) })
+	o.sorted = append(o.sorted, nil)
+	copy(o.sorted[i+1:], o.sorted[i:])
+	o.sorted[i] = e
+}
+
+// remove deletes e from the ordered buffer. The comparator is a strict
+// total order (tie-broken by the injective key), so the search lands on
+// e's exact position.
+func (o *orderLimitOp) remove(e *olEntry) {
+	i := sort.Search(len(o.sorted), func(i int) bool { return !o.less(o.sorted[i], e) })
+	for i < len(o.sorted) && o.sorted[i] != e {
+		i++ // equal-comparing entries cannot exist, but stay safe
+	}
+	if i < len(o.sorted) {
+		o.sorted = append(o.sorted[:i], o.sorted[i+1:]...)
+	}
+}
+
+// topK materializes the current bounded output: a prefix walk of the
+// ordered buffer accumulating multiplicities until the limit, with the
+// boundary row clipped — identical to evalOrderLimit over the same input.
+func (o *orderLimitOp) topK() *ra.Bag {
+	out := ra.NewBag(o.b.Schema)
+	remaining := o.b.Limit
+	for _, e := range o.sorted {
+		if remaining <= 0 {
+			break
+		}
+		n := e.n
+		if n > remaining {
+			n = remaining
+		}
+		out.AddKeyed(e.key, e.tuple, n)
+		remaining -= n
+	}
+	return out
+}

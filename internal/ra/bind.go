@@ -19,6 +19,7 @@ const (
 	KUnion
 	KDiff
 	KDistinct
+	KOrderLimit
 )
 
 // BoundAgg is an aggregate with its argument resolved to a column index.
@@ -58,6 +59,11 @@ type Bound struct {
 	// KGroupAgg
 	GroupIdx []int
 	Aggs     []BoundAgg
+
+	// KOrderLimit
+	SortIdx  []int
+	SortDesc []bool
+	Limit    int64
 }
 
 // Bind resolves a logical plan against the database catalog.
@@ -79,6 +85,8 @@ func Bind(db *relstore.DB, p Plan) (*Bound, error) {
 		return bindDiff(db, n)
 	case *Distinct:
 		return bindDistinct(db, n)
+	case *OrderLimit:
+		return bindOrderLimit(db, n)
 	case nil:
 		return nil, fmt.Errorf("ra: bind of nil plan")
 	}

@@ -9,6 +9,8 @@ func OutputColumns(p Plan) []string {
 	switch n := p.(type) {
 	case *Distinct:
 		return OutputColumns(n.Child)
+	case *OrderLimit:
+		return OutputColumns(n.Child)
 	case *Select:
 		return OutputColumns(n.Child)
 	case *Project:

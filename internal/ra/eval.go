@@ -47,6 +47,8 @@ func Eval(b *Bound) (*Bag, error) {
 		return evalDiff(b)
 	case KDistinct:
 		return evalDistinct(b)
+	case KOrderLimit:
+		return evalOrderLimit(b)
 	}
 	return nil, fmt.Errorf("ra: eval of unknown bound kind %d", b.Kind)
 }

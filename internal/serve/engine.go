@@ -109,15 +109,16 @@ var ErrClosed = errors.New("serve: engine is closed")
 
 // engineMetrics bundles the counters shared by the chains and sessions.
 type engineMetrics struct {
-	reg      *metrics.Registry
-	steps    *metrics.Counter
-	accepted *metrics.Counter
-	samples  *metrics.Counter
-	queries  *metrics.Counter
-	rejected *metrics.Counter
-	failed   *metrics.Counter
-	hits     *metrics.Counter
-	latency  *metrics.Summary
+	reg       *metrics.Registry
+	steps     *metrics.Counter
+	accepted  *metrics.Counter
+	samples   *metrics.Counter
+	queries   *metrics.Counter
+	rejected  *metrics.Counter
+	failed    *metrics.Counter
+	hits      *metrics.Counter
+	topkStops *metrics.Counter
+	latency   *metrics.Summary
 }
 
 // Engine owns the trained world and serves concurrent queries over it.
@@ -175,7 +176,9 @@ func newEngineMetrics() *engineMetrics {
 		rejected: reg.NewCounter("factordb_queries_rejected_total", "queries rejected by admission control"),
 		failed:   reg.NewCounter("factordb_queries_failed_total", "queries that failed to compile or bind"),
 		hits:     reg.NewCounter("factordb_cache_hits_total", "queries answered from the result cache"),
-		latency:  reg.NewSummary("factordb_query_seconds", "per-query latency in seconds"),
+		topkStops: reg.NewCounter("factordb_topk_early_stops_total",
+			"ranked queries finished early because the top-k separated"),
+		latency: reg.NewSummary("factordb_query_seconds", "per-query latency in seconds"),
 	}
 }
 

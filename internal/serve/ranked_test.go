@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"factordb/internal/core"
+	"factordb/internal/exp"
+	"factordb/internal/ra"
+	"factordb/internal/relstore"
+	"factordb/internal/world"
+)
+
+// TestCacheHitMutationIsolation is the regression test for the result-
+// cache aliasing bug: a cache hit used to be a shallow copy sharing the
+// Tuples and cis slices with the cached entry, so any caller mutating
+// its result (the ranked-query path sorts in place) corrupted the entry
+// for every later hit.
+func TestCacheHitMutationIsolation(t *testing.T) {
+	eng := testEngine(t, Config{Chains: 1, Seed: 3})
+	ctx := context.Background()
+
+	first, err := eng.Query(ctx, exp.Query1, QueryOptions{Samples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first query reported cached")
+	}
+	if len(first.Tuples) < 2 {
+		t.Fatalf("degenerate corpus: %d answer tuples", len(first.Tuples))
+	}
+	wantVal := first.Tuples[0].Values[0]
+	wantP := first.Tuples[0].P
+	wantLen := len(first.Tuples)
+
+	// Mutate the caller's copy every way a client plausibly would:
+	// reorder, clobber values, truncate.
+	first.Tuples[0], first.Tuples[1] = first.Tuples[1], first.Tuples[0]
+	first.Tuples[0].Values[0] = "CORRUPTED"
+	first.Tuples[0].P = -42
+	first.cis[0] = core.TupleCI{}
+	first.Tuples = first.Tuples[:1]
+
+	second, err := eng.Query(ctx, exp.Query1, QueryOptions{Samples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second query missed the cache")
+	}
+	if len(second.Tuples) != wantLen {
+		t.Fatalf("cached answer shrank: %d tuples, want %d", len(second.Tuples), wantLen)
+	}
+	if second.Tuples[0].Values[0] != wantVal || second.Tuples[0].P != wantP {
+		t.Errorf("cache corrupted by the caller's mutation: got (%q, %v), want (%q, %v)",
+			second.Tuples[0].Values[0], second.Tuples[0].P, wantVal, wantP)
+	}
+	if len(second.TupleCIs()) != wantLen || second.TupleCIs()[0].Tuple == nil {
+		t.Error("cached typed tuples corrupted")
+	}
+}
+
+// TestServedRankedQuery runs ORDER BY P DESC LIMIT k through the engine:
+// the answer must come back truncated and ranked, whatever the sampled
+// marginals turn out to be.
+func TestServedRankedQuery(t *testing.T) {
+	eng := testEngine(t, Config{Chains: 2, Seed: 11})
+	const k = 3
+	res, err := eng.Query(context.Background(),
+		exp.Query1+` ORDER BY P DESC LIMIT 3`, QueryOptions{Samples: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) > k {
+		t.Fatalf("LIMIT %d returned %d tuples", k, len(res.Tuples))
+	}
+	for i := 1; i < len(res.Tuples); i++ {
+		if res.Tuples[i].P > res.Tuples[i-1].P {
+			t.Errorf("rank order violated at %d: %v after %v", i, res.Tuples[i].P, res.Tuples[i-1].P)
+		}
+	}
+	// Query 1 always carries a block of near-certain tuples; a top-k
+	// that starts anywhere below them means the ranking was inverted or
+	// truncated from the wrong end.
+	if len(res.Tuples) > 0 && res.Tuples[0].P < 0.5 {
+		t.Errorf("top-ranked tuple has p=%v; ranking picked the wrong end", res.Tuples[0].P)
+	}
+	if res.Partial {
+		t.Error("complete ranked query flagged partial")
+	}
+	// Its full sibling must contain every ranked tuple with the limit as
+	// a prefix-of-ranking relationship left to the facade equivalence
+	// tests (the pool keeps walking between queries, so marginals here
+	// are not bitwise comparable).
+	full, err := eng.Query(context.Background(), exp.Query1, QueryOptions{Samples: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Tuples) < len(res.Tuples) {
+		t.Errorf("full answer (%d) smaller than its top-%d", len(full.Tuples), k)
+	}
+}
+
+// TestTopKSeparated exercises the early-stop criterion directly: a clear
+// probability gap across the k-boundary separates; ties and thin samples
+// do not.
+func TestTopKSeparated(t *testing.T) {
+	schema := &ra.RowSchema{Cols: []ra.OutCol{{Ref: ra.C("T", "S"), Type: relstore.TString}}}
+	sample := func(names ...string) *ra.Bag {
+		b := ra.NewBag(schema)
+		for _, n := range names {
+			b.Add(relstore.Tuple{relstore.String(n)}, 1)
+		}
+		return b
+	}
+	mkregs := func(est *core.Estimator) []registration {
+		cell := &world.Cell[*core.Estimator]{}
+		cell.Publish(1, est)
+		return []registration{{cell: cell}}
+	}
+	const z = 1.96
+
+	// A always present, B once in 40: the gap separates at k=1.
+	est := core.NewEstimator()
+	for i := 0; i < 40; i++ {
+		if i == 0 {
+			est.AddSample(sample("A", "B"))
+		} else {
+			est.AddSample(sample("A"))
+		}
+	}
+	if !topKSeparated(mkregs(est), 1, z) {
+		t.Error("clear gap did not separate")
+	}
+
+	// Both tuples always present: a dead tie can never separate.
+	tie := core.NewEstimator()
+	for i := 0; i < 40; i++ {
+		tie.AddSample(sample("A", "B"))
+	}
+	if topKSeparated(mkregs(tie), 1, z) {
+		t.Error("dead tie separated")
+	}
+
+	// Fewer tuples than k: new tuples may still surface, keep sampling.
+	if topKSeparated(mkregs(est), 5, z) {
+		t.Error("undersized answer separated")
+	}
+
+	// Below the sample floor nothing separates, however wide the gap.
+	thin := core.NewEstimator()
+	for i := 0; i < int(minTopKStopSamples)-1; i++ {
+		if i == 0 {
+			thin.AddSample(sample("A", "B"))
+		} else {
+			thin.AddSample(sample("A"))
+		}
+	}
+	if topKSeparated(mkregs(thin), 1, z) {
+		t.Error("separated below the sample floor")
+	}
+}
+
+// TestRankedEarlyStop pins the budget payoff end-to-end on the workload
+// ranked queries are made for: the coref pair marginals are bimodal
+// (same-entity pairs near 1, cross-entity pairs near 0), so placing the
+// LIMIT at the gap lets the engine separate the top k and return long
+// before an enormous budget — the "stop refining tuples that cannot
+// enter the top k" behavior.
+func TestRankedEarlyStop(t *testing.T) {
+	sys, err := exp.BuildCoref(exp.CorefConfig{NumEntities: 4, MentionsPerEntity: 3, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(sys, Config{Chains: 1, Seed: 19, StepsPerSample: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	ctx := context.Background()
+
+	// Probe the marginal landscape to find the gap: k is the size of the
+	// near-certain block, and the next tuple must sit clearly below it.
+	probe, err := eng.Query(ctx, exp.PairQuery, QueryOptions{Samples: 64, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, gap := 0, 0.0
+	for i := 1; i < len(probe.Tuples); i++ {
+		if g := probe.Tuples[i-1].P - probe.Tuples[i].P; g > gap {
+			k, gap = i, g
+		}
+	}
+	if k == 0 || gap < 0.25 {
+		t.Skipf("no clean marginal gap at this seed (best gap %.3f at k=%d of %d); early stop untestable here",
+			gap, k, len(probe.Tuples))
+	}
+
+	const budget = 4000
+	res, err := eng.Query(ctx,
+		exp.PairQuery+fmt.Sprintf(" ORDER BY P DESC LIMIT %d", k),
+		QueryOptions{Samples: budget, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EarlyStop {
+		t.Fatalf("ranked query ran its full %d-sample budget across a clean gap (collected %d)",
+			budget, res.Samples)
+	}
+	if res.Samples >= budget {
+		t.Errorf("early stop claimed but the full budget was spent (%d samples)", res.Samples)
+	}
+	if res.Partial {
+		t.Error("early-stopped query flagged partial")
+	}
+	if len(res.Tuples) != k {
+		t.Errorf("top-%d returned %d tuples", k, len(res.Tuples))
+	}
+	t.Logf("early stop after %d/%d samples for k=%d", res.Samples, budget, k)
+}

@@ -320,8 +320,9 @@ func TestResultCache(t *testing.T) {
 	c := newResultCache(2, time.Minute)
 	r := &Result{SQL: "a"}
 	c.put("a", r, now)
-	if got, ok := c.get("a", now); !ok || got != r {
-		t.Fatal("immediate get missed")
+	// get returns a defensive copy, never the stored pointer.
+	if got, ok := c.get("a", now); !ok || got == r || got.SQL != "a" {
+		t.Fatalf("immediate get = %+v, %v; want an independent copy", r, ok)
 	}
 	// TTL expiry.
 	if _, ok := c.get("a", now.Add(2*time.Minute)); ok {

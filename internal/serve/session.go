@@ -48,11 +48,32 @@ type Result struct {
 	Cached     bool          `json:"cached"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
 
+	// EarlyStop reports that a ranked query (ORDER BY P DESC LIMIT k)
+	// finished before its sample budget because the confidence intervals
+	// already separated the top k from the rest — refining the remaining
+	// tuples could no longer change the answer.
+	EarlyStop bool `json:"early_stop,omitempty"`
+
 	// cis carries the typed answer tuples (relstore values rather than
 	// rendered strings) for in-process consumers — the factordb facade
 	// and its database/sql driver — which must not lose column types to
 	// JSON formatting.
 	cis []core.TupleCI
+}
+
+// clone returns a defensive copy of the result: the Tuples and cis
+// slices (and the Values slice of every tuple) are fresh, so callers may
+// sort or mutate them freely. The relstore values inside cis are shared;
+// they are immutable by convention throughout the engine.
+func (r *Result) clone() *Result {
+	cp := *r
+	cp.Tuples = make([]TupleResult, len(r.Tuples))
+	for i, t := range r.Tuples {
+		t.Values = append([]string(nil), t.Values...)
+		cp.Tuples[i] = t
+	}
+	cp.cis = append([]core.TupleCI(nil), r.cis...)
+	return &cp
 }
 
 // TupleCIs returns the typed answer tuples with confidence intervals, in
@@ -76,6 +97,16 @@ type registration struct {
 // If ctx expires after at least one sample was collected, the partial
 // estimate is returned with Partial set: MCMC estimates are anytime, and
 // a truncated answer with wide intervals beats an error.
+//
+// Ranked queries (ORDER BY P DESC LIMIT k) may finish before the budget
+// with EarlyStop set: once the per-chain ranked snapshots, merged at read
+// time, separate the k-th tuple's confidence interval from the (k+1)-th's,
+// tuples outside the top k can no longer enter it and further refinement
+// is wasted walk.
+//
+// The returned Result is owned by the caller: cache hits and fresh
+// evaluations alike carry defensive copies of the tuple slices, so
+// callers may sort or mutate them without corrupting the cache.
 func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Result, error) {
 	if e.isClosed() {
 		return nil, ErrClosed
@@ -98,13 +129,12 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 	if !opts.NoCache {
 		if res, ok := e.cache.get(key, time.Now()); ok {
 			e.m.hits.Inc()
-			hit := *res
-			hit.Cached = true
-			return &hit, nil
+			res.Cached = true
+			return res, nil
 		}
 	}
 
-	plan, err := sqlparse.Compile(sql)
+	plan, spec, err := sqlparse.Compile(sql)
 	if err != nil {
 		e.m.failed.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
@@ -155,8 +185,20 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 		regs = append(regs, reg)
 	}
 
+	// Ranked queries watch the merged snapshots while waiting: when the
+	// top k separates, the remaining budget is handed back to the pool.
+	z := math.Sqrt2 * math.Erfinv(opts.Confidence)
+	var tick <-chan time.Time
+	if spec.TopKByProb() {
+		ticker := time.NewTicker(topKCheckInterval)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+
 	partial := false
 	closed := false
+	earlyStop := false
+	lastEpochs := int64(-1)
 wait:
 	for _, r := range regs {
 		// Drain completions first: if the view already hit its target, a
@@ -167,18 +209,35 @@ wait:
 			continue
 		default:
 		}
-		select {
-		case <-r.done:
-		case <-r.c.done:
-			// Engine closed underneath us: the chain goroutine has exited
-			// and will never complete this view. Return whatever was
-			// published rather than blocking until ctx expires.
-			partial = true
-			closed = true
-			break wait
-		case <-ctx.Done():
-			partial = true
-			break wait
+	regWait:
+		for {
+			select {
+			case <-r.done:
+				break regWait
+			case <-r.c.done:
+				// Engine closed underneath us: the chain goroutine has
+				// exited and will never complete this view. Return
+				// whatever was published rather than blocking until ctx
+				// expires.
+				partial = true
+				closed = true
+				break wait
+			case <-ctx.Done():
+				partial = true
+				break wait
+			case <-tick:
+				// Merging and re-ranking every snapshot is linear in the
+				// answer set; only pay for it when some chain has
+				// published a new epoch since the last check.
+				if ep := epochSum(regs); ep != lastEpochs {
+					lastEpochs = ep
+					if topKSeparated(regs, spec.Limit, z) {
+						earlyStop = true
+						e.m.topkStops.Inc()
+						break wait
+					}
+				}
+			}
 		}
 	}
 
@@ -205,8 +264,7 @@ wait:
 		return nil, fmt.Errorf("serve: no samples collected for %q", sql)
 	}
 
-	z := math.Sqrt2 * math.Erfinv(opts.Confidence)
-	cis := merged.ResultsCI(z)
+	cis := core.SortTupleCIs(merged.ResultsCI(z), spec)
 	tuples := make([]TupleResult, len(cis))
 	for i, ci := range cis {
 		vals := make([]string, len(ci.Tuple))
@@ -223,6 +281,7 @@ wait:
 		Epoch:      epoch,
 		Confidence: opts.Confidence,
 		Partial:    partial,
+		EarlyStop:  earlyStop,
 		Elapsed:    time.Since(start),
 		cis:        cis,
 	}
@@ -232,6 +291,53 @@ wait:
 		e.cache.put(key, res, time.Now())
 	}
 	return res, nil
+}
+
+// topKCheckInterval is how often a waiting ranked query re-merges the
+// chains' snapshots to test for top-k separation.
+const topKCheckInterval = 5 * time.Millisecond
+
+// minTopKStopSamples is the floor of merged samples before an early stop
+// is considered; below it the intervals are too wide to trust anyway and
+// the check would only burn cycles.
+const minTopKStopSamples = 16
+
+// epochSum is a cheap change detector for the early-stop check: per-
+// chain epochs are monotone, and the merged estimate can only change
+// when some chain publishes a snapshot for a new epoch.
+func epochSum(regs []registration) int64 {
+	var sum int64
+	for _, r := range regs {
+		if snap, ok := r.cell.Load(); ok {
+			sum += snap.Epoch
+		}
+	}
+	return sum
+}
+
+// topKSeparated merges the chains' latest published snapshots and
+// reports whether the ranked answer is already decided: more than k
+// tuples observed, and the Wilson interval of the k-th ranked tuple
+// lies entirely above the (k+1)-th's — no tuple outside the top k can
+// overtake one inside it, so further refinement cannot change the
+// answer's membership.
+func topKSeparated(regs []registration, k int64, z float64) bool {
+	merged := core.NewEstimator()
+	for _, r := range regs {
+		if snap, ok := r.cell.Load(); ok {
+			merged.Merge(snap.State)
+		}
+	}
+	if merged.Samples() < minTopKStopSamples {
+		return false
+	}
+	cis := merged.ResultsCI(z)
+	if int64(len(cis)) <= k {
+		// The answer currently fits the limit, but more walking may
+		// still surface new tuples; keep sampling.
+		return false
+	}
+	return cis[k-1].Lo > cis[k].Hi
 }
 
 // registerView sends a registration to the chain goroutine and waits for

@@ -1,9 +1,10 @@
 // Package sqlparse implements a hand-rolled SQL front-end for the query
 // dialect used in the paper's evaluation (Queries 1-4): single- and
 // multi-table SELECT with conjunctive WHERE clauses, COUNT(*) aggregates,
-// GROUP BY, and the correlated COUNT(*)-subquery equality pattern of
-// Query 3, which the planner lowers to a single incrementally
-// maintainable group-aggregate join.
+// GROUP BY with HAVING, ORDER BY / LIMIT (including the marginal
+// pseudo-column P for ranked answers), and the correlated
+// COUNT(*)-subquery equality pattern of Query 3, which the planner
+// lowers to a single incrementally maintainable group-aggregate join.
 package sqlparse
 
 import (
@@ -33,7 +34,8 @@ var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
 	"COUNT": true, "AS": true, "GROUP": true, "BY": true,
 	"SUM": true, "AVG": true, "MIN": true, "MAX": true,
-	"DISTINCT": true,
+	"DISTINCT": true, "HAVING": true, "ORDER": true, "LIMIT": true,
+	"ASC": true, "DESC": true,
 }
 
 // lineCol converts a byte offset into 1-based line and column numbers,
@@ -72,19 +74,40 @@ func lex(input string) ([]token, error) {
 		case unicode.IsSpace(c):
 			i++
 		case c == '\'':
+			// Standard SQL string literal: '' inside the quotes is an
+			// escaped single quote ('O''Brien' is the value O'Brien).
+			var sb strings.Builder
 			j := i + 1
-			for j < len(input) && input[j] != '\'' {
+			closed := false
+			for j < len(input) {
+				if input[j] == '\'' {
+					if j+1 < len(input) && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					closed = true
+					break
+				}
+				sb.WriteByte(input[j])
 				j++
 			}
-			if j >= len(input) {
+			if !closed {
 				return nil, posErrf(input, i, "unterminated string literal")
 			}
-			toks = append(toks, token{tkString, input[i+1 : j], i})
+			toks = append(toks, token{tkString, sb.String(), i})
 			i = j + 1
 		case unicode.IsDigit(c):
 			j := i
+			dots := 0
 			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				if input[j] == '.' {
+					dots++
+				}
 				j++
+			}
+			if dots > 1 {
+				return nil, posErrf(input, i, "malformed number %q", input[i:j])
 			}
 			toks = append(toks, token{tkNumber, input[i:j], i})
 			i = j

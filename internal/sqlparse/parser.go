@@ -66,6 +66,24 @@ type SubEq struct {
 	A, B SubQuery
 }
 
+// HavingCond is one conjunct of the HAVING clause: a comparison whose
+// left side is a group column or an aggregate call over the grouped
+// input (Left.Agg != "" for aggregate calls).
+type HavingCond struct {
+	Left  SelectItem
+	Op    string
+	Right Operand
+}
+
+// OrderItem is one ORDER BY key. The unqualified column P names the
+// estimated marginal probability of the answer tuple (a pseudo-column
+// computed across sampled worlds) unless the query's select list outputs
+// a real column of that name.
+type OrderItem struct {
+	Col  ColName
+	Desc bool
+}
+
 // Query is the parsed statement.
 type Query struct {
 	Distinct bool
@@ -73,6 +91,9 @@ type Query struct {
 	From     []TableRef
 	Where    []Cond
 	GroupBy  []ColName
+	Having   []HavingCond
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when the query has no LIMIT clause
 }
 
 type parser struct {
@@ -131,14 +152,15 @@ func (p *parser) errf(format string, args ...any) error {
 	return posErrf(p.src, p.cur().pos, format, args...)
 }
 
-// parseQuery parses SELECT ... FROM ... [WHERE ...] [GROUP BY ...].
-// In subquery position (sub=true) GROUP BY is rejected and the select
-// list must be exactly COUNT(*).
+// parseQuery parses SELECT ... FROM ... [WHERE ...] [GROUP BY ...]
+// [HAVING ...] [ORDER BY ...] [LIMIT n]. In subquery position (sub=true)
+// the trailing clauses are rejected and the select list must be exactly
+// COUNT(*).
 func (p *parser) parseQuery(sub bool) (*Query, error) {
 	if _, err := p.expect(tkKeyword, "SELECT"); err != nil {
 		return nil, err
 	}
-	q := &Query{}
+	q := &Query{Limit: -1}
 	if p.accept(tkKeyword, "DISTINCT") {
 		q.Distinct = true
 	}
@@ -200,7 +222,106 @@ func (p *parser) parseQuery(sub bool) (*Query, error) {
 			}
 		}
 	}
+	if !sub && p.accept(tkKeyword, "HAVING") {
+		for {
+			hc, err := p.parseHavingCond()
+			if err != nil {
+				return nil, err
+			}
+			q.Having = append(q.Having, hc)
+			if !p.accept(tkKeyword, "AND") {
+				break
+			}
+		}
+	}
+	if !sub && p.accept(tkKeyword, "ORDER") {
+		if _, err := p.expect(tkKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColName()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: col}
+			if p.accept(tkKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tkKeyword, "ASC")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+	}
+	if !sub && p.accept(tkKeyword, "LIMIT") {
+		t := p.cur()
+		if t.kind != tkNumber {
+			return nil, p.errf("expected LIMIT count, found %q", t.text)
+		}
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("LIMIT count %q is not an integer", t.text)
+		}
+		if n < 1 {
+			return nil, p.errf("LIMIT count must be at least 1, got %d", n)
+		}
+		q.Limit = n
+	}
 	return q, nil
+}
+
+// parseHavingCond parses one HAVING conjunct. The left side may be an
+// aggregate call (COUNT(*), SUM(col), ...) or a plain column of the
+// grouped output.
+func (p *parser) parseHavingCond() (HavingCond, error) {
+	var left SelectItem
+	t := p.cur()
+	if t.kind == tkKeyword {
+		switch t.text {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.next()
+			if _, err := p.expect(tkSymbol, "("); err != nil {
+				return HavingCond{}, err
+			}
+			left = SelectItem{Agg: t.text}
+			if t.text == "COUNT" && p.accept(tkSymbol, "*") {
+				left.Star = true
+			} else {
+				col, err := p.parseColName()
+				if err != nil {
+					return HavingCond{}, err
+				}
+				left.Arg = col
+			}
+			if _, err := p.expect(tkSymbol, ")"); err != nil {
+				return HavingCond{}, err
+			}
+		}
+	}
+	if left.Agg == "" {
+		col, err := p.parseColName()
+		if err != nil {
+			return HavingCond{}, err
+		}
+		left = SelectItem{Col: col}
+	}
+	op := p.cur()
+	if op.kind != tkSymbol || !cmpOps[op.text] {
+		return HavingCond{}, p.errf("expected comparison operator, found %q", op.text)
+	}
+	p.next()
+	opText := op.text
+	if opText == "<>" {
+		opText = "!="
+	}
+	rhs, err := p.parseOperand()
+	if err != nil {
+		return HavingCond{}, err
+	}
+	return HavingCond{Left: left, Op: opText, Right: rhs}, nil
 }
 
 func (p *parser) parseSelectItem() (SelectItem, error) {

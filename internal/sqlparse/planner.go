@@ -7,28 +7,43 @@ import (
 	"factordb/internal/relstore"
 )
 
-// Compile parses the SQL text and lowers it to a relational-algebra plan.
-func Compile(sql string) (ra.Plan, error) {
+// Compile parses the SQL text and lowers it to a relational-algebra plan
+// plus the result-level ordering spec (ORDER BY / LIMIT clauses that act
+// on the final probabilistic answer rather than inside each world).
+func Compile(sql string) (ra.Plan, ra.ResultSpec, error) {
 	q, err := Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, ra.ResultSpec{}, err
 	}
 	return PlanQuery(q)
 }
 
 // PlanQuery lowers a parsed query to a relational-algebra plan:
 // single-alias predicates are pushed below joins, cross-alias equalities
-// become hash-join conditions, and correlated COUNT(*)-subquery
-// equalities are rewritten into one shared group-aggregate join (making
-// Query 3 incrementally maintainable).
-func PlanQuery(q *Query) (ra.Plan, error) {
+// become hash-join conditions, correlated COUNT(*)-subquery equalities
+// are rewritten into one shared group-aggregate join (making Query 3
+// incrementally maintainable), and HAVING becomes a selection over the
+// group-aggregate output (with hidden aggregates for conditions not in
+// the select list).
+//
+// ORDER BY / LIMIT split between the plan and the returned ResultSpec:
+// an ORDER BY over real output columns with a LIMIT lowers to a
+// per-world top-k operator (a tuple's marginal becomes its probability
+// of ranking in the top k of a sampled world), while any ordering that
+// references the marginal pseudo-column P — which only exists across
+// worlds — is returned in the ResultSpec for the result-assembly layer
+// to apply after estimation. The spec always carries the presentation
+// order and final truncation, so every consumer returns rows the same
+// way.
+func PlanQuery(q *Query) (ra.Plan, ra.ResultSpec, error) {
+	var spec ra.ResultSpec
 	if len(q.From) == 0 {
-		return nil, fmt.Errorf("sqlparse: query has no FROM clause")
+		return nil, spec, fmt.Errorf("sqlparse: query has no FROM clause")
 	}
 	aliases := make(map[string]bool)
 	for _, tr := range q.From {
 		if aliases[tr.Alias] {
-			return nil, fmt.Errorf("sqlparse: duplicate table alias %q", tr.Alias)
+			return nil, spec, fmt.Errorf("sqlparse: duplicate table alias %q", tr.Alias)
 		}
 		aliases[tr.Alias] = true
 	}
@@ -55,7 +70,7 @@ func PlanQuery(q *Query) (ra.Plan, error) {
 		if c.SubEq != nil {
 			gp, err := lowerSubEq(c.SubEq, aliases, subEqIndex)
 			if err != nil {
-				return nil, err
+				return nil, spec, err
 			}
 			subEqIndex++
 			groupPlans = append(groupPlans, groupPlan(*gp))
@@ -63,7 +78,7 @@ func PlanQuery(q *Query) (ra.Plan, error) {
 		}
 		owner, expr, isJoin, jc, err := classifyCond(c, aliases, singleTable)
 		if err != nil {
-			return nil, err
+			return nil, spec, err
 		}
 		switch {
 		case isJoin:
@@ -127,12 +142,104 @@ func PlanQuery(q *Query) (ra.Plan, error) {
 	}
 	lowered, err := lowerSelectList(q, plan)
 	if err != nil {
-		return nil, err
+		return nil, spec, err
 	}
 	if q.Distinct {
 		lowered = ra.NewDistinct(lowered)
 	}
-	return lowered, nil
+	return lowerOrderLimit(q, lowered, spec)
+}
+
+// lowerOrderLimit splits ORDER BY / LIMIT between a per-world top-k plan
+// node and the result-level spec, as documented on PlanQuery.
+func lowerOrderLimit(q *Query, plan ra.Plan, spec ra.ResultSpec) (ra.Plan, ra.ResultSpec, error) {
+	if q.Limit > 0 {
+		spec.Limit = q.Limit
+	}
+	if len(q.OrderBy) == 0 {
+		// A bare LIMIT truncates the default presentation order
+		// (descending marginal) at the result level.
+		return plan, spec, nil
+	}
+
+	aliases := make(map[string]bool, len(q.From))
+	for _, tr := range q.From {
+		aliases[tr.Alias] = true
+	}
+	outNames := ra.OutputColumns(plan)
+	outIndex := func(col ColName) (int, error) {
+		if col.Qual != "" && !aliases[col.Qual] {
+			return 0, fmt.Errorf("sqlparse: unknown table alias %q in ORDER BY %s", col.Qual, col)
+		}
+		found := -1
+		for i, name := range outNames {
+			if name != col.Name {
+				continue
+			}
+			// A qualified key must not match a select item written with a
+			// different qualifier.
+			if col.Qual != "" && i < len(q.Items) {
+				if iq := q.Items[i].Col.Qual; iq != "" && iq != col.Qual {
+					continue
+				}
+			}
+			if found >= 0 {
+				return 0, fmt.Errorf("sqlparse: ORDER BY column %s is ambiguous in the select list", col)
+			}
+			found = i
+		}
+		if found < 0 {
+			return 0, fmt.Errorf("sqlparse: ORDER BY column %s is not in the select list", col)
+		}
+		return found, nil
+	}
+
+	// The unqualified column P names the estimated marginal unless the
+	// select list outputs a real column called P.
+	isProb := func(col ColName) bool {
+		if col.Qual != "" || col.Name != "P" {
+			return false
+		}
+		for _, name := range outNames {
+			if name == "P" {
+				return false
+			}
+		}
+		return true
+	}
+
+	hasProb := false
+	for _, item := range q.OrderBy {
+		if isProb(item.Col) {
+			hasProb = true
+		}
+	}
+
+	for _, item := range q.OrderBy {
+		if isProb(item.Col) {
+			spec.Order = append(spec.Order, ra.ResultOrder{ByProb: true, Desc: item.Desc})
+			continue
+		}
+		idx, err := outIndex(item.Col)
+		if err != nil {
+			return nil, spec, err
+		}
+		spec.Order = append(spec.Order, ra.ResultOrder{Index: idx, Desc: item.Desc})
+	}
+
+	// A pure column ordering with a LIMIT bounds the answer inside every
+	// sampled world: lower it to the incrementally maintainable top-k
+	// operator. Ordering by P cannot be evaluated within one world, and
+	// ordering without a LIMIT does not change bag membership, so both
+	// stay result-level only.
+	if !hasProb && q.Limit > 0 {
+		keys := make([]ra.SortKey, len(q.OrderBy))
+		for i, item := range q.OrderBy {
+			keys[i] = ra.SortKey{Col: ra.C(item.Col.Qual, item.Col.Name), Desc: item.Desc}
+		}
+		plan = ra.NewOrderLimit(plan, keys, q.Limit)
+	}
+	return plan, spec, nil
 }
 
 // classifyCond decides whether a simple conjunct is a pushable
@@ -319,7 +426,11 @@ func localSubCond(c Cond, subAlias, galias string) (ra.Expr, error) {
 	return ra.Cmp(op, ra.Col(l), ra.Col(r)), nil
 }
 
-// lowerSelectList applies the final aggregation/projection.
+// lowerSelectList applies the final aggregation/projection. HAVING
+// lowers to a selection between the group-aggregate and the projection,
+// so it can reference group columns and aggregate outputs — including
+// aggregates absent from the select list, which become hidden aggregate
+// columns projected away afterwards.
 func lowerSelectList(q *Query, child ra.Plan) (ra.Plan, error) {
 	hasAgg := false
 	for _, it := range q.Items {
@@ -327,9 +438,17 @@ func lowerSelectList(q *Query, child ra.Plan) (ra.Plan, error) {
 			hasAgg = true
 		}
 	}
+	for _, hc := range q.Having {
+		if hc.Left.Agg != "" {
+			hasAgg = true
+		}
+	}
 	if !hasAgg {
 		if len(q.GroupBy) > 0 {
 			return nil, fmt.Errorf("sqlparse: GROUP BY without aggregates is not supported")
+		}
+		if len(q.Having) > 0 {
+			return nil, fmt.Errorf("sqlparse: HAVING requires aggregation (use WHERE for row filters)")
 		}
 		cols := make([]ra.ColRef, len(q.Items))
 		for i, it := range q.Items {
@@ -358,27 +477,93 @@ func lowerSelectList(q *Query, child ra.Plan) (ra.Plan, error) {
 		if name == "" {
 			name = fmt.Sprintf("%s_%d", it.Agg, i)
 		}
-		a := ra.Agg{As: name}
-		switch it.Agg {
-		case "COUNT":
-			a.Fn = ra.FnCount
-		case "SUM":
-			a.Fn = ra.FnSum
-			a.Arg = ra.C(it.Arg.Qual, it.Arg.Name)
-		case "AVG":
-			a.Fn = ra.FnAvg
-			a.Arg = ra.C(it.Arg.Qual, it.Arg.Name)
-		case "MIN":
-			a.Fn = ra.FnMin
-			a.Arg = ra.C(it.Arg.Qual, it.Arg.Name)
-		case "MAX":
-			a.Fn = ra.FnMax
-			a.Arg = ra.C(it.Arg.Qual, it.Arg.Name)
-		default:
-			return nil, fmt.Errorf("sqlparse: unsupported aggregate %q", it.Agg)
+		a, err := aggFor(it, name)
+		if err != nil {
+			return nil, err
 		}
 		aggs = append(aggs, a)
 		outCols = append(outCols, ra.C("", name))
 	}
-	return ra.NewProject(ra.NewGroupAgg(child, groupRefs, aggs...), outCols...), nil
+
+	// Lower HAVING conjuncts against the group-aggregate output. An
+	// aggregate call reuses the matching select-list aggregate when one
+	// exists; otherwise a hidden aggregate is added and projected away.
+	var havingExprs []ra.Expr
+	for i, hc := range q.Having {
+		op, err := cmpOpOf(hc.Op)
+		if err != nil {
+			return nil, err
+		}
+		var left ra.ColRef
+		if hc.Left.Agg != "" {
+			name := findAgg(aggs, hc.Left)
+			if name == "" {
+				name = fmt.Sprintf("_hv%d", i)
+				a, err := aggFor(hc.Left, name)
+				if err != nil {
+					return nil, err
+				}
+				aggs = append(aggs, a)
+			}
+			left = ra.C("", name)
+		} else {
+			left = ra.C(hc.Left.Col.Qual, hc.Left.Col.Name)
+		}
+		var rhs ra.Expr
+		if hc.Right.IsCol {
+			rhs = ra.Col(ra.C(hc.Right.Col.Qual, hc.Right.Col.Name))
+		} else {
+			rhs = ra.Const(operandValue(hc.Right))
+		}
+		havingExprs = append(havingExprs, ra.Cmp(op, ra.Col(left), rhs))
+	}
+
+	var plan ra.Plan = ra.NewGroupAgg(child, groupRefs, aggs...)
+	if len(havingExprs) > 0 {
+		plan = ra.NewSelect(plan, ra.And(havingExprs...))
+	}
+	return ra.NewProject(plan, outCols...), nil
+}
+
+// aggFor builds the ra aggregate for one aggregate call.
+func aggFor(it SelectItem, name string) (ra.Agg, error) {
+	a := ra.Agg{As: name}
+	switch it.Agg {
+	case "COUNT":
+		a.Fn = ra.FnCount
+	case "SUM":
+		a.Fn = ra.FnSum
+		a.Arg = ra.C(it.Arg.Qual, it.Arg.Name)
+	case "AVG":
+		a.Fn = ra.FnAvg
+		a.Arg = ra.C(it.Arg.Qual, it.Arg.Name)
+	case "MIN":
+		a.Fn = ra.FnMin
+		a.Arg = ra.C(it.Arg.Qual, it.Arg.Name)
+	case "MAX":
+		a.Fn = ra.FnMax
+		a.Arg = ra.C(it.Arg.Qual, it.Arg.Name)
+	default:
+		return ra.Agg{}, fmt.Errorf("sqlparse: unsupported aggregate %q", it.Agg)
+	}
+	return a, nil
+}
+
+// findAgg returns the output name of an existing aggregate semantically
+// equal to the call (COUNT ignores its argument: with no NULLs in the
+// engine, COUNT(col) and COUNT(*) count the same rows).
+func findAgg(aggs []ra.Agg, it SelectItem) string {
+	want, err := aggFor(it, "_probe")
+	if err != nil {
+		return ""
+	}
+	for _, a := range aggs {
+		if a.Fn != want.Fn {
+			continue
+		}
+		if a.Fn == ra.FnCount || a.Arg == want.Arg {
+			return a.As
+		}
+	}
+	return ""
 }

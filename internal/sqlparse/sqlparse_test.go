@@ -50,7 +50,7 @@ func testDB(t *testing.T) *relstore.DB {
 
 func run(t *testing.T, db *relstore.DB, sql string) *ra.Bag {
 	t.Helper()
-	plan, err := Compile(sql)
+	plan, _, err := Compile(sql)
 	if err != nil {
 		t.Fatalf("Compile(%q): %v", sql, err)
 	}
@@ -181,7 +181,7 @@ func TestParseErrors(t *testing.T) {
 		{`SELECT X FROM T extra junk`, "trailing input"},
 		{`SELECT X FROM T WHERE A = 'unterminated`, "unterminated"},
 		{`SELECT X FROM T WHERE A ! B`, "unexpected '!'"},
-		{`SELECT X FROM T WHERE A = 12.5.5`, "bad number"},
+		{`SELECT X FROM T WHERE A = 12.5.5`, "malformed number"},
 		{`SELECT X FROM T, T`, "duplicate table alias"},
 		{`SELECT X FROM T GROUP BY X`, "GROUP BY without aggregates"},
 		{`SELECT X, COUNT(*) FROM T`, "must appear in GROUP BY"},
@@ -189,7 +189,7 @@ func TestParseErrors(t *testing.T) {
 		{`SELECT X FROM T WHERE (SELECT COUNT(*) FROM U U1 WHERE U1.A=1)=(SELECT COUNT(*) FROM U U1 WHERE T.B=U1.B)`, "no correlation"},
 	}
 	for _, c := range cases {
-		_, err := Compile(c.sql)
+		_, _, err := Compile(c.sql)
 		if err == nil {
 			t.Errorf("Compile(%q) succeeded, want error containing %q", c.sql, c.frag)
 			continue
@@ -206,7 +206,7 @@ func TestParseErrors(t *testing.T) {
 func TestPlannerErrorPaths(t *testing.T) {
 	// Empty FROM: only reachable by planning a hand-built AST.
 	q := &Query{Items: []SelectItem{{Col: ColName{Name: "X"}}}}
-	if _, err := PlanQuery(q); err == nil || !strings.Contains(err.Error(), "no FROM clause") {
+	if _, _, err := PlanQuery(q); err == nil || !strings.Contains(err.Error(), "no FROM clause") {
 		t.Errorf("empty FROM: %v", err)
 	}
 
@@ -215,10 +215,10 @@ func TestPlannerErrorPaths(t *testing.T) {
 		Items: []SelectItem{{Col: ColName{Qual: "T", Name: "X"}}},
 		From:  []TableRef{{Name: "TOKEN", Alias: "T"}, {Name: "TOKEN", Alias: "T"}},
 	}
-	if _, err := PlanQuery(q); err == nil || !strings.Contains(err.Error(), "duplicate table alias") {
+	if _, _, err := PlanQuery(q); err == nil || !strings.Contains(err.Error(), "duplicate table alias") {
 		t.Errorf("duplicate alias: %v", err)
 	}
-	if _, err := Compile(`SELECT A.X FROM TOKEN A, OTHER A`); err == nil ||
+	if _, _, err := Compile(`SELECT A.X FROM TOKEN A, OTHER A`); err == nil ||
 		!strings.Contains(err.Error(), "duplicate table alias") {
 		t.Error("Compile should reject duplicate aliases across different tables")
 	}
@@ -228,7 +228,7 @@ func TestPlannerErrorPaths(t *testing.T) {
 		`SELECT T.X FROM TOKEN T WHERE U.Y = 1`,
 		`SELECT T.X FROM TOKEN T WHERE T.X = U.Y`,
 	} {
-		if _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "unknown table alias") {
+		if _, _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "unknown table alias") {
 			t.Errorf("Compile(%q): %v", sql, err)
 		}
 	}
@@ -237,7 +237,7 @@ func TestPlannerErrorPaths(t *testing.T) {
 	sql := `SELECT T.A FROM T, S WHERE
 		(SELECT COUNT(*) FROM U U1 WHERE T.A=U1.A AND S.B=1)
 		=(SELECT COUNT(*) FROM U U2 WHERE T.A=U2.A)`
-	if _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "foreign alias") {
+	if _, _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "foreign alias") {
 		t.Errorf("foreign alias in subquery: %v", err)
 	}
 
@@ -245,7 +245,7 @@ func TestPlannerErrorPaths(t *testing.T) {
 	sql = `SELECT T.A FROM T WHERE
 		(SELECT COUNT(*) FROM U U1 WHERE T.A=U1.A AND T.B=U1.B)
 		=(SELECT COUNT(*) FROM U U2 WHERE T.A=U2.A)`
-	if _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "multiple correlation") {
+	if _, _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "multiple correlation") {
 		t.Errorf("multiple correlation predicates: %v", err)
 	}
 }
@@ -254,7 +254,7 @@ func TestPlannerErrorPaths(t *testing.T) {
 // lives: the planner is catalog-free, so a missing relation surfaces when
 // the plan is bound against a database.
 func TestUnknownTableFailsAtBind(t *testing.T) {
-	plan, err := Compile(`SELECT X FROM NO_SUCH_TABLE`)
+	plan, _, err := Compile(`SELECT X FROM NO_SUCH_TABLE`)
 	if err != nil {
 		t.Fatalf("Compile should not consult the catalog: %v", err)
 	}
@@ -269,14 +269,14 @@ func TestSubEqValidation(t *testing.T) {
 	sql := `SELECT T.A FROM T WHERE
 		(SELECT COUNT(*) FROM U U1 WHERE T.A=U1.A)
 		=(SELECT COUNT(*) FROM V V1 WHERE T.A=V1.A)`
-	if _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "different tables") {
+	if _, _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "different tables") {
 		t.Errorf("want different-tables error, got %v", err)
 	}
 	// Different correlation columns.
 	sql = `SELECT T.A FROM T WHERE
 		(SELECT COUNT(*) FROM U U1 WHERE T.A=U1.A)
 		=(SELECT COUNT(*) FROM U U2 WHERE T.B=U2.A)`
-	if _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "same column pair") {
+	if _, _, err := Compile(sql); err == nil || !strings.Contains(err.Error(), "same column pair") {
 		t.Errorf("want same-column-pair error, got %v", err)
 	}
 }
@@ -296,7 +296,7 @@ func TestCrossJoinNoCondition(t *testing.T) {
 }
 
 func TestBindFailsOnUnknownColumnAtBindTime(t *testing.T) {
-	plan, err := Compile(`SELECT NOPE FROM TOKEN`)
+	plan, _, err := Compile(`SELECT NOPE FROM TOKEN`)
 	if err != nil {
 		t.Fatalf("Compile should defer column resolution: %v", err)
 	}

@@ -72,7 +72,7 @@ func (db *DB) Query(ctx context.Context, sql string, opts ...QueryOption) (*Rows
 	// facade owns the output column names (the engine result carries only
 	// tuples), and local modes need the plan anyway. Compilation is
 	// microseconds against a sampling run.
-	plan, err := sqlparse.Compile(sql)
+	plan, spec, err := sqlparse.Compile(sql)
 	if err != nil {
 		db.countFailed()
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
@@ -81,11 +81,13 @@ func (db *DB) Query(ctx context.Context, sql string, opts ...QueryOption) (*Rows
 	if db.eng != nil {
 		return db.queryServed(ctx, sql, cols, qo)
 	}
-	return db.queryLocal(ctx, sql, plan, cols, qo)
+	return db.queryLocal(ctx, sql, plan, spec, cols, qo)
 }
 
 // queryServed delegates to the serving engine and maps its errors and
-// partial-result semantics onto the facade contract.
+// partial-result semantics onto the facade contract. Ranked clauses
+// (ORDER BY / LIMIT / the P pseudo-column) are applied by the engine at
+// snapshot-merge time, so Rows preserves the server-side order as-is.
 func (db *DB) queryServed(ctx context.Context, sql string, cols []string, qo queryOptions) (*Rows, error) {
 	res, err := db.eng.Query(ctx, sql, serve.QueryOptions{
 		Samples:    qo.samples,
@@ -122,14 +124,17 @@ func (db *DB) queryServed(ctx context.Context, sql string, cols []string, qo que
 		epoch:      res.Epoch,
 		confidence: res.Confidence,
 		partial:    res.Partial,
+		earlyStop:  res.EarlyStop,
 		cached:     res.Cached,
 		elapsed:    res.Elapsed,
 	}, nil
 }
 
 // queryLocal evaluates the query on a private chain in the calling
-// goroutine — Algorithm 3 (naive) or Algorithm 1 (materialized).
-func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, cols []string, qo queryOptions) (*Rows, error) {
+// goroutine — Algorithm 3 (naive) or Algorithm 1 (materialized) — and
+// applies the query's result-level ranking (ORDER BY / LIMIT / the P
+// pseudo-column) to the finished estimate.
+func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, spec ra.ResultSpec, cols []string, qo queryOptions) (*Rows, error) {
 	start := time.Now()
 	log, proposer, err := db.sys.NewChainWorld(0)
 	if err != nil {
@@ -174,7 +179,7 @@ func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, cols []s
 	db.latency.Observe(elapsed.Seconds())
 	return &Rows{
 		cols:       cols,
-		cis:        est.ResultsCI(normalQuantile(qo.confidence)),
+		cis:        core.SortTupleCIs(est.ResultsCI(normalQuantile(qo.confidence)), spec),
 		i:          -1,
 		samples:    est.Samples(),
 		chains:     1,

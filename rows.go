@@ -9,7 +9,8 @@ import (
 )
 
 // Rows is the streaming result of DB.Query: answer tuples sorted by
-// descending marginal probability, each carrying the tuple values, the
+// descending marginal probability — or by the query's ORDER BY clause,
+// with any LIMIT already applied — each carrying the tuple values, the
 // probability estimate, and its confidence interval. The iteration
 // protocol mirrors database/sql:
 //
@@ -34,6 +35,7 @@ type Rows struct {
 	epoch      int64
 	confidence float64
 	partial    bool
+	earlyStop  bool
 	cached     bool
 	elapsed    time.Duration
 
@@ -206,6 +208,13 @@ func (r *Rows) Confidence() float64 { return r.confidence }
 // close) and the estimate is built from fewer samples than requested.
 // Only queries opted into AllowPartial can observe true.
 func (r *Rows) Partial() bool { return r.partial }
+
+// EarlyStopped reports that a served ranked query (ORDER BY P DESC
+// LIMIT k) finished before its sample budget because the confidence
+// intervals already separated the top k from the rest — the answer's
+// membership could no longer change, so the engine returned the
+// remaining budget to the pool.
+func (r *Rows) EarlyStopped() bool { return r.earlyStop }
 
 // Cached reports whether the answer was served from the result cache.
 func (r *Rows) Cached() bool { return r.cached }

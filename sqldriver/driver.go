@@ -19,7 +19,9 @@
 // Every result row carries the query's output columns followed by three
 // trailing columns: P (the tuple's marginal probability), CI_LO and
 // CI_HI (its confidence interval). Result sets are ordered by descending
-// probability.
+// probability unless the query carries an ORDER BY clause; ORDER BY P
+// DESC LIMIT k ranks and truncates server-side, so the driver streams
+// exactly the top-k rows in rank order.
 //
 // The workload model is built — and for NER, trained — once per sql.DB
 // on first use, not per connection: all pooled connections share one

@@ -229,3 +229,85 @@ func TestBadDSN(t *testing.T) {
 		}
 	}
 }
+
+// TestRankedThreePaths is the ranked-query acceptance criterion: ORDER
+// BY P DESC LIMIT k returns identical tuples — same order, same
+// marginals — through all three consumption paths: the direct evaluator
+// (ranked by hand with the compiled result spec), factordb.DB.Query,
+// and database/sql. All three share one corpus, chain seed, thinning
+// interval and budget, so the walks — and hence the estimates — are
+// bitwise identical.
+func TestRankedThreePaths(t *testing.T) {
+	const k = 5
+	rankedSQL := factordb.Query1 + " ORDER BY P DESC LIMIT 5"
+	ctx := context.Background()
+
+	// Path 1: direct evaluator, ranked through the chain's compiled spec.
+	ch, err := directSystem(t).NewChain(core.Materialized, rankedSQL, testThin, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Evaluator.Run(testSamples, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := ch.RankedResultsCI(1.96)
+	if len(want) != k {
+		t.Fatalf("degenerate corpus: ranked reference has %d tuples, want %d", len(want), k)
+	}
+
+	check := func(path string, got [][2]any) {
+		t.Helper()
+		if len(got) != k {
+			t.Fatalf("%s: %d tuples, want %d", path, len(got), k)
+		}
+		for i, g := range got {
+			if g[0].(string) != want[i].Tuple[0].AsString() || g[1].(float64) != want[i].P {
+				t.Errorf("%s rank %d: (%v, %v) vs direct (%v, %v)",
+					path, i, g[0], g[1], want[i].Tuple[0].AsString(), want[i].P)
+			}
+		}
+	}
+
+	// Path 2: the factordb facade.
+	fdb, err := factordb.Open(
+		factordb.NER(factordb.NERConfig{Tokens: testTokens, Seed: testSeed, TrainSteps: testTrainSteps}),
+		factordb.WithSteps(testThin), factordb.WithSeed(testSeed), factordb.WithSamples(testSamples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fdb.Close()
+	frows, err := fdb.Query(ctx, rankedSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var facade [][2]any
+	for frows.Next() {
+		var s string
+		if err := frows.Scan(&s); err != nil {
+			t.Fatal(err)
+		}
+		facade = append(facade, [2]any{s, frows.Prob()})
+	}
+	frows.Close()
+	check("facade", facade)
+
+	// Path 3: database/sql.
+	srows, err := openShared(t, nerDSN+"&mode=materialized").QueryContext(ctx, rankedSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srows.Close()
+	var driver [][2]any
+	for srows.Next() {
+		var s string
+		var p, lo, hi float64
+		if err := srows.Scan(&s, &p, &lo, &hi); err != nil {
+			t.Fatal(err)
+		}
+		driver = append(driver, [2]any{s, p})
+	}
+	if err := srows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	check("database/sql", driver)
+}
