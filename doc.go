@@ -65,6 +65,43 @@
 // DB.Handler exposes the HTTP transport (POST /query, GET /healthz,
 // GET /metrics) that cmd/factordbd serves.
 //
+// # Plan IR: canonical form and fingerprints
+//
+// Every query, whatever its entry path (DB.Query, database/sql, HTTP),
+// lowers to the same canonical relational-algebra plan: the sqlparse
+// planner runs ra.Canonicalize on its output, which renames table
+// aliases positionally (and drops provably redundant qualifiers in
+// single-table plans), flattens and sorts AND/OR conjunctions, orients
+// comparisons (literals on the right), folds constant subexpressions,
+// and drops TRUE selections — without ever changing answer semantics or
+// output column names. Spelling variants of one query (whitespace,
+// keyword case, alias names, predicate order, flipped comparisons) are
+// therefore one plan.
+//
+// Two fingerprints key the layers above:
+//
+//   - ra.PlanFingerprint (prefix "qfp1:") hashes the canonical logical
+//     plan. The served-mode result cache keys on (plan fingerprint,
+//     result spec, samples, confidence) instead of the SQL text, so
+//     textual variants share one cache entry.
+//   - ra.Bound.Fingerprint (prefix "bfp1:") hashes the catalog-bound
+//     structure of every plan subtree — column positions rather than
+//     names, no aliases, no output names. The serving engine's per-chain
+//     view registries key physical materialized views on it: concurrent
+//     queries with equal plans share one incrementally maintained view
+//     per chain (refcounted, maintained once per walk batch regardless
+//     of subscriber count), and plans that merely overlap share the
+//     delta operators of their common subtrees. Per-query options that
+//     do not change the answer distribution — sample budget, confidence
+//     level — are deliberately excluded from view identity and applied
+//     at estimator-merge time.
+//
+// Stability: within one version prefix the encodings never change across
+// releases; incompatible changes bump the prefix ("qfp2:", "bfp2:"), so
+// stale keys miss rather than collide. The golden test
+// internal/sqlparse/testdata/fingerprints.golden pins the fingerprints
+// of the paper's queries to enforce this.
+//
 // # Internals
 //
 // The internal packages layer from model to server:

@@ -1,0 +1,142 @@
+package ivm
+
+import (
+	"math"
+
+	"factordb/internal/ra"
+)
+
+// Graph owns a set of shared delta operators keyed by bound-subtree
+// fingerprint (ra.Bound.Fingerprint) — the composable alternative to
+// NewView's private operator trees. Views whose plans share a prefix —
+// the same scan, the same pushed-down selection, the same join — share
+// one stateful operator and its maintenance work, so a delta round costs
+// each distinct physical subtree exactly once, however many views sit on
+// top of it. The graph is single-goroutine by design, like the views it
+// builds: one chain owns one graph.
+//
+// Protocol: call NextRound exactly once per base delta, then Apply the
+// same delta through every mounted view. The round counter is what lets
+// an operator shared by several views tell "second consumer of this
+// round's delta" (serve the memoized output) apart from "next delta"
+// (recompute); stateful operators fold each delta into their state
+// exactly once either way.
+type Graph struct {
+	round uint64
+	nodes map[string]*graphNode
+	hits  int64 // subtree reuses since construction
+}
+
+// NewGraph returns an empty shared-operator graph.
+func NewGraph() *Graph {
+	return &Graph{nodes: make(map[string]*graphNode)}
+}
+
+// graphNode wraps one shared operator with per-round output memoization
+// and a reference count (direct parents plus views rooted here).
+type graphNode struct {
+	g     *Graph
+	fp    string
+	inner op
+	kids  []*graphNode
+	refs  int
+	round uint64
+	memo  *ra.Bag
+}
+
+func (n *graphNode) init() (*ra.Bag, error) { return n.inner.init() }
+
+// apply computes the node's output delta once per round and serves the
+// memoized bag to every further consumer. Consumers treat operator
+// outputs as read-only throughout this package, so sharing the bag is
+// safe.
+func (n *graphNode) apply(d BaseDelta) *ra.Bag {
+	if n.round == n.g.round {
+		return n.memo
+	}
+	n.memo = n.inner.apply(d)
+	n.round = n.g.round
+	return n.memo
+}
+
+// NextRound starts a new delta round. Every mounted view must see the
+// same base delta within one round.
+func (g *Graph) NextRound() { g.round++ }
+
+// Nodes reports the number of live shared operators.
+func (g *Graph) Nodes() int { return len(g.nodes) }
+
+// SubtreeHits reports how many Mount calls reused an existing operator
+// subtree instead of building one.
+func (g *Graph) SubtreeHits() int64 { return g.hits }
+
+// Mount compiles b into a view whose operators are shared with every
+// other view mounted on this graph wherever subtree fingerprints match,
+// and initializes it with a full evaluation. Mounting re-initializes any
+// reused operators along the new view's path; their state is a
+// deterministic function of the current base relations, so concurrent
+// views observe no change. Mount must be called between rounds (never
+// between NextRound and the round's Apply calls).
+func (g *Graph) Mount(b *ra.Bound) (*View, error) {
+	root, err := g.mountNode(b)
+	if err != nil {
+		return nil, err
+	}
+	out, err := root.init()
+	if err != nil {
+		g.release(root)
+		return nil, err
+	}
+	return &View{root: root, result: out}, nil
+}
+
+// Unmount releases a mounted view's hold on its operators; operators no
+// longer referenced by any view are evicted along with their state. The
+// view must have been returned by this graph's Mount and must not be
+// Applied afterwards. Views built by NewView are not graph-managed and
+// are ignored.
+func (g *Graph) Unmount(v *View) {
+	if n, ok := v.root.(*graphNode); ok && n.g == g {
+		g.release(n)
+	}
+}
+
+func (g *Graph) release(n *graphNode) {
+	n.refs--
+	if n.refs > 0 {
+		return
+	}
+	delete(g.nodes, n.fp)
+	for _, k := range n.kids {
+		g.release(k)
+	}
+}
+
+func (g *Graph) mountNode(b *ra.Bound) (*graphNode, error) {
+	fp := b.Fingerprint()
+	if n, ok := g.nodes[fp]; ok {
+		n.refs++
+		g.hits++
+		return n, nil
+	}
+	// round starts poisoned so a freshly (re)mounted node never mistakes
+	// the current round for one it already served.
+	n := &graphNode{g: g, fp: fp, refs: 1, round: math.MaxUint64}
+	inner, err := compileNode(b, func(c *ra.Bound) (op, error) {
+		k, kerr := g.mountNode(c)
+		if kerr != nil {
+			return nil, kerr
+		}
+		n.kids = append(n.kids, k)
+		return k, nil
+	})
+	if err != nil {
+		for _, k := range n.kids {
+			g.release(k)
+		}
+		return nil, err
+	}
+	n.inner = inner
+	g.nodes[fp] = n
+	return n, nil
+}

@@ -1,0 +1,220 @@
+package ivm
+
+import (
+	"math/rand"
+	"testing"
+
+	"factordb/internal/ra"
+	"factordb/internal/relstore"
+)
+
+// graphPlans builds a family of plans sharing a selection prefix over
+// TOKEN: a projection, a distinct projection, and a grouped count all on
+// top of the same Select(Scan) subtree, plus one unrelated plan.
+func graphPlans() (shared []ra.Plan, unrelated ra.Plan) {
+	persons := func() ra.Plan {
+		return ra.NewSelect(ra.NewScan("TOKEN", "T"),
+			ra.Eq(ra.Col(ra.C("T", "LABEL")), ra.Const(relstore.String("B-PER"))))
+	}
+	shared = []ra.Plan{
+		ra.NewProject(persons(), ra.C("T", "STRING")),
+		ra.NewDistinct(ra.NewProject(persons(), ra.C("T", "DOC_ID"))),
+		ra.NewGroupAgg(persons(), []ra.ColRef{ra.C("T", "DOC_ID")},
+			ra.Agg{Fn: ra.FnCount, As: "N"}),
+	}
+	unrelated = ra.NewProject(
+		ra.NewSelect(ra.NewScan("TOKEN", "T"),
+			ra.Eq(ra.Col(ra.C("T", "LABEL")), ra.Const(relstore.String("B-ORG")))),
+		ra.C("T", "STRING"))
+	return shared, unrelated
+}
+
+// TestGraphSharesSubtreesAndStaysExact is the core oracle property of the
+// shared graph: several views mounted over a common prefix must track a
+// from-scratch evaluation through random delta batches, while physically
+// sharing the prefix operators.
+func TestGraphSharesSubtreesAndStaysExact(t *testing.T) {
+	db, tok, ids := buildTokenDB(200, 42)
+	g := NewGraph()
+	plans, _ := graphPlans()
+
+	var views []*View
+	var bounds []*ra.Bound
+	for _, p := range plans {
+		b, err := ra.Bind(db, ra.Canonicalize(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := g.Mount(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, v)
+		bounds = append(bounds, b)
+	}
+
+	// Private node counts: 3 + 4 + 3 = 10 operators; the shared graph
+	// needs only 2 (scan, select) + 1 + 2 + 2 = 7.
+	if g.Nodes() >= 10 {
+		t.Errorf("graph holds %d nodes — no sharing happened", g.Nodes())
+	}
+	// A hit lands on the highest shared node only (recursion stops there):
+	// one per later view reusing the Select(Scan) prefix.
+	if g.SubtreeHits() < 2 {
+		t.Errorf("subtree hits = %d, want >= 2 (prefix reused by two later views)", g.SubtreeHits())
+	}
+
+	rng := rand.New(rand.NewSource(43))
+	for batch := 0; batch < 30; batch++ {
+		d := NewBaseDelta()
+		for f := 0; f < 5; f++ {
+			flipLabel(rng, tok, ids, d)
+		}
+		g.NextRound()
+		for i, v := range views {
+			v.Apply(d)
+			full, err := ra.Eval(bounds[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.Result().Equal(full) {
+				t.Fatalf("batch %d view %d diverged from full evaluation", batch, i)
+			}
+		}
+	}
+}
+
+// TestGraphExactViewSharing mounts the same plan twice: the root operator
+// is shared (refcounted), both views stay exact, and unmounting one keeps
+// the other alive.
+func TestGraphExactViewSharing(t *testing.T) {
+	db, tok, ids := buildTokenDB(120, 7)
+	g := NewGraph()
+	plans, _ := graphPlans()
+	b1, err := ra.Bind(db, ra.Canonicalize(plans[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ra.Bind(db, ra.Canonicalize(plans[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := g.Mount(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesAfterFirst := g.Nodes()
+	v2, err := g.Mount(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != nodesAfterFirst {
+		t.Errorf("mounting an identical plan grew the graph: %d -> %d", nodesAfterFirst, g.Nodes())
+	}
+
+	rng := rand.New(rand.NewSource(8))
+	step := func() {
+		d := NewBaseDelta()
+		for f := 0; f < 4; f++ {
+			flipLabel(rng, tok, ids, d)
+		}
+		g.NextRound()
+		v1.Apply(d)
+		if v2 != nil {
+			v2.Apply(d)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		step()
+	}
+	if !v1.Result().Equal(v2.Result()) {
+		t.Fatal("twin views over one shared root diverged")
+	}
+
+	g.Unmount(v2)
+	v2 = nil
+	if g.Nodes() != nodesAfterFirst {
+		t.Errorf("unmounting one of two twins evicted shared nodes: %d nodes", g.Nodes())
+	}
+	for i := 0; i < 10; i++ {
+		step()
+	}
+	full, err := ra.Eval(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Result().Equal(full) {
+		t.Fatal("surviving twin diverged after its sibling unmounted")
+	}
+
+	g.Unmount(v1)
+	if g.Nodes() != 0 {
+		t.Errorf("graph not empty after final unmount: %d nodes", g.Nodes())
+	}
+}
+
+// TestGraphMidStreamMount mounts a second view after the world has
+// drifted: the reused prefix re-initializes from the current base, and
+// both the newcomer and the veteran stay exact afterwards.
+func TestGraphMidStreamMount(t *testing.T) {
+	db, tok, ids := buildTokenDB(150, 11)
+	g := NewGraph()
+	plans, unrelated := graphPlans()
+	b1, err := ra.Bind(db, ra.Canonicalize(plans[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := g.Mount(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(12))
+	apply := func(views ...*View) {
+		d := NewBaseDelta()
+		for f := 0; f < 5; f++ {
+			flipLabel(rng, tok, ids, d)
+		}
+		g.NextRound()
+		for _, v := range views {
+			v.Apply(d)
+		}
+	}
+	for i := 0; i < 15; i++ {
+		apply(v1)
+	}
+
+	// Late arrivals: one sharing the prefix, one unrelated.
+	b2, err := ra.Bind(db, ra.Canonicalize(plans[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := g.Mount(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := ra.Bind(db, ra.Canonicalize(unrelated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := g.Mount(b3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 15; i++ {
+		apply(v1, v2, v3)
+		for j, pair := range []struct {
+			v *View
+			b *ra.Bound
+		}{{v1, b1}, {v2, b2}, {v3, b3}} {
+			full, err := ra.Eval(pair.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pair.v.Result().Equal(full) {
+				t.Fatalf("view %d diverged after mid-stream mount", j)
+			}
+		}
+	}
+}

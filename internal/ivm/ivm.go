@@ -98,44 +98,54 @@ func (v *View) Apply(d BaseDelta) *ra.Bag {
 	return out
 }
 
-func compile(b *ra.Bound) (op, error) {
+// childCompiler turns a bound subtree into its delta operator. Private
+// views compile children with plain recursion; a Graph routes children
+// through its fingerprint-keyed node table so equal subtrees share one
+// stateful operator (see graph.go).
+type childCompiler func(*ra.Bound) (op, error)
+
+func compile(b *ra.Bound) (op, error) { return compileNode(b, compile) }
+
+// compileNode builds the operator for one node, obtaining child operators
+// through cc.
+func compileNode(b *ra.Bound, cc childCompiler) (op, error) {
 	switch b.Kind {
 	case ra.KScan:
 		return &scanOp{b: b}, nil
 	case ra.KSelect:
-		child, err := compile(b.Children[0])
+		child, err := cc(b.Children[0])
 		if err != nil {
 			return nil, err
 		}
 		return &selectOp{b: b, child: child}, nil
 	case ra.KProject:
-		child, err := compile(b.Children[0])
+		child, err := cc(b.Children[0])
 		if err != nil {
 			return nil, err
 		}
 		return &projectOp{b: b, child: child}, nil
 	case ra.KJoin:
-		left, err := compile(b.Children[0])
+		left, err := cc(b.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		right, err := compile(b.Children[1])
+		right, err := cc(b.Children[1])
 		if err != nil {
 			return nil, err
 		}
 		return &joinOp{b: b, left: left, right: right}, nil
 	case ra.KGroupAgg:
-		child, err := compile(b.Children[0])
+		child, err := cc(b.Children[0])
 		if err != nil {
 			return nil, err
 		}
 		return newGroupAggOp(b, child), nil
 	case ra.KUnion, ra.KDiff:
-		left, err := compile(b.Children[0])
+		left, err := cc(b.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		right, err := compile(b.Children[1])
+		right, err := cc(b.Children[1])
 		if err != nil {
 			return nil, err
 		}
@@ -144,13 +154,13 @@ func compile(b *ra.Bound) (op, error) {
 		}
 		return &diffOp{b: b, left: left, right: right}, nil
 	case ra.KDistinct:
-		child, err := compile(b.Children[0])
+		child, err := cc(b.Children[0])
 		if err != nil {
 			return nil, err
 		}
 		return &distinctOp{b: b, child: child}, nil
 	case ra.KOrderLimit:
-		child, err := compile(b.Children[0])
+		child, err := cc(b.Children[0])
 		if err != nil {
 			return nil, err
 		}

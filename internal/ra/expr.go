@@ -105,8 +105,11 @@ func Cmp(op CmpOp, l, r Expr) Expr { return cmpExpr{op, l, r} }
 // Eq builds l = r.
 func Eq(l, r Expr) Expr { return cmpExpr{OpEq, l, r} }
 
+// String parenthesizes the comparison so renderings are injective over
+// expression structure: a = (b = c) and (a = b) = c must not both read
+// "a = b = c" — the canonical-plan fingerprint hashes this rendering.
 func (e cmpExpr) String() string {
-	return fmt.Sprintf("%s %s %s", e.l, e.op, e.r)
+	return fmt.Sprintf("(%s %s %s)", e.l, e.op, e.r)
 }
 
 func comparable2(a, b relstore.Type) bool {

@@ -1,0 +1,113 @@
+package ra
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// Fingerprint returns a stable structural content hash of the bound
+// subtree rooted at b. Every node of a bound tree exposes its own
+// fingerprint, so consumers (the ivm operator graph, the serving
+// engine's per-chain view registries) can detect shared prefixes at any
+// depth, not just whole-plan equality.
+//
+// The hash covers exactly what determines the subtree's output tuples:
+// node kinds, table names, resolved column positions, bound predicate
+// structure with literal values, aggregate functions and argument
+// positions, and sort/limit parameters. It deliberately excludes
+// presentation-only state — scan aliases, output column names, aggregate
+// AS names — so plans differing only in naming share physical views.
+//
+// Stability contract: the "bfp1:" prefix versions the encoding. Within
+// one version, the fingerprint of a given plan structure never changes
+// across releases; any incompatible change to the encoding bumps the
+// prefix, so persisted fingerprints can never silently collide across
+// versions. Fingerprints are memoized per node; Bound trees must not be
+// structurally mutated after the first Fingerprint call.
+func (b *Bound) Fingerprint() string {
+	if b.fp == "" {
+		h := sha256.New()
+		b.writeFP(h)
+		b.fp = "bfp1:" + hex.EncodeToString(h.Sum(nil)[:16])
+	}
+	return b.fp
+}
+
+// writeFP streams the node's canonical encoding: a kind tag, the local
+// payload, then the children's (memoized) fingerprints. Each component
+// is delimited so the encoding is injective over bound-tree structure.
+func (b *Bound) writeFP(w io.Writer) {
+	fmt.Fprintf(w, "n%d(", b.Kind)
+	switch b.Kind {
+	case KScan:
+		io.WriteString(w, b.Table)
+	case KSelect:
+		writeBExprFP(w, b.Pred)
+	case KProject:
+		fmt.Fprintf(w, "%v", b.ProjIdx)
+	case KJoin:
+		fmt.Fprintf(w, "%v|%v|", b.LeftKey, b.RightKey)
+		if b.Filter != nil {
+			writeBExprFP(w, b.Filter)
+		}
+	case KGroupAgg:
+		fmt.Fprintf(w, "%v|", b.GroupIdx)
+		for _, a := range b.Aggs {
+			fmt.Fprintf(w, "a%d,%d,%d(", a.Fn, a.ArgIdx, a.Out)
+			if a.Pred != nil {
+				writeBExprFP(w, a.Pred)
+			}
+			io.WriteString(w, ")")
+		}
+	case KOrderLimit:
+		fmt.Fprintf(w, "%v|%v|%d", b.SortIdx, b.SortDesc, b.Limit)
+	}
+	io.WriteString(w, ")")
+	for _, c := range b.Children {
+		io.WriteString(w, c.Fingerprint())
+	}
+}
+
+// writeBExprFP encodes a bound expression injectively: column positions,
+// literal values via their injective key encoding, and operator structure.
+func writeBExprFP(w io.Writer, e BExpr) {
+	switch x := e.(type) {
+	case boundCol:
+		fmt.Fprintf(w, "c%d", x.idx)
+	case boundConst:
+		io.WriteString(w, "k")
+		io.WriteString(w, x.v.Key())
+	case boundCmp:
+		fmt.Fprintf(w, "(%d ", x.op)
+		writeBExprFP(w, x.l)
+		io.WriteString(w, " ")
+		writeBExprFP(w, x.r)
+		io.WriteString(w, ")")
+	case boundAnd:
+		io.WriteString(w, "&(")
+		for _, t := range x.terms {
+			writeBExprFP(w, t)
+			io.WriteString(w, " ")
+		}
+		io.WriteString(w, ")")
+	case boundOr:
+		io.WriteString(w, "|(")
+		for _, t := range x.terms {
+			writeBExprFP(w, t)
+			io.WriteString(w, " ")
+		}
+		io.WriteString(w, ")")
+	case boundNot:
+		io.WriteString(w, "!(")
+		writeBExprFP(w, x.inner)
+		io.WriteString(w, ")")
+	default:
+		// Every BExpr implementation lives in this package and must add a
+		// case above: a reflected fallback could embed pointer addresses
+		// and silently break fingerprint equality (no sharing, no cache
+		// hits) instead of failing loudly here.
+		panic(fmt.Sprintf("ra: BExpr %T has no fingerprint encoding", e))
+	}
+}

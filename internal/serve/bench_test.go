@@ -3,10 +3,68 @@ package serve
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"factordb/internal/exp"
+	"factordb/internal/sqlparse"
 )
+
+// BenchmarkSharedViews measures the registry payoff: wall time for N
+// concurrent identical queries (the ten-dashboards workload) against one
+// chain. A standing subscription pins the physical view — the dashboard
+// scenario, and a deterministic rendezvous even on a single-CPU
+// scheduler — so all N timed queries attach to it: per-batch view
+// maintenance is independent of N and total time stays ~flat. Without
+// the registry each query owned a private view and the per-epoch cost
+// grew linearly in N. Runs in -short mode by design: the CI bench smoke
+// job must exercise it.
+func BenchmarkSharedViews(b *testing.B) {
+	sys := testSystem(b)
+	const budget = 128
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("queries=%d", n), func(b *testing.B) {
+			eng, err := New(sys, Config{Chains: 1, StepsPerSample: 100, Seed: 13,
+				MaxConcurrentQueries: 2 * n, MaxQueuedQueries: 2 * n})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			ctx := context.Background()
+			plan, _, err := sqlparse.Compile(exp.Query4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			holdID := viewID(eng.nextID.Add(1))
+			if _, err := eng.chains[0].registerView(ctx, registerReq{
+				id: holdID, plan: plan, target: 1 << 62, done: make(chan struct{}),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			defer eng.chains[0].unregister(holdID)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for q := 0; q < n; q++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if _, err := eng.Query(ctx, exp.Query4,
+							QueryOptions{Samples: budget, NoCache: true}); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			if hits := eng.m.viewHits.Value(); int(hits) < n*b.N {
+				b.Logf("warning: only %d view hits for %d queries x %d iters — sharing did not engage",
+					hits, n, b.N)
+			}
+		})
+	}
+}
 
 // BenchmarkEngineChainScaling measures wall time to answer one query with
 // a fixed total sample budget as the chain pool grows. Chains walk truly

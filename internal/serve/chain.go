@@ -5,40 +5,33 @@ import (
 	"sync/atomic"
 
 	"factordb/internal/core"
-	"factordb/internal/ivm"
 	"factordb/internal/mcmc"
 	"factordb/internal/ra"
 	"factordb/internal/world"
 )
 
-// viewID identifies one registered query view within the engine.
+// viewID identifies one query's subscription to a view within the engine.
 type viewID int64
 
-// chainView is one query's materialized view on one chain, owned entirely
-// by the chain goroutine. Readers never touch it: they consume the
-// epoch-stamped estimator snapshots published through cell.
-type chainView struct {
-	id     viewID
-	view   *ivm.View
-	est    *core.Estimator
-	target int64 // samples to collect before the view completes
-	cell   *world.Cell[*core.Estimator]
-	done   chan struct{} // closed by the chain when target is reached
-}
-
-// registerReq asks a chain to bind a plan against its world and start
-// sampling it. The reply carries the bind error, if any.
+// registerReq asks a chain to bind a plan against its world and subscribe
+// the query to the matching shared view (creating it on first use). The
+// reply carries the view's snapshot cell, or the bind error.
 type registerReq struct {
 	id     viewID
 	plan   ra.Plan
 	target int64
-	cell   *world.Cell[*core.Estimator]
 	done   chan struct{}
-	reply  chan error
+	reply  chan registerReply
 }
 
-// unregisterReq detaches a view (query cancelled or timed out). The reply
-// is closed once the view is gone so the caller can reuse the world.
+type registerReply struct {
+	cell *world.Cell[*core.Estimator]
+	err  error
+}
+
+// unregisterReq detaches a subscriber (query cancelled or timed out). The
+// reply is closed once the subscription is gone so the caller knows no
+// further completion signal will fire.
 type unregisterReq struct {
 	id    viewID
 	reply chan struct{}
@@ -47,18 +40,20 @@ type unregisterReq struct {
 // chain is one member of the engine's pool: a private copy of the world
 // walked by its own Metropolis-Hastings sampler. All views registered on
 // the chain share the walk — one batch of k steps produces one sample for
-// every in-flight query, which is the paper's materialization trick
-// amortized across concurrent queries.
+// every in-flight query — and the view registry goes further: queries
+// whose plans share a fingerprint share one physical view, so the
+// view-maintenance cost of a batch is paid per distinct plan, not per
+// query.
 type chain struct {
 	id      int
 	steps   int // k, walk-steps per epoch
 	log     *world.ChangeLog
 	sampler *mcmc.Sampler
 
-	ctl   chan any // registerReq | unregisterReq
-	stop  chan struct{}
-	done  chan struct{}
-	views map[viewID]*chainView
+	ctl  chan any // registerReq | unregisterReq
+	stop chan struct{}
+	done chan struct{}
+	reg  *viewRegistry
 
 	// curEpoch mirrors log.Epoch() for readers outside the chain
 	// goroutine (health checks); the log itself is goroutine-private.
@@ -76,7 +71,7 @@ func newChain(id, steps int, log *world.ChangeLog, p mcmc.Proposer, seed int64, 
 		ctl:     make(chan any),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
-		views:   make(map[viewID]*chainView),
+		reg:     newViewRegistry(),
 		m:       m,
 	}
 }
@@ -93,7 +88,7 @@ func (c *chain) run(burnIn int) {
 		c.curEpoch.Store(c.log.Epoch())
 	}
 	for {
-		if len(c.views) == 0 {
+		if c.reg.empty() {
 			select {
 			case <-c.stop:
 				return
@@ -115,20 +110,28 @@ func (c *chain) run(burnIn int) {
 }
 
 // epoch advances the walk by k steps, folds the resulting Δ⁻/Δ⁺ delta
-// into every registered view, and publishes fresh estimator snapshots.
+// into every physical view exactly once — regardless of how many queries
+// subscribe to each — and publishes one fresh estimator snapshot per
+// view, shared by all its subscribers. Subscribers whose sample budgets
+// are met complete here; a view's last completion evicts it.
 func (c *chain) epoch() {
 	c.walk(c.steps)
 	d := c.log.Drain()
 	epoch := c.log.Epoch()
 	c.curEpoch.Store(epoch)
-	for id, v := range c.views {
-		v.view.Apply(d)
-		v.est.AddSample(v.view.Result())
-		c.m.samples.Inc()
-		v.cell.Publish(epoch, v.est.Clone())
-		if v.est.Samples() >= v.target {
-			close(v.done)
-			delete(c.views, id)
+	c.reg.graph.NextRound()
+	for _, pv := range c.reg.byFP {
+		pv.view.Apply(d)
+		pv.est.AddSample(pv.view.Result())
+		// Every subscriber receives this sample; the walk and the view
+		// maintenance were paid once.
+		c.m.samples.Add(int64(len(pv.subs)))
+		pv.cell.Publish(epoch, pv.est.Clone())
+		for id, sub := range pv.subs {
+			if pv.est.Samples()-sub.start >= sub.target {
+				close(sub.done)
+				c.reg.dropSub(id)
+			}
 		}
 	}
 }
@@ -144,35 +147,33 @@ func (c *chain) walk(n int) {
 func (c *chain) handle(msg any) {
 	switch req := msg.(type) {
 	case registerReq:
-		req.reply <- c.register(req)
+		cell, err := c.register(req)
+		req.reply <- registerReply{cell: cell, err: err}
 	case unregisterReq:
-		delete(c.views, req.id)
+		c.reg.dropSub(req.id)
 		close(req.reply)
 	default:
 		panic(fmt.Sprintf("serve: unknown chain control message %T", msg))
 	}
 }
 
-// register binds the plan against this chain's world. Control messages
-// are only handled at epoch boundaries, right after a Drain, so the store
-// holds no pending deltas and the freshly initialized view is consistent
-// with the world from its first sample on.
-func (c *chain) register(req registerReq) error {
+// register binds the plan against this chain's world and subscribes the
+// query through the view registry. Control messages are only handled at
+// epoch boundaries, right after a Drain, so the store holds no pending
+// deltas and a freshly mounted view is consistent with the world from its
+// first sample on; an existing view is reused as-is (its estimator state
+// is a valid prefix of the same chain's walk).
+func (c *chain) register(req registerReq) (*world.Cell[*core.Estimator], error) {
 	bound, err := ra.Bind(c.log.DB(), req.plan)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	view, err := ivm.NewView(bound)
+	pv, hit, err := c.reg.acquire(req.id, bound, req.target, req.done)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	c.views[req.id] = &chainView{
-		id:     req.id,
-		view:   view,
-		est:    core.NewEstimator(),
-		target: req.target,
-		cell:   req.cell,
-		done:   req.done,
+	if hit {
+		c.m.viewHits.Inc()
 	}
-	return nil
+	return pv.cell, nil
 }

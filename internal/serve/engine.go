@@ -5,15 +5,20 @@
 //
 // The design generalizes the paper's materialization trick (Section 4.2)
 // from one query to many: each chain owns a private clone of the world;
-// every in-flight query registers an incrementally maintained view on
+// every in-flight query subscribes to an incrementally maintained view on
 // every chain; and one batch of k walk-steps then yields one sample for
 // all of them at once, so the walk cost is amortized across the whole
-// concurrent workload. Chains publish epoch-stamped estimator snapshots
-// (world.Cell) after each batch, which is how query sessions read
-// consistent marginals without ever blocking the walk. Merging the
-// per-chain estimators is the paper's Section 5.4 parallelization:
-// samples from different chains are far more independent than consecutive
-// samples within one.
+// concurrent workload. Views themselves are shared too: each chain's
+// registry keys physical views by the bound plan's structural fingerprint,
+// so queries with equal plans — whatever their SQL spelling or per-query
+// options — subscribe to one refcounted view that is maintained exactly
+// once per batch, and overlapping plans share the delta operators of
+// their common subtrees through the chain's ivm.Graph. Chains publish
+// epoch-stamped estimator snapshots (world.Cell) after each batch, which
+// is how query sessions read consistent marginals without ever blocking
+// the walk. Merging the per-chain estimators is the paper's Section 5.4
+// parallelization: samples from different chains are far more independent
+// than consecutive samples within one.
 package serve
 
 import (
@@ -117,6 +122,7 @@ type engineMetrics struct {
 	rejected  *metrics.Counter
 	failed    *metrics.Counter
 	hits      *metrics.Counter
+	viewHits  *metrics.Counter
 	topkStops *metrics.Counter
 	latency   *metrics.Summary
 }
@@ -176,6 +182,8 @@ func newEngineMetrics() *engineMetrics {
 		rejected: reg.NewCounter("factordb_queries_rejected_total", "queries rejected by admission control"),
 		failed:   reg.NewCounter("factordb_queries_failed_total", "queries that failed to compile or bind"),
 		hits:     reg.NewCounter("factordb_cache_hits_total", "queries answered from the result cache"),
+		viewHits: reg.NewCounter("factordb_view_cache_hits_total",
+			"view registrations that reused an existing shared view (per chain)"),
 		topkStops: reg.NewCounter("factordb_topk_early_stops_total",
 			"ranked queries finished early because the top-k separated"),
 		latency: reg.NewSummary("factordb_query_seconds", "per-query latency in seconds"),
@@ -204,6 +212,20 @@ func (e *Engine) registerDerivedMetrics() {
 		})
 	e.m.reg.NewGaugeFunc("factordb_queries_inflight", "queries currently admitted",
 		func() float64 { return float64(e.admit.inFlight()) })
+	e.m.reg.NewGaugeFunc("factordb_shared_views",
+		"physical materialized views currently maintained across all chains",
+		func() float64 { return float64(e.sharedViews()) })
+}
+
+// sharedViews sums the live physical-view count over the chain pool.
+// With queries in flight this is chains × distinct-plans, independent of
+// how many queries subscribe to each plan.
+func (e *Engine) sharedViews() int64 {
+	var n int64
+	for _, c := range e.chains {
+		n += c.reg.sharedViews()
+	}
+	return n
 }
 
 // Metrics exposes the engine's metric registry (the /metrics endpoint).

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"factordb/internal/core"
+	"factordb/internal/ivm"
+	"factordb/internal/ra"
+	"factordb/internal/world"
+)
+
+// subscriber is one query's stake in a physical view on one chain: how
+// many fresh samples it still wants (target, counted from the view's
+// sample count at attach time) and the channel the chain closes when the
+// target is met.
+type subscriber struct {
+	target int64
+	start  int64 // physical view's sample count when this subscriber attached
+	done   chan struct{}
+}
+
+// physicalView is one materialized view maintained exactly once per
+// epoch, however many queries subscribe to it. Its estimator accumulates
+// one sample per epoch since the view was created; subscribers meter
+// their budgets against it via start offsets, and all of them read the
+// same published snapshot cell. Query options that do not change the
+// answer distribution — sample budget, confidence level — never reach
+// this type: they are applied at estimator-merge time in the session.
+type physicalView struct {
+	fp   string
+	view *ivm.View
+	est  *core.Estimator
+	cell *world.Cell[*core.Estimator]
+	subs map[viewID]*subscriber
+}
+
+// viewRegistry is the per-chain shared-view table: it keys physical
+// views by the structural fingerprint of their bound plan, so any number
+// of concurrent queries with equal plans — whatever their SQL spelling
+// or per-query options — cost one view maintenance per walk batch. Plans
+// that are not equal but overlap still share state below the registry:
+// views are mounted on the chain's ivm.Graph, which reuses delta
+// operators per common subtree.
+//
+// The registry is owned by the chain goroutine; only sharedViews is safe
+// to read from outside (it backs the factordb_shared_views gauge).
+type viewRegistry struct {
+	graph *ivm.Graph
+	byFP  map[string]*physicalView
+	bySub map[viewID]*physicalView
+	size  atomic.Int64
+}
+
+func newViewRegistry() *viewRegistry {
+	return &viewRegistry{
+		graph: ivm.NewGraph(),
+		byFP:  make(map[string]*physicalView),
+		bySub: make(map[viewID]*physicalView),
+	}
+}
+
+// acquire attaches a subscriber to the physical view for bound's
+// fingerprint, building and mounting the view if this is its first
+// subscriber. It reports whether an existing view was reused.
+func (r *viewRegistry) acquire(id viewID, bound *ra.Bound, target int64, done chan struct{}) (pv *physicalView, hit bool, err error) {
+	fp := bound.Fingerprint()
+	pv = r.byFP[fp]
+	if pv == nil {
+		view, err := r.graph.Mount(bound)
+		if err != nil {
+			return nil, false, err
+		}
+		pv = &physicalView{
+			fp:   fp,
+			view: view,
+			est:  core.NewEstimator(),
+			cell: &world.Cell[*core.Estimator]{},
+			subs: make(map[viewID]*subscriber),
+		}
+		r.byFP[fp] = pv
+		r.size.Store(int64(len(r.byFP)))
+	} else {
+		hit = true
+	}
+	pv.subs[id] = &subscriber{target: target, start: pv.est.Samples(), done: done}
+	r.bySub[id] = pv
+	return pv, hit, nil
+}
+
+// dropSub detaches one subscriber (budget met, cancellation, or timeout).
+// A view whose last subscriber leaves is evicted and unmounted, releasing
+// any operator state not shared with other live views. Unknown ids are
+// no-ops, so completion and cancellation may race benignly.
+func (r *viewRegistry) dropSub(id viewID) {
+	pv := r.bySub[id]
+	if pv == nil {
+		return
+	}
+	delete(r.bySub, id)
+	delete(pv.subs, id)
+	if len(pv.subs) == 0 {
+		delete(r.byFP, pv.fp)
+		r.graph.Unmount(pv.view)
+		r.size.Store(int64(len(r.byFP)))
+	}
+}
+
+// empty reports whether no physical views are live (the chain may park).
+func (r *viewRegistry) empty() bool { return len(r.byFP) == 0 }
+
+// sharedViews reports the live physical-view count; safe from any
+// goroutine.
+func (r *viewRegistry) sharedViews() int64 { return r.size.Load() }

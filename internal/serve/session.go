@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"factordb/internal/core"
+	"factordb/internal/ra"
 	"factordb/internal/sqlparse"
 	"factordb/internal/world"
 )
@@ -125,19 +127,26 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 		return nil, fmt.Errorf("%w: confidence %v outside (0,1)", ErrBadQuery, opts.Confidence)
 	}
 
-	key := fmt.Sprintf("%s|n=%d|c=%v", sql, opts.Samples, opts.Confidence)
-	if !opts.NoCache {
-		if res, ok := e.cache.get(key, time.Now()); ok {
-			e.m.hits.Inc()
-			res.Cached = true
-			return res, nil
-		}
-	}
-
+	// Compile before the cache probe: the cache keys on the canonical
+	// plan's fingerprint rather than the SQL text, so whitespace, keyword
+	// case, alias spelling, and predicate-order variants of one query are
+	// one entry. Compilation is microseconds against a sampling run.
 	plan, spec, err := sqlparse.Compile(sql)
 	if err != nil {
 		e.m.failed.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	// The key adds the result-level spec (ORDER BY P / LIMIT shape the
+	// cached presentation) and the per-query options that scale the
+	// estimate; plan identity itself is options-free.
+	key := fmt.Sprintf("%s|%s|n=%d|c=%v", ra.CanonicalFingerprint(plan), specKey(spec), opts.Samples, opts.Confidence)
+	if !opts.NoCache {
+		if res, ok := e.cache.get(key, time.Now()); ok {
+			e.m.hits.Inc()
+			res.Cached = true
+			res.SQL = sql // a fingerprint hit may come from a textual variant
+			return res, nil
+		}
 	}
 
 	if err := e.admit.acquire(ctx); err != nil {
@@ -166,16 +175,16 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 		reg := registration{
 			c:    c,
 			id:   viewID(e.nextID.Add(1)),
-			cell: &world.Cell[*core.Estimator]{},
 			done: make(chan struct{}),
 		}
-		if err := c.registerView(ctx, registerReq{
+		cell, err := c.registerView(ctx, registerReq{
 			id:     reg.id,
 			plan:   plan,
 			target: perChain,
-			cell:   reg.cell,
 			done:   reg.done,
-		}); err != nil {
+		})
+		reg.cell = cell
+		if err != nil {
 			e.m.failed.Inc()
 			if errors.Is(err, ErrClosed) || errors.Is(err, ctx.Err()) {
 				return nil, err
@@ -341,22 +350,43 @@ func topKSeparated(regs []registration, k int64, z float64) bool {
 }
 
 // registerView sends a registration to the chain goroutine and waits for
-// the bind result, honoring ctx and engine shutdown.
-func (c *chain) registerView(ctx context.Context, req registerReq) error {
-	req.reply = make(chan error, 1)
+// the bind result — the shared view's snapshot cell — honoring ctx and
+// engine shutdown.
+func (c *chain) registerView(ctx context.Context, req registerReq) (*world.Cell[*core.Estimator], error) {
+	req.reply = make(chan registerReply, 1)
 	select {
 	case c.ctl <- req:
 	case <-c.done:
-		return ErrClosed
+		return nil, ErrClosed
 	case <-ctx.Done():
-		return ctx.Err()
+		return nil, ctx.Err()
 	}
 	select {
-	case err := <-req.reply:
-		return err
+	case rep := <-req.reply:
+		return rep.cell, rep.err
 	case <-c.done:
-		return ErrClosed
+		return nil, ErrClosed
 	}
+}
+
+// specKey renders a ResultSpec as a stable cache-key component.
+func specKey(spec ra.ResultSpec) string {
+	var sb strings.Builder
+	sb.WriteString("o=")
+	for _, o := range spec.Order {
+		if o.ByProb {
+			sb.WriteString("P")
+		} else {
+			fmt.Fprintf(&sb, "%d", o.Index)
+		}
+		if o.Desc {
+			sb.WriteByte('-')
+		} else {
+			sb.WriteByte('+')
+		}
+	}
+	fmt.Fprintf(&sb, ";l=%d", spec.Limit)
+	return sb.String()
 }
 
 // unregister detaches a view, waiting until the chain has dropped it so

@@ -147,7 +147,16 @@ func PlanQuery(q *Query) (ra.Plan, ra.ResultSpec, error) {
 	if q.Distinct {
 		lowered = ra.NewDistinct(lowered)
 	}
-	return lowerOrderLimit(q, lowered, spec)
+	final, spec, err := lowerOrderLimit(q, lowered, spec)
+	if err != nil {
+		return nil, spec, err
+	}
+	// Emit the canonical form: textual variants of one query (whitespace,
+	// keyword case, alias spelling, predicate order, flipped comparisons)
+	// lower to identical plans, so every fingerprint-keyed layer above —
+	// the serving engine's result cache and the per-chain shared-view
+	// registries — treats them as one query.
+	return ra.Canonicalize(final), spec, nil
 }
 
 // lowerOrderLimit splits ORDER BY / LIMIT between a per-world top-k plan

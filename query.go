@@ -34,7 +34,10 @@ func Samples(n int) QueryOption { return func(o *queryOptions) { o.samples = n }
 // for this query.
 func Confidence(c float64) QueryOption { return func(o *queryOptions) { o.confidence = c } }
 
-// NoCache bypasses the served-mode result cache for this query.
+// NoCache bypasses the served-mode result cache for this query. The
+// cache is keyed by the canonical plan's fingerprint plus the query
+// options, not the SQL text: spelling variants of one query share an
+// entry, while different budgets or confidence levels do not.
 func NoCache() QueryOption { return func(o *queryOptions) { o.noCache = true } }
 
 // AllowPartial opts into anytime semantics: if the context expires (or
@@ -71,7 +74,12 @@ func (db *DB) Query(ctx context.Context, sql string, opts ...QueryOption) (*Rows
 	// Compile here even though the served engine compiles again: the
 	// facade owns the output column names (the engine result carries only
 	// tuples), and local modes need the plan anyway. Compilation is
-	// microseconds against a sampling run.
+	// microseconds against a sampling run. The planner emits canonical
+	// plans (ra.Canonicalize), and the engine keys both its result cache
+	// and its per-chain shared views by plan fingerprint rather than SQL
+	// text — so however a query reaches the engine (this facade, the
+	// database/sql driver, or HTTP) and however it is spelled, equal
+	// queries share cache entries and materialized views.
 	plan, spec, err := sqlparse.Compile(sql)
 	if err != nil {
 		db.countFailed()

@@ -26,6 +26,10 @@
 // The workload model is built — and for NER, trained — once per sql.DB
 // on first use, not per connection: all pooled connections share one
 // underlying factordb.DB, which is released when the sql.DB is closed.
+// In served mode the engine identifies queries by the fingerprint of
+// their canonical plan rather than the SQL text, so spelling variants of
+// one query issued across pooled connections share a result-cache entry
+// and, while concurrently in flight, one materialized view per chain.
 // Statements take no placeholder arguments, and Exec and transactions
 // are not supported: the store is a sampled possible world, mutated only
 // by its MCMC chains.
