@@ -8,6 +8,11 @@
 //	factordb -tokens 50000 -query "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'" -samples 200
 //	factordb -paper-query 3 -mode naive
 //	factordb -paper-query 4 -limit 10   # ranked: ORDER BY P DESC LIMIT 10
+//	factordb -exec "UPDATE TOKEN SET STRING='Boston' WHERE TOK_ID=4" -paper-query 4
+//
+// -exec applies a DML statement (INSERT, UPDATE or DELETE) before the
+// query runs: an evidence correction whose effect the following query
+// shows without rebuilding or retraining anything.
 package main
 
 import (
@@ -33,6 +38,7 @@ func main() {
 		top     = flag.Int("top", 20, "print at most this many answer tuples")
 		limit   = flag.Int("limit", 0, "rank in SQL: append ORDER BY P DESC LIMIT n to the query (0 = off)")
 		noSkip  = flag.Bool("no-skip", false, "disable skip-chain factors (plain linear chain)")
+		exec    = flag.String("exec", "", "DML statement (INSERT/UPDATE/DELETE) to apply before the query")
 	)
 	flag.Parse()
 
@@ -76,6 +82,15 @@ func main() {
 	}
 	defer db.Close()
 	fmt.Printf("%s (built in %v)\n", db.Describe(), time.Since(start).Round(time.Millisecond))
+
+	if *exec != "" {
+		res, err := db.Exec(context.Background(), *exec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exec: %s\n  %d row(s) affected, data epoch %d, %v\n",
+			*exec, res.RowsAffected, res.Epoch, res.Elapsed.Round(time.Millisecond))
+	}
 
 	fmt.Printf("query: %s\nmode: %s, %d samples x %d steps\n", sql, m, *samples, *thin)
 	rows, err := db.Query(context.Background(), sql, factordb.Samples(*samples))

@@ -12,8 +12,13 @@
 // Endpoints:
 //
 //	POST /query    {"sql": "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'", "samples": 128}
-//	GET  /healthz  liveness and chain-pool status
+//	POST /exec     {"sql": "UPDATE TOKEN SET STRING='Boston' WHERE TOK_ID=4711"}
+//	GET  /healthz  liveness, chain-pool status, data epoch
 //	GET  /metrics  Prometheus text exposition
+//
+// /exec applies a DML mutation (INSERT, UPDATE or DELETE) to every
+// chain's world and invalidates all cached pre-write answers; the
+// chains keep sampling and marginals re-equilibrate without a restart.
 package main
 
 import (

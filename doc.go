@@ -62,8 +62,43 @@
 // with the tuple marginal and confidence interval surfaced as trailing
 // P, CI_LO and CI_HI columns.
 //
-// DB.Handler exposes the HTTP transport (POST /query, GET /healthz,
-// GET /metrics) that cmd/factordbd serves.
+// DB.Handler exposes the HTTP transport (POST /query, POST /exec,
+// GET /healthz, GET /metrics) that cmd/factordbd serves.
+//
+// # Write path: DML and the data epoch
+//
+// The database is writable through DB.Exec, database/sql's ExecContext,
+// and POST /exec — the paper's update model made operational. Because
+// the store holds a single possible world, a write is a plain mutation
+// of that world: the samplers keep walking and the marginals
+// re-equilibrate, with none of the lineage recomputation tuple-level
+// probabilistic databases pay on update. The DML grammar (literals only
+// on the write path; WHERE is a conjunction of simple comparisons):
+//
+//	INSERT INTO t [(col, ...)] VALUES (lit, ...) [, (lit, ...)]...
+//	UPDATE t [alias] SET col = lit [, col = lit]... [WHERE cond AND ...]
+//	DELETE FROM t [alias] [WHERE cond AND ...]
+//
+// An INSERT column list must cover the whole schema (the store has no
+// defaults). The durable write workload is evidence: assignments to a
+// hidden (sampled) column are overwritten as the sampler revisits it,
+// and rows inserted into a sampled relation carry their hidden field as
+// fixed evidence. UPDATE/DELETE predicates are resolved once against one
+// world and the resulting row-level ops are replayed on every chain, so
+// the chains' worlds never diverge.
+//
+// The data-epoch contract sits next to the plan-IR contract above: every
+// committed write bumps the database's data epoch (ExecResult.Epoch,
+// DB.WriteEpoch, the factordb_write_epoch gauge, /healthz write_epoch),
+// and the served-mode result cache keys on (data epoch, plan
+// fingerprint, result spec, samples, confidence). A cached answer
+// therefore can never survive a write — whatever spelling of the query
+// produced it — while spelling variants keep sharing entries within an
+// epoch. Chains absorb a write at an epoch boundary, walk a configurable
+// burn-in, and reset the estimators of live views; a query in flight
+// across a write re-collects rather than blend pre- and post-write
+// samples, and queries issued after Exec returns never observe
+// pre-write state.
 //
 // # Plan IR: canonical form and fingerprints
 //

@@ -1,0 +1,156 @@
+package factordb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"factordb/internal/ra"
+	"factordb/internal/serve"
+	"factordb/internal/sqlparse"
+)
+
+// ErrReadOnly is returned by Exec when the opened workload cannot absorb
+// writes under the current mode. The local modes (naive, materialized)
+// need a durable prototype world to mutate; a workload that materializes
+// worlds per query — coref — only supports writes in served mode, where
+// the chain worlds live for the engine's lifetime.
+var ErrReadOnly = errors.New("factordb: workload is read-only under this mode")
+
+// ExecResult reports one committed DML mutation.
+type ExecResult struct {
+	// RowsAffected counts the rows the mutation touched (rows inserted,
+	// matched by UPDATE, or deleted).
+	RowsAffected int64
+	// Epoch is the data epoch after the commit: the number of writes the
+	// database has absorbed. Every committed write bumps it, and the
+	// served-mode result cache keys on it, so no answer cached before
+	// this write can be served after it.
+	Epoch int64
+	// Chains is the number of possible-world copies the mutation was
+	// applied to (the pool size in served mode, 1 otherwise).
+	Chains int
+	// Elapsed is the wall time to commit, including the post-write
+	// burn-in on every chain in served mode.
+	Elapsed time.Duration
+}
+
+// worldExecer is the optional system capability behind Exec in the local
+// modes: a workload whose prototype world can absorb a resolved DML
+// mutation durably (every later query clones the mutated world).
+type worldExecer interface {
+	Exec(mut ra.Mutation) (int64, error)
+}
+
+// Exec applies one DML statement — INSERT, UPDATE or DELETE — to the
+// probabilistic database and returns once every possible-world copy has
+// absorbed it. This is the paper's update model: the database is a single
+// possible world plus a factor graph, so a write mutates the world in
+// place and sampling simply continues — the marginals re-equilibrate with
+// no lineage recomputation and no reopening.
+//
+//	UPDATE TOKEN SET STRING = 'Boston' WHERE TOK_ID = 4711
+//	DELETE FROM TOKEN WHERE DOC_ID = 17
+//	INSERT INTO TOKEN (TOK_ID, DOC_ID, STRING, LABEL, TRUTH) VALUES (...)
+//
+// In served mode the mutation is resolved once, applied to every chain's
+// world at an epoch boundary, followed by a burn-in walk so snapshots are
+// trusted again; in-flight queries restart their estimators and complete
+// with post-write samples only, and all cached pre-write answers become
+// unreachable (the data epoch is part of every cache key). Queries issued
+// after Exec returns never observe pre-write state.
+//
+// In the local modes the prototype world is mutated under a write lock;
+// every subsequent query clones the mutated world. Statements' WHERE
+// clauses may reference any column, but the durable write workload is
+// evidence: a hidden (sampled) column assignment is overwritten as the
+// sampler revisits it.
+func (db *DB) Exec(ctx context.Context, sql string) (*ExecResult, error) {
+	if db.isClosed() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if db.eng != nil {
+		res, err := db.eng.Exec(ctx, sql)
+		if err != nil {
+			return nil, mapServeErr(err)
+		}
+		return &ExecResult{
+			RowsAffected: res.RowsAffected,
+			Epoch:        res.Epoch,
+			Chains:       res.Chains,
+			Elapsed:      res.Elapsed,
+		}, nil
+	}
+
+	start := time.Now()
+	mut, err := sqlparse.CompileExec(sql)
+	if err != nil {
+		db.countFailed()
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	ex, ok := db.sys.(worldExecer)
+	if !ok {
+		return nil, fmt.Errorf("%w: the %s workload has no durable local world (open it with WithMode(ModeServed))",
+			ErrReadOnly, db.name)
+	}
+	// The write lock excludes queries mid-clone: local queries snapshot
+	// the prototype world under the read side, so they see either all of
+	// this mutation or none of it.
+	db.writeMu.Lock()
+	n, err := ex.Exec(mut)
+	var epoch int64
+	if err == nil {
+		// Bump inside the critical section so the reported epoch matches
+		// apply order under concurrent writers.
+		epoch = db.writeEpoch.Load()
+		if n > 0 { // a no-match mutation commits nothing
+			epoch = db.writeEpoch.Add(1)
+		}
+	}
+	db.writeMu.Unlock()
+	if err != nil {
+		db.countFailed()
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	if n > 0 {
+		db.writes.Inc()
+	}
+	return &ExecResult{
+		RowsAffected: n,
+		Epoch:        epoch,
+		Chains:       1,
+		Elapsed:      time.Since(start),
+	}, nil
+}
+
+// mapServeErr rebrands the serving engine's sentinel errors onto the
+// facade's error taxonomy, keeping the underlying compile/bind detail
+// intact. Shared by the read (Query) and write (Exec) paths so the two
+// can never drift apart.
+func mapServeErr(err error) error {
+	switch {
+	case errors.Is(err, serve.ErrClosed):
+		return ErrClosed
+	case errors.Is(err, serve.ErrBadQuery):
+		detail := strings.TrimPrefix(err.Error(), serve.ErrBadQuery.Error()+": ")
+		return fmt.Errorf("%w: %s", ErrBadQuery, detail)
+	case errors.Is(err, serve.ErrOverloaded):
+		return ErrOverloaded
+	}
+	return err
+}
+
+// WriteEpoch returns the data epoch: the number of writes committed since
+// Open. Served mode reports the engine's epoch (shared by all transports);
+// local modes count facade Execs.
+func (db *DB) WriteEpoch() int64 {
+	if db.eng != nil {
+		return db.eng.DataEpoch()
+	}
+	return db.writeEpoch.Load()
+}

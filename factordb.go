@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"factordb/internal/exp"
@@ -164,7 +165,14 @@ type DB struct {
 	reg     *metrics.Registry
 	queries *metrics.Counter
 	failed  *metrics.Counter
+	writes  *metrics.Counter
 	latency *metrics.Summary
+
+	// Local-mode write path: writeMu excludes Exec from queries cloning
+	// the prototype world; writeEpoch counts committed writes. Served
+	// mode delegates both to the engine.
+	writeMu    sync.RWMutex
+	writeEpoch atomic.Int64
 
 	start time.Time
 
@@ -215,7 +223,10 @@ func Open(model Model, opts ...Option) (*DB, error) {
 	db.reg = metrics.NewRegistry()
 	db.queries = db.reg.NewCounter("factordb_queries_total", "queries evaluated")
 	db.failed = db.reg.NewCounter("factordb_queries_failed_total", "queries that failed to compile or bind")
+	db.writes = db.reg.NewCounter("factordb_writes_total", "DML mutations applied to the prototype world")
 	db.latency = db.reg.NewSummary("factordb_query_seconds", "per-query latency in seconds")
+	db.reg.NewGaugeFunc("factordb_write_epoch", "data epoch: committed DML mutations since open",
+		func() float64 { return float64(db.writeEpoch.Load()) })
 	return db, nil
 }
 

@@ -41,16 +41,32 @@ type queryResponse struct {
 	ElapsedMS  float64     `json:"elapsed_ms"`
 }
 
+// execRequest is the POST /exec body.
+type execRequest struct {
+	SQL       string `json:"sql"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+// execResponse is the POST /exec answer.
+type execResponse struct {
+	SQL          string  `json:"sql"`
+	RowsAffected int64   `json:"rows_affected"`
+	Epoch        int64   `json:"epoch"`
+	Chains       int     `json:"chains"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
 type healthResponse struct {
-	Status  string  `json:"status"`
-	Mode    string  `json:"mode"`
-	Chains  int     `json:"chains"`
-	Epoch   int64   `json:"epoch"`
-	UptimeS float64 `json:"uptime_s"`
+	Status     string  `json:"status"`
+	Mode       string  `json:"mode"`
+	Chains     int     `json:"chains"`
+	Epoch      int64   `json:"epoch"`
+	WriteEpoch int64   `json:"write_epoch"`
+	UptimeS    float64 `json:"uptime_s"`
 }
 
 // MaxQueryTimeout caps the per-request timeout a client may ask for.
@@ -69,45 +85,91 @@ const MaxQueryBodyBytes = 1 << 20
 // concurrent load.
 //
 //	POST /query    {"sql": "...", "samples": 128, "timeout_ms": 5000}
+//	POST /exec     {"sql": "UPDATE ...", "timeout_ms": 5000}
 //	GET  /healthz  liveness and chain-pool status
 //	GET  /metrics  Prometheus text exposition
+//
+// DML travels only over POST /exec: the method-qualified patterns make
+// the mux answer 405 for a GET of either mutation or query endpoint.
 func (db *DB) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", db.handleQuery)
+	mux.HandleFunc("POST /exec", db.handleExec)
 	mux.HandleFunc("GET /healthz", db.handleHealthz)
 	mux.HandleFunc("GET /metrics", db.handleMetrics)
 	return mux
 }
 
-func (db *DB) handleQuery(w http.ResponseWriter, r *http.Request) {
-	// Every malformed-request path below answers 400: oversized bodies
-	// (surfaced by MaxBytesReader through Decode), invalid JSON, unknown
-	// fields (likely a misspelled option the client believes is applied),
-	// and trailing garbage after the JSON object.
+// decodeBody applies the shared request hardening: bounded body size,
+// unknown fields rejected (a misspelled option silently ignored is worse
+// than an error), trailing garbage rejected. Every failure is a client
+// error; decodeBody writes the 400 itself and reports whether to proceed.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, MaxQueryBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	var req queryRequest
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(dst); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
-		return
+		return false
 	}
 	if _, err := dec.Token(); err != io.EOF {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "trailing data after JSON body"})
+		return false
+	}
+	return true
+}
+
+// requestTimeout clamps the client's timeout request onto [default, max].
+func requestTimeout(ms int) time.Duration {
+	timeout := DefaultQueryTimeout
+	if ms > 0 {
+		timeout = time.Duration(ms) * time.Millisecond
+		if timeout > MaxQueryTimeout {
+			timeout = MaxQueryTimeout
+		}
+	}
+	return timeout
+}
+
+func (db *DB) handleExec(w http.ResponseWriter, r *http.Request) {
+	var req execRequest
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if req.SQL == "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"sql\" field"})
 		return
 	}
-	timeout := DefaultQueryTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-		if timeout > MaxQueryTimeout {
-			timeout = MaxQueryTimeout
-		}
+	ctx, cancel := context.WithTimeout(r.Context(), requestTimeout(req.TimeoutMS))
+	defer cancel()
+	res, err := db.Exec(ctx, req.SQL)
+	if err != nil {
+		writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	writeJSON(w, http.StatusOK, execResponse{
+		SQL:          req.SQL,
+		RowsAffected: res.RowsAffected,
+		Epoch:        res.Epoch,
+		Chains:       res.Chains,
+		ElapsedMS:    float64(res.Elapsed.Microseconds()) / 1000,
+	})
+}
+
+func (db *DB) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Every malformed-request path answers 400: oversized bodies
+	// (surfaced by MaxBytesReader through Decode), invalid JSON, unknown
+	// fields, trailing garbage (all via decodeBody), and a missing SQL
+	// statement.
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"sql\" field"})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), requestTimeout(req.TimeoutMS))
 	defer cancel()
 
 	// HTTP clients get anytime semantics: a timeout that lands after the
@@ -156,6 +218,8 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrBadQuery):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrReadOnly):
+		return http.StatusNotImplemented
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
@@ -179,11 +243,12 @@ func (db *DB) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		epoch = db.eng.Epoch()
 	}
 	writeJSON(w, code, healthResponse{
-		Status:  status,
-		Mode:    db.opts.mode.String(),
-		Chains:  db.Chains(),
-		Epoch:   epoch,
-		UptimeS: time.Since(db.start).Seconds(),
+		Status:     status,
+		Mode:       db.opts.mode.String(),
+		Chains:     db.Chains(),
+		Epoch:      epoch,
+		WriteEpoch: db.WriteEpoch(),
+		UptimeS:    time.Since(db.start).Seconds(),
 	})
 }
 

@@ -1,6 +1,7 @@
 package coref
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -143,7 +144,11 @@ func (p *MoveProposer) Propose(rng *rand.Rand) mcmc.Proposal {
 			if p.log != nil {
 				ref := world.FieldRef{Rel: MentionRelation, Row: p.rows[m], Col: ClusterCol}
 				if err := p.log.SetField(ref, relstore.Int(int64(dest))); err != nil {
-					panic(fmt.Sprintf("coref: write-through failed: %v", err))
+					// A mention deleted by DML stops mirroring; the
+					// in-memory clustering keeps being sampled.
+					if !errors.Is(err, relstore.ErrNotFound) {
+						panic(fmt.Sprintf("coref: write-through failed: %v", err))
+					}
 				}
 			}
 		},

@@ -184,6 +184,24 @@ func (s *NERSystem) NewChainTagger(_ int) (*world.ChangeLog, *ie.Tagger, error) 
 	return s.newChainWorld()
 }
 
+// Exec applies one DML mutation to the prototype world, so every chain
+// world cloned afterwards carries it. This is the local-mode write path:
+// the serving engine never calls it (served writes fan out to the live
+// chain clones instead). The caller serializes Exec against NewChainWorld.
+//
+// Deleted TOKEN rows simply stop mirroring the tagger's in-memory
+// variables; inserted rows carry their LABEL as fixed evidence (no
+// in-memory variable samples them).
+func (s *NERSystem) Exec(mut ra.Mutation) (int64, error) {
+	ops, err := world.ResolveMutation(s.protoDB, mut)
+	if err != nil {
+		return 0, err
+	}
+	// The change log is throwaway: the prototype world has no views to
+	// maintain, and chains clone the store, not the delta.
+	return world.NewChangeLog(s.protoDB).ApplyOps(ops)
+}
+
 // GroundTruth estimates reference marginals with a long materialized run
 // on a private chain (the paper's methodology, Section 5.2).
 func (s *NERSystem) GroundTruth(sql string, samples, thin int, seed int64) (map[string]float64, error) {

@@ -1,6 +1,7 @@
 package ie
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -180,9 +181,15 @@ func (t *Tagger) apply(d, i int, newLabel Label) {
 	if t.log != nil {
 		ref := world.FieldRef{Rel: TokenRelation, Row: t.rows[d][i], Col: LabelCol}
 		if err := t.log.SetField(ref, relstore.String(newLabel.String())); err != nil {
-			// The row map is validated at BindDB time and labels come
-			// from the fixed inventory, so a failure here is a program
-			// bug, not a data condition.
+			// A row deleted by DML (the write path mutates evidence while
+			// chains keep walking) simply stops mirroring: the in-memory
+			// variable keeps being sampled, the store no longer holds the
+			// tuple. Anything else is a program bug — the row map is
+			// validated at BindDB time and labels come from the fixed
+			// inventory.
+			if errors.Is(err, relstore.ErrNotFound) {
+				return
+			}
 			panic(fmt.Sprintf("ie: write-through failed: %v", err))
 		}
 	}

@@ -1,9 +1,17 @@
 package relstore
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrNotFound marks operations addressing a RowID that is not (or no
+// longer) present in the relation. Callers that hold long-lived row
+// references across DML — the MCMC write-through path — match it with
+// errors.Is to distinguish "row was deleted underneath me" from a
+// programming error.
+var ErrNotFound = errors.New("row not found")
 
 // RowID identifies a row within a relation. IDs are stable for the life of
 // the row and are never reused, so external components (such as the MCMC
@@ -89,7 +97,7 @@ func (r *Relation) Get(id RowID) (Tuple, bool) {
 func (r *Relation) Update(id RowID, t Tuple) (Tuple, error) {
 	old, ok := r.rows[id]
 	if !ok {
-		return nil, fmt.Errorf("relstore: relation %q: update of unknown row %d", r.schema.Name, id)
+		return nil, fmt.Errorf("relstore: relation %q: update of row %d: %w", r.schema.Name, id, ErrNotFound)
 	}
 	if err := r.schema.Validate(t); err != nil {
 		return nil, err
@@ -108,7 +116,7 @@ func (r *Relation) Update(id RowID, t Tuple) (Tuple, error) {
 func (r *Relation) UpdateCol(id RowID, col int, v Value) (Tuple, error) {
 	old, ok := r.rows[id]
 	if !ok {
-		return nil, fmt.Errorf("relstore: relation %q: update of unknown row %d", r.schema.Name, id)
+		return nil, fmt.Errorf("relstore: relation %q: update of row %d: %w", r.schema.Name, id, ErrNotFound)
 	}
 	if col < 0 || col >= len(old) {
 		return nil, fmt.Errorf("relstore: relation %q: column %d out of range", r.schema.Name, col)
@@ -130,7 +138,7 @@ func (r *Relation) UpdateCol(id RowID, col int, v Value) (Tuple, error) {
 func (r *Relation) Delete(id RowID) (Tuple, error) {
 	old, ok := r.rows[id]
 	if !ok {
-		return nil, fmt.Errorf("relstore: relation %q: delete of unknown row %d", r.schema.Name, id)
+		return nil, fmt.Errorf("relstore: relation %q: delete of row %d: %w", r.schema.Name, id, ErrNotFound)
 	}
 	for _, ix := range r.indexes {
 		ix.remove(id, old)

@@ -100,6 +100,43 @@ func BenchmarkEngineChainScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkWriteReequilibrate measures the write path's end-to-end cost:
+// one committed DML mutation (fan-out to every chain, post-write burn-in,
+// view delta fold, estimator reset) followed by a query that must reflect
+// the post-write marginals. The asserted answer is the reproduction of
+// the paper's update claim: the world is mutated in place and the chains
+// keep sampling — queries converge to the post-write distribution with no
+// engine restart and no lineage recomputation. Runs in -short mode by
+// design: the CI bench smoke job must exercise the write workload.
+func BenchmarkWriteReequilibrate(b *testing.B) {
+	sys, err := exp.BuildCoref(exp.CorefConfig{NumEntities: 6, MentionsPerEntity: 4, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(sys, Config{Chains: 2, StepsPerSample: 200, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		want := fmt.Sprintf("V%d", i%2)
+		if _, err := eng.Exec(ctx, fmt.Sprintf(
+			`UPDATE MENTION SET STRING = '%s' WHERE MENTION_ID = 0`, want)); err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.Query(ctx, `SELECT STRING FROM MENTION WHERE MENTION_ID = 0`,
+			QueryOptions{Samples: 8, NoCache: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tuples) != 1 || res.Tuples[0].Values[0] != want || res.Tuples[0].P != 1 {
+			b.Fatalf("iteration %d: post-write answer %+v, want %q at marginal 1", i, res.Tuples, want)
+		}
+	}
+}
+
 // BenchmarkEngineConcurrentQueries measures aggregate throughput with 8
 // in-flight queries sharing the chains' walks — the multi-query
 // amortization the serving engine exists for.

@@ -15,12 +15,15 @@ type viewID int64
 
 // registerReq asks a chain to bind a plan against its world and subscribe
 // the query to the matching shared view (creating it on first use). The
-// reply carries the view's snapshot cell, or the bind error.
+// reply carries the view's snapshot cell, or the bind error. final
+// receives the completed subscriber's estimator snapshot just before
+// done closes (see subscriber).
 type registerReq struct {
 	id     viewID
 	plan   ra.Plan
 	target int64
 	done   chan struct{}
+	final  *atomic.Pointer[finalSnap]
 	reply  chan registerReply
 }
 
@@ -35,6 +38,29 @@ type registerReply struct {
 type unregisterReq struct {
 	id    viewID
 	reply chan struct{}
+}
+
+// resolveReq asks a chain to resolve a DML statement against its world
+// into concrete row-level ops — without applying them. The write
+// coordinator resolves once (on chain 0) and fans the identical op list
+// out to every chain, so the clones never diverge.
+type resolveReq struct {
+	mut   ra.Mutation
+	reply chan resolveReply
+}
+
+type resolveReply struct {
+	ops []world.Op
+	err error
+}
+
+// applyReq asks a chain to apply a resolved op list, burn in, and reset
+// every live view's estimator so post-write snapshots carry post-write
+// samples only.
+type applyReq struct {
+	ops    []world.Op
+	burnIn int
+	reply  chan error
 }
 
 // chain is one member of the engine's pool: a private copy of the world
@@ -58,6 +84,11 @@ type chain struct {
 	// curEpoch mirrors log.Epoch() for readers outside the chain
 	// goroutine (health checks); the log itself is goroutine-private.
 	curEpoch atomic.Int64
+
+	// writeGen counts the DML mutations this chain has absorbed. It is
+	// goroutine-private; completed subscribers carry it out in their
+	// final snapshots so sessions can detect cross-chain blends.
+	writeGen int64
 
 	m *engineMetrics
 }
@@ -129,6 +160,12 @@ func (c *chain) epoch() {
 		pv.cell.Publish(epoch, pv.est.Clone())
 		for id, sub := range pv.subs {
 			if pv.est.Samples()-sub.start >= sub.target {
+				// Hand the completed subscriber its own snapshot before
+				// waking it: the shared cell may be reset by a later
+				// write before the session gets around to merging.
+				if sub.final != nil {
+					sub.final.Store(&finalSnap{est: pv.est.Clone(), epoch: epoch, gen: c.writeGen})
+				}
 				close(sub.done)
 				c.reg.dropSub(id)
 			}
@@ -152,9 +189,53 @@ func (c *chain) handle(msg any) {
 	case unregisterReq:
 		c.reg.dropSub(req.id)
 		close(req.reply)
+	case resolveReq:
+		ops, err := world.ResolveMutation(c.log.DB(), req.mut)
+		req.reply <- resolveReply{ops: ops, err: err}
+	case applyReq:
+		req.reply <- c.applyWrite(req.ops, req.burnIn)
 	default:
 		panic(fmt.Sprintf("serve: unknown chain control message %T", msg))
 	}
+}
+
+// applyWrite is the per-chain half of a write: replay the resolved ops
+// through the change log (feeding Δ⁻/Δ⁺ exactly like sampler moves),
+// walk burnIn steps so the chain re-equilibrates around the mutated
+// world, fold the combined delta into every live view once, and reset
+// every view's estimator — pre-write samples estimate marginals of a
+// distribution that no longer exists, so post-write snapshots must carry
+// post-write samples only. Subscriber budgets restart with the
+// estimators: a query in flight across a write completes with its full
+// budget of post-write samples.
+//
+// Control messages are handled at epoch boundaries, so the store holds no
+// pending sampler delta when the write lands: the write closes its own
+// epoch and every view is consistent with the mutated world from the
+// published snapshot on.
+func (c *chain) applyWrite(ops []world.Op, burnIn int) error {
+	if _, err := c.log.ApplyOps(ops); err != nil {
+		return err
+	}
+	c.writeGen++
+	if burnIn > 0 {
+		c.walk(burnIn)
+	}
+	d := c.log.Drain()
+	epoch := c.log.Epoch()
+	c.curEpoch.Store(epoch)
+	c.reg.graph.NextRound()
+	for _, pv := range c.reg.byFP {
+		pv.view.Apply(d)
+		pv.est = core.NewEstimator()
+		for _, sub := range pv.subs {
+			sub.start = 0
+		}
+		// Publish the empty estimator: the cell must not keep serving the
+		// pre-write snapshot to readers that merge before the next batch.
+		pv.cell.Publish(epoch, pv.est.Clone())
+	}
+	return nil
 }
 
 // register binds the plan against this chain's world and subscribes the
@@ -168,7 +249,7 @@ func (c *chain) register(req registerReq) (*world.Cell[*core.Estimator], error) 
 	if err != nil {
 		return nil, err
 	}
-	pv, hit, err := c.reg.acquire(req.id, bound, req.target, req.done)
+	pv, hit, err := c.reg.acquire(req.id, bound, req.target, req.done, req.final)
 	if err != nil {
 		return nil, err
 	}

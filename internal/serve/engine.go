@@ -53,6 +53,13 @@ type Config struct {
 	// BurnIn is the number of walk-steps each chain discards before
 	// serving (default 0; the world keeps mixing across queries anyway).
 	BurnIn int
+	// WriteBurnIn is the number of walk-steps each chain takes after
+	// applying a DML mutation before its snapshots are trusted again, so
+	// the chain re-equilibrates around the mutated world (default:
+	// StepsPerSample; negative disables). This is the paper's update
+	// story made operational: mutate the single world, keep sampling —
+	// no lineage recomputation.
+	WriteBurnIn int
 	// Seed derives each chain's sampler seed via ChainSeed.
 	Seed int64
 
@@ -83,6 +90,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.StepsPerSample <= 0 {
 		cfg.StepsPerSample = 1000
+	}
+	if cfg.WriteBurnIn == 0 {
+		cfg.WriteBurnIn = cfg.StepsPerSample
+	}
+	if cfg.WriteBurnIn < 0 {
+		cfg.WriteBurnIn = 0
 	}
 	if cfg.DefaultSamples <= 0 {
 		cfg.DefaultSamples = 128
@@ -124,6 +137,7 @@ type engineMetrics struct {
 	hits      *metrics.Counter
 	viewHits  *metrics.Counter
 	topkStops *metrics.Counter
+	writes    *metrics.Counter
 	latency   *metrics.Summary
 }
 
@@ -137,6 +151,15 @@ type Engine struct {
 
 	start  time.Time
 	nextID atomic.Int64
+
+	// writeMu serializes Exec calls: one logical mutation lands on every
+	// chain before the next begins, so the clones see identical op
+	// streams in identical order.
+	writeMu sync.Mutex
+	// dataEpoch counts committed writes. It is folded into every
+	// result-cache key, so each write makes all earlier entries
+	// unreachable — no stale answer survives a mutation.
+	dataEpoch atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -186,6 +209,7 @@ func newEngineMetrics() *engineMetrics {
 			"view registrations that reused an existing shared view (per chain)"),
 		topkStops: reg.NewCounter("factordb_topk_early_stops_total",
 			"ranked queries finished early because the top-k separated"),
+		writes:  reg.NewCounter("factordb_writes_total", "DML mutations applied across all chains"),
 		latency: reg.NewSummary("factordb_query_seconds", "per-query latency in seconds"),
 	}
 }
@@ -215,6 +239,9 @@ func (e *Engine) registerDerivedMetrics() {
 	e.m.reg.NewGaugeFunc("factordb_shared_views",
 		"physical materialized views currently maintained across all chains",
 		func() float64 { return float64(e.sharedViews()) })
+	e.m.reg.NewGaugeFunc("factordb_write_epoch",
+		"data epoch: committed DML mutations since engine start",
+		func() float64 { return float64(e.dataEpoch.Load()) })
 }
 
 // sharedViews sums the live physical-view count over the chain pool.

@@ -115,10 +115,10 @@ func TestTopKSeparated(t *testing.T) {
 		}
 		return b
 	}
-	mkregs := func(est *core.Estimator) []registration {
+	mkregs := func(est *core.Estimator) []*registration {
 		cell := &world.Cell[*core.Estimator]{}
 		cell.Publish(1, est)
-		return []registration{{cell: cell}}
+		return []*registration{{cell: cell}}
 	}
 	const z = 1.96
 

@@ -9,14 +9,30 @@ import (
 	"factordb/internal/world"
 )
 
+// finalSnap is the answer a chain hands a completed subscriber: the
+// view's estimator at the moment the sample target was met, the chain
+// epoch it corresponds to, and the chain's write generation — how many
+// DML mutations this chain had absorbed when the estimate completed.
+// Sessions compare generations across chains to detect (and re-collect)
+// answers that would otherwise blend pre- and post-write worlds.
+type finalSnap struct {
+	est   *core.Estimator
+	epoch int64
+	gen   int64
+}
+
 // subscriber is one query's stake in a physical view on one chain: how
 // many fresh samples it still wants (target, counted from the view's
 // sample count at attach time) and the channel the chain closes when the
-// target is met.
+// target is met. Just before closing done, the chain stores the view's
+// final snapshot: the session must read its completed answer from
+// there, because a write landing after completion resets the view's
+// estimator and republishes the shared cell empty.
 type subscriber struct {
 	target int64
 	start  int64 // physical view's sample count when this subscriber attached
 	done   chan struct{}
+	final  *atomic.Pointer[finalSnap]
 }
 
 // physicalView is one materialized view maintained exactly once per
@@ -62,7 +78,8 @@ func newViewRegistry() *viewRegistry {
 // acquire attaches a subscriber to the physical view for bound's
 // fingerprint, building and mounting the view if this is its first
 // subscriber. It reports whether an existing view was reused.
-func (r *viewRegistry) acquire(id viewID, bound *ra.Bound, target int64, done chan struct{}) (pv *physicalView, hit bool, err error) {
+func (r *viewRegistry) acquire(id viewID, bound *ra.Bound, target int64, done chan struct{},
+	final *atomic.Pointer[finalSnap]) (pv *physicalView, hit bool, err error) {
 	fp := bound.Fingerprint()
 	pv = r.byFP[fp]
 	if pv == nil {
@@ -82,7 +99,7 @@ func (r *viewRegistry) acquire(id viewID, bound *ra.Bound, target int64, done ch
 	} else {
 		hit = true
 	}
-	pv.subs[id] = &subscriber{target: target, start: pv.est.Samples(), done: done}
+	pv.subs[id] = &subscriber{target: target, start: pv.est.Samples(), done: done, final: final}
 	r.bySub[id] = pv
 	return pv, hit, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"factordb/internal/core"
@@ -82,12 +83,26 @@ func (r *Result) clone() *Result {
 // the same order as Tuples.
 func (r *Result) TupleCIs() []core.TupleCI { return r.cis }
 
-// registration tracks one chain's share of a query.
+// registration tracks one chain's share of a query. A completed chain
+// stores its final estimator snapshot in final before closing done; the
+// cell is the fallback for chains interrupted by cancellation or
+// shutdown.
 type registration struct {
-	c    *chain
-	id   viewID
-	cell *world.Cell[*core.Estimator]
-	done chan struct{}
+	c     *chain
+	id    viewID
+	cell  *world.Cell[*core.Estimator]
+	done  chan struct{}
+	final atomic.Pointer[finalSnap]
+}
+
+// snapshot returns the chain's contribution to the merged answer: the
+// completion snapshot when the chain finished this query's budget, else
+// whatever the shared view last published.
+func (r *registration) snapshot() (world.Snapshot[*core.Estimator], bool) {
+	if f := r.final.Load(); f != nil {
+		return world.Snapshot[*core.Estimator]{Epoch: f.epoch, State: f.est}, true
+	}
+	return r.cell.Load()
 }
 
 // Query compiles sql, registers a materialized view for it on every chain
@@ -138,10 +153,17 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 	}
 	// The key adds the result-level spec (ORDER BY P / LIMIT shape the
 	// cached presentation) and the per-query options that scale the
-	// estimate; plan identity itself is options-free.
-	key := fmt.Sprintf("%s|%s|n=%d|c=%v", ra.CanonicalFingerprint(plan), specKey(spec), opts.Samples, opts.Confidence)
+	// estimate; plan identity itself is options-free. The data epoch
+	// prefix is the write path's invalidation: every committed mutation
+	// bumps it, making all entries keyed under earlier epochs
+	// unreachable — a cached pre-write answer can never be served after
+	// the write, however the query was spelled.
+	cacheKey := func(epoch int64) string {
+		return fmt.Sprintf("w%d|%s|%s|n=%d|c=%v",
+			epoch, ra.CanonicalFingerprint(plan), specKey(spec), opts.Samples, opts.Confidence)
+	}
 	if !opts.NoCache {
-		if res, ok := e.cache.get(key, time.Now()); ok {
+		if res, ok := e.cache.get(cacheKey(e.dataEpoch.Load()), time.Now()); ok {
 			e.m.hits.Inc()
 			res.Cached = true
 			res.SQL = sql // a fingerprint hit may come from a textual variant
@@ -158,108 +180,51 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 	defer e.admit.release()
 
 	start := time.Now()
-	perChain := int64((opts.Samples + len(e.chains) - 1) / len(e.chains))
-	regs := make([]registration, 0, len(e.chains))
-	defer func() {
-		// Detach any view that has not completed on its own; completed
-		// views were already removed by the chain.
-		for _, r := range regs {
-			select {
-			case <-r.done:
-			default:
-				r.c.unregister(r.id)
-			}
-		}
-	}()
-	for _, c := range e.chains {
-		reg := registration{
-			c:    c,
-			id:   viewID(e.nextID.Add(1)),
-			done: make(chan struct{}),
-		}
-		cell, err := c.registerView(ctx, registerReq{
-			id:     reg.id,
-			plan:   plan,
-			target: perChain,
-			done:   reg.done,
-		})
-		reg.cell = cell
-		if err != nil {
-			e.m.failed.Inc()
-			if errors.Is(err, ErrClosed) || errors.Is(err, ctx.Err()) {
-				return nil, err
-			}
-			return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
-		}
-		regs = append(regs, reg)
-	}
-
-	// Ranked queries watch the merged snapshots while waiting: when the
-	// top k separates, the remaining budget is handed back to the pool.
 	z := math.Sqrt2 * math.Erfinv(opts.Confidence)
-	var tick <-chan time.Time
-	if spec.TopKByProb() {
-		ticker := time.NewTicker(topKCheckInterval)
-		defer ticker.Stop()
-		tick = ticker.C
-	}
 
-	partial := false
-	closed := false
-	earlyStop := false
-	lastEpochs := int64(-1)
-wait:
-	for _, r := range regs {
-		// Drain completions first: if the view already hit its target, a
-		// simultaneously-closing chain or expiring context must not win
-		// the select below and mark a complete answer partial.
-		select {
-		case <-r.done:
-			continue
-		default:
+	// Collect until one pass is write-consistent. Chains absorb a write
+	// independently, so a query in flight across one can end up with
+	// some chains completed pre-write and others post-write; merging
+	// those would blend two answer distributions, so such a pass is
+	// discarded and re-collected (the reset views hand every retry a
+	// fresh full budget). Consistency is judged by the write generations
+	// stamped into the chains' completion snapshots: equal generations
+	// mean every chain answered from the same world content, however
+	// many writes committed meanwhile — so steady write traffic does not
+	// starve readers; only the narrow mid-fan-out interleaving retries.
+	// Early-stopped passes merge live cells instead of completion
+	// snapshots and carry no generations, so they fall back to the
+	// coarser data-epoch check. The retry budget is bounded so a
+	// deadline-free reader cannot loop forever: a query torn that many
+	// consecutive times is shed as overloaded (an honest, retryable
+	// signal) rather than answered with a blend.
+	var col collection
+	var epoch0 int64
+	for attempt := 0; ; attempt++ {
+		epoch0 = e.dataEpoch.Load()
+		var err error
+		col, err = e.collectOnce(ctx, plan, spec, opts, z)
+		if err != nil {
+			return nil, err
 		}
-	regWait:
-		for {
-			select {
-			case <-r.done:
-				break regWait
-			case <-r.c.done:
-				// Engine closed underneath us: the chain goroutine has
-				// exited and will never complete this view. Return
-				// whatever was published rather than blocking until ctx
-				// expires.
-				partial = true
-				closed = true
-				break wait
-			case <-ctx.Done():
-				partial = true
-				break wait
-			case <-tick:
-				// Merging and re-ranking every snapshot is linear in the
-				// answer set; only pay for it when some chain has
-				// published a new epoch since the last check.
-				if ep := epochSum(regs); ep != lastEpochs {
-					lastEpochs = ep
-					if topKSeparated(regs, spec.Limit, z) {
-						earlyStop = true
-						e.m.topkStops.Inc()
-						break wait
-					}
-				}
-			}
+		if col.partial || col.closed {
+			break
+		}
+		consistent := !col.blended
+		if col.earlyStop && e.dataEpoch.Load() != epoch0 {
+			consistent = false
+		}
+		if consistent {
+			break
+		}
+		if attempt >= maxCollectRetries {
+			e.m.rejected.Inc()
+			return nil, fmt.Errorf("%w: query torn by concurrent writes %d times",
+				ErrOverloaded, attempt+1)
 		}
 	}
+	merged, partial, closed, earlyStop := col.merged, col.partial, col.closed, col.earlyStop
 
-	merged := core.NewEstimator()
-	var epoch int64
-	for _, r := range regs {
-		if snap, ok := r.cell.Load(); ok {
-			merged.Merge(snap.State)
-			if snap.Epoch > epoch {
-				epoch = snap.Epoch
-			}
-		}
-	}
 	if merged.Samples() == 0 {
 		if closed {
 			return nil, ErrClosed
@@ -286,8 +251,8 @@ wait:
 		SQL:        sql,
 		Tuples:     tuples,
 		Samples:    merged.Samples(),
-		Chains:     len(regs),
-		Epoch:      epoch,
+		Chains:     len(e.chains),
+		Epoch:      col.epoch,
 		Confidence: opts.Confidence,
 		Partial:    partial,
 		EarlyStop:  earlyStop,
@@ -296,10 +261,148 @@ wait:
 	}
 	e.m.queries.Inc()
 	e.m.latency.Observe(res.Elapsed.Seconds())
-	if !opts.NoCache && !partial {
-		e.cache.put(key, res, time.Now())
+	// Cache only answers whose data epoch is still current: a consistent
+	// pass collected across a commit is a correct answer to return, but
+	// its epoch attribution is ambiguous, and the entry would either be
+	// born unreachable or risk pinning a pre-write answer under the
+	// post-write key.
+	if !opts.NoCache && !partial && e.dataEpoch.Load() == epoch0 {
+		e.cache.put(cacheKey(epoch0), res, time.Now())
 	}
 	return res, nil
+}
+
+// maxCollectRetries bounds how many torn collection passes a query
+// discards before degrading to a best-effort (partial) answer.
+const maxCollectRetries = 4
+
+// collection is the outcome of one register-wait-merge pass over the
+// chain pool.
+type collection struct {
+	merged    *core.Estimator
+	epoch     int64 // latest chain epoch merged in
+	partial   bool
+	closed    bool
+	earlyStop bool
+	// blended reports that the chains completed this pass on different
+	// sides of a write (unequal write generations): the merge mixes two
+	// answer distributions and must be discarded.
+	blended bool
+}
+
+// collectOnce registers the plan on every chain, waits for the sample
+// budget (or cancellation, shutdown, or ranked early stop), and merges
+// the per-chain snapshots. Each call is self-contained: its views are
+// detached before it returns.
+func (e *Engine) collectOnce(ctx context.Context, plan ra.Plan, spec ra.ResultSpec,
+	opts QueryOptions, z float64) (collection, error) {
+	perChain := int64((opts.Samples + len(e.chains) - 1) / len(e.chains))
+	regs := make([]*registration, 0, len(e.chains))
+	defer func() {
+		// Detach any view that has not completed on its own; completed
+		// views were already removed by the chain.
+		for _, r := range regs {
+			select {
+			case <-r.done:
+			default:
+				r.c.unregister(r.id)
+			}
+		}
+	}()
+	for _, c := range e.chains {
+		reg := &registration{
+			c:    c,
+			id:   viewID(e.nextID.Add(1)),
+			done: make(chan struct{}),
+		}
+		cell, err := c.registerView(ctx, registerReq{
+			id:     reg.id,
+			plan:   plan,
+			target: perChain,
+			done:   reg.done,
+			final:  &reg.final,
+		})
+		reg.cell = cell
+		if err != nil {
+			e.m.failed.Inc()
+			if errors.Is(err, ErrClosed) || errors.Is(err, ctx.Err()) {
+				return collection{}, err
+			}
+			return collection{}, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+		regs = append(regs, reg)
+	}
+
+	// Ranked queries watch the merged snapshots while waiting: when the
+	// top k separates, the remaining budget is handed back to the pool.
+	var tick <-chan time.Time
+	if spec.TopKByProb() {
+		ticker := time.NewTicker(topKCheckInterval)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+
+	col := collection{}
+	lastEpochs := int64(-1)
+wait:
+	for _, r := range regs {
+		// Drain completions first: if the view already hit its target, a
+		// simultaneously-closing chain or expiring context must not win
+		// the select below and mark a complete answer partial.
+		select {
+		case <-r.done:
+			continue
+		default:
+		}
+	regWait:
+		for {
+			select {
+			case <-r.done:
+				break regWait
+			case <-r.c.done:
+				// Engine closed underneath us: the chain goroutine has
+				// exited and will never complete this view. Return
+				// whatever was published rather than blocking until ctx
+				// expires.
+				col.partial = true
+				col.closed = true
+				break wait
+			case <-ctx.Done():
+				col.partial = true
+				break wait
+			case <-tick:
+				// Merging and re-ranking every snapshot is linear in the
+				// answer set; only pay for it when some chain has
+				// published a new epoch since the last check.
+				if ep := epochSum(regs); ep != lastEpochs {
+					lastEpochs = ep
+					if topKSeparated(regs, spec.Limit, z) {
+						col.earlyStop = true
+						e.m.topkStops.Inc()
+						break wait
+					}
+				}
+			}
+		}
+	}
+
+	col.merged = core.NewEstimator()
+	gen := int64(-1)
+	for _, r := range regs {
+		if f := r.final.Load(); f != nil {
+			if gen >= 0 && f.gen != gen {
+				col.blended = true
+			}
+			gen = f.gen
+		}
+		if snap, ok := r.snapshot(); ok {
+			col.merged.Merge(snap.State)
+			if snap.Epoch > col.epoch {
+				col.epoch = snap.Epoch
+			}
+		}
+	}
+	return col, nil
 }
 
 // topKCheckInterval is how often a waiting ranked query re-merges the
@@ -314,10 +417,10 @@ const minTopKStopSamples = 16
 // epochSum is a cheap change detector for the early-stop check: per-
 // chain epochs are monotone, and the merged estimate can only change
 // when some chain publishes a snapshot for a new epoch.
-func epochSum(regs []registration) int64 {
+func epochSum(regs []*registration) int64 {
 	var sum int64
 	for _, r := range regs {
-		if snap, ok := r.cell.Load(); ok {
+		if snap, ok := r.snapshot(); ok {
 			sum += snap.Epoch
 		}
 	}
@@ -330,10 +433,10 @@ func epochSum(regs []registration) int64 {
 // lies entirely above the (k+1)-th's — no tuple outside the top k can
 // overtake one inside it, so further refinement cannot change the
 // answer's membership.
-func topKSeparated(regs []registration, k int64, z float64) bool {
+func topKSeparated(regs []*registration, k int64, z float64) bool {
 	merged := core.NewEstimator()
 	for _, r := range regs {
-		if snap, ok := r.cell.Load(); ok {
+		if snap, ok := r.snapshot(); ok {
 			merged.Merge(snap.State)
 		}
 	}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"factordb/internal/ra"
+	"factordb/internal/sqlparse"
+	"factordb/internal/world"
+)
+
+// ExecResult reports one committed DML mutation.
+type ExecResult struct {
+	SQL          string        `json:"sql"`
+	RowsAffected int64         `json:"rows_affected"`
+	Epoch        int64         `json:"epoch"`  // data epoch after the commit
+	Chains       int           `json:"chains"` // worlds the mutation was applied to
+	Elapsed      time.Duration `json:"elapsed_ns"`
+}
+
+// Exec compiles one DML statement (INSERT, UPDATE or DELETE), applies it
+// to every chain's world, and blocks until all chains have absorbed it.
+// This is the paper's data-update model made operational: the database is
+// one possible world plus a factor graph, so a write mutates the world
+// in place and the chains keep sampling — marginals re-equilibrate with
+// no lineage recomputation and no engine restart.
+//
+// The mutation is resolved once, on chain 0, into concrete row-level ops
+// (predicates evaluated, row identities fixed), then the identical op
+// list is fanned out to every chain — chain worlds share row identities
+// by construction, so they never diverge on evidence. Each chain applies
+// the ops at an epoch boundary, walks WriteBurnIn steps to
+// re-equilibrate, folds the combined delta into its live views once, and
+// resets their estimators: queries in flight across the write complete
+// with post-write samples only, and queries issued after Exec returns
+// never observe pre-write state. Committing bumps the data epoch, which
+// is part of every result-cache key, so all cached pre-write answers
+// become unreachable.
+//
+// Writes pass the same admission control as queries and are serialized
+// with each other. ctx is honored up to the point of no return: once the
+// fan-out starts, Exec completes (or the engine closes) regardless of
+// cancellation, because a half-applied write would fork the chains'
+// worlds.
+func (e *Engine) Exec(ctx context.Context, sql string) (*ExecResult, error) {
+	if e.isClosed() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mut, err := sqlparse.CompileExec(sql)
+	if err != nil {
+		e.m.failed.Inc()
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	if err := e.admit.acquire(ctx); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			e.m.rejected.Inc()
+		}
+		return nil, err
+	}
+	defer e.admit.release()
+
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	start := time.Now()
+
+	ops, err := e.chains[0].resolveMutation(ctx, mut)
+	if err != nil {
+		if errors.Is(err, ErrClosed) || errors.Is(err, ctx.Err()) {
+			return nil, err
+		}
+		e.m.failed.Inc()
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+
+	// A mutation matching no rows leaves every world untouched: commit
+	// nothing, and in particular do not bump the data epoch — that would
+	// orphan every cached answer for no reason.
+	if len(ops) == 0 {
+		return &ExecResult{
+			SQL:     sql,
+			Epoch:   e.dataEpoch.Load(),
+			Chains:  len(e.chains),
+			Elapsed: time.Since(start),
+		}, nil
+	}
+
+	// Point of no return: every chain must apply the same ops. Fan out in
+	// parallel and wait for all of them; only engine shutdown aborts.
+	errs := make(chan error, len(e.chains))
+	for _, c := range e.chains {
+		go func(c *chain) { errs <- c.applyOps(e.cfg.WriteBurnIn, ops) }(c)
+	}
+	var failed error
+	for range e.chains {
+		if err := <-errs; err != nil && failed == nil {
+			failed = err
+		}
+	}
+	if failed != nil {
+		return nil, failed
+	}
+
+	epoch := e.dataEpoch.Add(1)
+	e.m.writes.Inc()
+	return &ExecResult{
+		SQL:          sql,
+		RowsAffected: int64(len(ops)),
+		Epoch:        epoch,
+		Chains:       len(e.chains),
+		Elapsed:      time.Since(start),
+	}, nil
+}
+
+// DataEpoch returns the number of committed writes — the data-epoch
+// component of every result-cache key.
+func (e *Engine) DataEpoch() int64 { return e.dataEpoch.Load() }
+
+// resolveMutation asks the chain goroutine to resolve mut against its
+// world, honoring ctx and engine shutdown.
+func (c *chain) resolveMutation(ctx context.Context, mut ra.Mutation) ([]world.Op, error) {
+	req := resolveReq{mut: mut, reply: make(chan resolveReply, 1)}
+	select {
+	case c.ctl <- req:
+	case <-c.done:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case rep := <-req.reply:
+		return rep.ops, rep.err
+	case <-c.done:
+		return nil, ErrClosed
+	}
+}
+
+// applyOps delivers a resolved op list to the chain goroutine and waits
+// for it to be absorbed. Deliberately not cancellable by context: a
+// write that reached some chains must reach all of them.
+func (c *chain) applyOps(burnIn int, ops []world.Op) error {
+	req := applyReq{ops: ops, burnIn: burnIn, reply: make(chan error, 1)}
+	select {
+	case c.ctl <- req:
+	case <-c.done:
+		return ErrClosed
+	}
+	select {
+	case err := <-req.reply:
+		return err
+	case <-c.done:
+		return ErrClosed
+	}
+}

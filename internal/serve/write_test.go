@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"factordb/internal/exp"
+)
+
+// corefEngine builds an engine over a small entity-resolution workload —
+// cheap to stock (no training), so write tests get private engines whose
+// worlds they may mutate freely.
+func corefEngine(t testing.TB, cfg Config) *Engine {
+	t.Helper()
+	sys, err := exp.BuildCoref(exp.CorefConfig{NumEntities: 4, MentionsPerEntity: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.StepsPerSample == 0 {
+		cfg.StepsPerSample = 100
+	}
+	eng, err := New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	return eng
+}
+
+// mentionString fetches the current STRING evidence of one mention
+// through the query path; want -1 tuples skips the arity check.
+func queryTuples(t *testing.T, eng *Engine, sql string) []TupleResult {
+	t.Helper()
+	res, err := eng.Query(context.Background(), sql, QueryOptions{Samples: 4, NoCache: true})
+	if err != nil {
+		t.Fatalf("query %q: %v", sql, err)
+	}
+	return res.Tuples
+}
+
+// TestExecMutatesEveryChainWorld drives the three DML verbs end-to-end
+// through a multi-chain engine: evidence queries (marginal 1 tuples) must
+// reflect each committed write on every chain, with no engine restart.
+func TestExecMutatesEveryChainWorld(t *testing.T) {
+	eng := corefEngine(t, Config{Chains: 2, Seed: 3})
+	ctx := context.Background()
+
+	pre := queryTuples(t, eng, `SELECT STRING FROM MENTION WHERE MENTION_ID = 0`)
+	if len(pre) != 1 || pre[0].P != 1 {
+		t.Fatalf("pre-write evidence answer = %+v", pre)
+	}
+
+	// UPDATE: the evidence correction must land on both chains.
+	res, err := eng.Exec(ctx, `UPDATE MENTION SET STRING = 'CORRECTED' WHERE MENTION_ID = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 1 || res.Epoch != 1 || res.Chains != 2 {
+		t.Fatalf("exec result = %+v", res)
+	}
+	post := queryTuples(t, eng, `SELECT STRING FROM MENTION WHERE MENTION_ID = 0`)
+	if len(post) != 1 || post[0].Values[0] != "CORRECTED" || post[0].P != 1 {
+		t.Fatalf("post-update answer = %+v", post)
+	}
+
+	// DELETE: the tuple disappears from the answer; the proposer keeps
+	// walking (its in-memory variable just stops mirroring).
+	if _, err := eng.Exec(ctx, `DELETE FROM MENTION WHERE MENTION_ID = 0`); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryTuples(t, eng, `SELECT STRING FROM MENTION WHERE MENTION_ID = 0`); len(got) != 0 {
+		t.Fatalf("post-delete answer = %+v, want empty", got)
+	}
+
+	// INSERT: new evidence is queryable immediately.
+	if _, err := eng.Exec(ctx, `INSERT INTO MENTION (MENTION_ID, STRING, CLUSTER) VALUES (99, 'NEW', 42)`); err != nil {
+		t.Fatal(err)
+	}
+	got := queryTuples(t, eng, `SELECT STRING FROM MENTION WHERE MENTION_ID = 99`)
+	if len(got) != 1 || got[0].Values[0] != "NEW" {
+		t.Fatalf("post-insert answer = %+v", got)
+	}
+	if eng.DataEpoch() != 3 {
+		t.Errorf("data epoch = %d after 3 writes", eng.DataEpoch())
+	}
+
+	// Sampling still works after all three mutations: the hidden-field
+	// query exercises the proposer against the mutated world.
+	res2, err := eng.Query(ctx, exp.PairQuery, QueryOptions{Samples: 8, NoCache: true})
+	if err != nil {
+		t.Fatalf("pair query after writes: %v", err)
+	}
+	if res2.Samples < 8 {
+		t.Errorf("pair query collected %d samples", res2.Samples)
+	}
+}
+
+// TestWriteInvalidatesResultCache is the epoch-in-key regression test: a
+// result cached before a write must never be served after it — including
+// through whitespace/case variants that share the canonical plan's
+// fingerprint — while fingerprint sharing itself keeps working within
+// one data epoch.
+func TestWriteInvalidatesResultCache(t *testing.T) {
+	eng := corefEngine(t, Config{Chains: 1, Seed: 5})
+	ctx := context.Background()
+	const (
+		sqlA = `SELECT STRING FROM MENTION WHERE MENTION_ID = 1`
+		sqlB = "select   STRING\nfrom MENTION\nwhere MENTION_ID=1" // same plan, different spelling
+		sqlC = `SELECT STRING FROM MENTION M WHERE M.MENTION_ID = 1`
+	)
+	q := func(sql string) *Result {
+		t.Helper()
+		res, err := eng.Query(ctx, sql, QueryOptions{Samples: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	r1 := q(sqlA)
+	if r1.Cached {
+		t.Fatal("first query hit an empty cache")
+	}
+	if r2 := q(sqlB); !r2.Cached {
+		t.Error("pre-write spelling variant missed the shared cache entry")
+	}
+
+	if _, err := eng.Exec(ctx, `UPDATE MENTION SET STRING = 'POSTWRITE' WHERE MENTION_ID = 1`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every spelling of the query must now miss the stale entry and see
+	// the post-write value.
+	r3 := q(sqlB)
+	if r3.Cached {
+		t.Fatal("stale pre-write cache entry served after the write")
+	}
+	if len(r3.Tuples) != 1 || r3.Tuples[0].Values[0] != "POSTWRITE" {
+		t.Fatalf("post-write answer = %+v", r3.Tuples)
+	}
+	// Fingerprint sharing still works within the new epoch.
+	r4 := q(sqlC)
+	if !r4.Cached {
+		t.Error("post-write spelling variant missed the fresh shared entry")
+	}
+	if len(r4.Tuples) != 1 || r4.Tuples[0].Values[0] != "POSTWRITE" {
+		t.Fatalf("post-write cached answer = %+v", r4.Tuples)
+	}
+}
+
+// TestInFlightQueryCompletesAcrossWrite pins the re-equilibration
+// contract for queries already running when a write lands: their
+// estimators restart, so the answer they eventually return reflects the
+// post-write world only — never a blend.
+func TestInFlightQueryCompletesAcrossWrite(t *testing.T) {
+	eng := corefEngine(t, Config{Chains: 2, Seed: 7})
+	ctx := context.Background()
+
+	type out struct {
+		res *Result
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := eng.Query(ctx, `SELECT STRING FROM MENTION WHERE MENTION_ID = 2`,
+			QueryOptions{Samples: 64, NoCache: true})
+		done <- out{res, err}
+	}()
+	// Land the write while the query is (very likely) in flight; the
+	// assertion below holds either way — what is forbidden is a blended
+	// answer.
+	time.Sleep(2 * time.Millisecond)
+	if _, err := eng.Exec(ctx, `UPDATE MENTION SET STRING = 'SHIFTED' WHERE MENTION_ID = 2`); err != nil {
+		t.Fatal(err)
+	}
+	o := <-done
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	// STRING is evidence, so within any single world the answer is one
+	// tuple with certainty. A complete query must therefore return
+	// exactly one tuple at marginal 1 — the pre-write value if the query
+	// finished before the commit, the post-write value otherwise. Two
+	// tuples, or one below certainty, is a blend of the two worlds: the
+	// exact outcome the collect-retry loop forbids.
+	if !o.res.Partial {
+		if len(o.res.Tuples) != 1 || o.res.Tuples[0].P != 1 {
+			t.Errorf("blended in-flight answer across the write: %+v", o.res.Tuples)
+		}
+	}
+	// A fresh query sees the write with certainty.
+	got := queryTuples(t, eng, `SELECT STRING FROM MENTION WHERE MENTION_ID = 2`)
+	if len(got) != 1 || got[0].Values[0] != "SHIFTED" || got[0].P != 1 {
+		t.Fatalf("post-write answer = %+v", got)
+	}
+}
+
+// TestWriteRespectsAdmission: writes pass the same admission control as
+// queries — with the slot held and the queue full, an extra Exec is shed
+// with ErrOverloaded instead of piling up.
+func TestWriteRespectsAdmission(t *testing.T) {
+	eng := corefEngine(t, Config{Chains: 1, Seed: 9, MaxConcurrentQueries: 1, MaxQueuedQueries: 1})
+	ctx := context.Background()
+
+	if err := eng.admit.acquire(ctx); err != nil { // occupy the only slot
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		_, err := eng.Exec(ctx, `UPDATE MENTION SET STRING = 'Q' WHERE MENTION_ID = 3`)
+		queued <- err
+	}()
+	// Wait for the goroutine to take the single queue spot.
+	for i := 0; eng.admit.waiting.Load() == 0; i++ {
+		if i > 1000 {
+			t.Fatal("queued Exec never reached the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := eng.Exec(ctx, `DELETE FROM MENTION WHERE MENTION_ID = 3`); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overloaded Exec = %v, want ErrOverloaded", err)
+	}
+	eng.admit.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued Exec = %v", err)
+	}
+}
+
+// TestExecBadStatements covers the client-error paths of the write
+// coordinator: parse errors, resolve errors and read/write API misuse
+// all surface as ErrBadQuery without touching any chain's world.
+func TestExecBadStatements(t *testing.T) {
+	eng := corefEngine(t, Config{Chains: 1, Seed: 13})
+	ctx := context.Background()
+	cases := []struct {
+		name, sql, detail string
+	}{
+		{"parse error", `UPDATE MENTION SET`, "expected identifier"},
+		{"select via exec", `SELECT STRING FROM MENTION`, "use Query"},
+		{"unknown relation", `DELETE FROM NOPE`, `unknown relation "NOPE"`},
+		{"unknown column", `UPDATE MENTION SET NOPE = 1`, `no column "NOPE"`},
+		{"type mismatch", `UPDATE MENTION SET STRING = 7`, "takes STRING"},
+	}
+	for _, c := range cases {
+		_, err := eng.Exec(ctx, c.sql)
+		if !errors.Is(err, ErrBadQuery) {
+			t.Errorf("%s: error %v, want ErrBadQuery", c.name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.detail) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.detail)
+		}
+	}
+	if eng.DataEpoch() != 0 {
+		t.Errorf("bad statements bumped the data epoch to %d", eng.DataEpoch())
+	}
+	// A mutation matching no rows succeeds but commits nothing: the data
+	// epoch must not move, so the result cache survives intact.
+	res, err := eng.Exec(ctx, `DELETE FROM MENTION WHERE MENTION_ID = 999`)
+	if err != nil || res.RowsAffected != 0 || eng.DataEpoch() != 0 {
+		t.Errorf("no-match DELETE: err=%v rows=%d epoch=%d, want a zero-row no-op at epoch 0",
+			err, res.RowsAffected, eng.DataEpoch())
+	}
+}
+
+// TestExecQueryCloseRace interleaves writers, readers and shutdown; run
+// under -race it is the engine's write-path memory-safety check. Every
+// call must return either a clean result or a shutdown/overload error —
+// never a panic, deadlock or torn state.
+func TestExecQueryCloseRace(t *testing.T) {
+	eng := corefEngine(t, Config{Chains: 2, Seed: 21, StepsPerSample: 50})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	fail := func(kind string, err error) {
+		if err == nil || errors.Is(err, ErrClosed) || errors.Is(err, ErrOverloaded) {
+			return
+		}
+		t.Errorf("%s returned %v", kind, err)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				_, err := eng.Exec(ctx, fmt.Sprintf(
+					`UPDATE MENTION SET STRING = 'W%d_%d' WHERE MENTION_ID = %d`, w, i, w))
+				fail("Exec", err)
+			}
+		}(w)
+	}
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				_, err := eng.Query(ctx, exp.PairQuery, QueryOptions{Samples: 4, NoCache: true})
+				fail("Query", err)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(10 * time.Millisecond)
+		eng.Close()
+	}()
+	wg.Wait()
+
+	if _, err := eng.Exec(ctx, `DELETE FROM MENTION`); !errors.Is(err, ErrClosed) {
+		t.Errorf("Exec after Close = %v, want ErrClosed", err)
+	}
+}

@@ -36,6 +36,8 @@ var keywords = map[string]bool{
 	"SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"DISTINCT": true, "HAVING": true, "ORDER": true, "LIMIT": true,
 	"ASC": true, "DESC": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true,
 }
 
 // lineCol converts a byte offset into 1-based line and column numbers,

@@ -1,0 +1,98 @@
+package sqlparse
+
+import (
+	"fmt"
+
+	"factordb/internal/ra"
+	"factordb/internal/relstore"
+)
+
+// CompileExec parses one DML statement (INSERT, UPDATE or DELETE) and
+// lowers it to the typed mutation IR. A SELECT is rejected with a pointer
+// at the read API, mirroring Compile's rejection of DML.
+func CompileExec(sql string) (ra.Mutation, error) {
+	stmt, err := ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case stmt.Insert != nil:
+		return lowerInsert(stmt.Insert)
+	case stmt.Update != nil:
+		return lowerUpdate(stmt.Update)
+	case stmt.Delete != nil:
+		return lowerDelete(stmt.Delete)
+	}
+	return nil, posErrf(sql, 0, "SELECT is a query, not a DML statement (use Query)")
+}
+
+func lowerInsert(st *InsertStmt) (ra.Mutation, error) {
+	m := &ra.Insert{TableName: st.Table, Columns: st.Columns}
+	for _, row := range st.Rows {
+		vals := make([]relstore.Value, len(row))
+		for i, op := range row {
+			vals[i] = operandValue(op)
+		}
+		m.Rows = append(m.Rows, vals)
+	}
+	return m, nil
+}
+
+func lowerUpdate(st *UpdateStmt) (ra.Mutation, error) {
+	m := &ra.Update{TableName: st.Table.Name, Alias: st.Table.Alias}
+	for _, a := range st.Set {
+		m.Set = append(m.Set, ra.SetClause{Col: a.Col, Val: operandValue(a.Val)})
+	}
+	where, err := lowerDMLWhere(st.Where, st.Table.Alias)
+	if err != nil {
+		return nil, err
+	}
+	m.Where = where
+	return m, nil
+}
+
+func lowerDelete(st *DeleteStmt) (ra.Mutation, error) {
+	where, err := lowerDMLWhere(st.Where, st.Table.Alias)
+	if err != nil {
+		return nil, err
+	}
+	return &ra.Delete{TableName: st.Table.Name, Alias: st.Table.Alias, Where: where}, nil
+}
+
+// lowerDMLWhere conjoins the WHERE conjuncts of a single-table mutation.
+// Column references must be unqualified or qualified by the statement's
+// own table alias.
+func lowerDMLWhere(conds []Cond, alias string) (ra.Expr, error) {
+	if len(conds) == 0 {
+		return nil, nil
+	}
+	ref := func(col ColName) (ra.ColRef, error) {
+		if col.Qual != "" && col.Qual != alias {
+			return ra.ColRef{}, fmt.Errorf("sqlparse: unknown table alias %q in %s", col.Qual, col)
+		}
+		return ra.C(col.Qual, col.Name), nil
+	}
+	exprs := make([]ra.Expr, len(conds))
+	for i, c := range conds {
+		op, err := cmpOpOf(c.Op)
+		if err != nil {
+			return nil, err
+		}
+		l, err := ref(c.Left)
+		if err != nil {
+			return nil, err
+		}
+		var rhs ra.Expr
+		if c.Right.IsCol {
+			r, err := ref(c.Right.Col)
+			if err != nil {
+				return nil, err
+			}
+			rhs = ra.Col(r)
+		} else {
+			rhs = ra.Const(operandValue(c.Right))
+		}
+		exprs[i] = ra.Cmp(op, ra.Col(l), rhs)
+	}
+	return ra.And(exprs...), nil
+}

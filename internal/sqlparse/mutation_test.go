@@ -1,0 +1,130 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"factordb/internal/ra"
+	"factordb/internal/relstore"
+)
+
+func TestCompileExecInsert(t *testing.T) {
+	mut, err := CompileExec(
+		`INSERT INTO CITY (NAME, POP) VALUES ('Boston', 7), ('Worcester', 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, ok := mut.(*ra.Insert)
+	if !ok {
+		t.Fatalf("lowered to %T, want *ra.Insert", mut)
+	}
+	if ins.TableName != "CITY" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if ins.Rows[0][0].AsString() != "Boston" || ins.Rows[1][1].AsInt() != 2 {
+		t.Errorf("values = %v", ins.Rows)
+	}
+
+	// Without a column list: values in schema order, floats allowed.
+	mut, err = CompileExec(`INSERT INTO CITY VALUES (1, 'x', 2.5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins = mut.(*ra.Insert)
+	if len(ins.Columns) != 0 || len(ins.Rows) != 1 || ins.Rows[0][2].Kind() != relstore.TFloat {
+		t.Errorf("insert = %+v", ins)
+	}
+}
+
+func TestCompileExecUpdateDelete(t *testing.T) {
+	mut, err := CompileExec(
+		`UPDATE TOKEN T SET STRING = 'Boston', LABEL = 'O' WHERE T.DOC_ID = 3 AND STRING != 'x'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, ok := mut.(*ra.Update)
+	if !ok {
+		t.Fatalf("lowered to %T, want *ra.Update", mut)
+	}
+	if up.TableName != "TOKEN" || up.Alias != "T" || len(up.Set) != 2 || up.Where == nil {
+		t.Fatalf("update = %+v", up)
+	}
+	if up.Set[0].Col != "STRING" || up.Set[0].Val.AsString() != "Boston" {
+		t.Errorf("set = %+v", up.Set)
+	}
+
+	mut, err = CompileExec(`DELETE FROM TOKEN WHERE DOC_ID = 9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := mut.(*ra.Delete)
+	if del.TableName != "TOKEN" || del.Where == nil {
+		t.Fatalf("delete = %+v", del)
+	}
+
+	// WHERE is optional: a bare DELETE matches every row.
+	mut, err = CompileExec(`delete from token`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del := mut.(*ra.Delete); del.Where != nil {
+		t.Errorf("bare delete carries a predicate: %v", del.Where)
+	}
+}
+
+func TestCompileExecErrorsArePositioned(t *testing.T) {
+	cases := []struct {
+		sql     string
+		wantPos string
+		wantMsg string
+	}{
+		{"INSERT TOKEN VALUES (1)", "line 1 column 8", `expected "INTO"`},
+		{"INSERT INTO T (A, B) VALUES (1)", "line 1 column 32", "VALUES row has 1 values"},
+		{"INSERT INTO T VALUES (A)", "line 1 column 23", "expected literal value"},
+		{"UPDATE T SET A = B", "line 1 column 18", "expected literal value"},
+		{"UPDATE T WHERE A = 1", "line 1 column 10", `expected "SET"`},
+		// Subquery equalities are query-only; in DML the opening paren is
+		// rejected where a column reference is expected.
+		{"DELETE FROM T WHERE (SELECT COUNT(*) FROM T) = 1", "line 1 column 21", "expected identifier"},
+		{"DELETE T", "line 1 column 8", `expected "FROM"`},
+		{"UPDATE T SET A = 1 GARBAGE", "line 1 column 20", "trailing input"},
+	}
+	for _, c := range cases {
+		_, err := CompileExec(c.sql)
+		if err == nil {
+			t.Errorf("%q compiled", c.sql)
+			continue
+		}
+		for _, want := range []string{c.wantPos, c.wantMsg} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%q: error %q lacks %q", c.sql, err, want)
+			}
+		}
+	}
+}
+
+func TestReadWriteAPISplit(t *testing.T) {
+	// A query handed to the write path points at the read API...
+	_, err := CompileExec(`SELECT STRING FROM TOKEN`)
+	if err == nil || !strings.Contains(err.Error(), "use Query") {
+		t.Errorf("CompileExec(SELECT) = %v", err)
+	}
+	// ...and vice versa.
+	for _, sql := range []string{
+		`INSERT INTO T VALUES (1)`,
+		`UPDATE T SET A = 1`,
+		`DELETE FROM T`,
+	} {
+		_, _, err := Compile(sql)
+		if err == nil || !strings.Contains(err.Error(), "use Exec") {
+			t.Errorf("Compile(%q) = %v", sql, err)
+		}
+	}
+}
+
+func TestLowerDMLWhereAliasCheck(t *testing.T) {
+	_, err := CompileExec(`UPDATE TOKEN T SET STRING = 'x' WHERE U.DOC_ID = 1`)
+	if err == nil || !strings.Contains(err.Error(), `unknown table alias "U"`) {
+		t.Errorf("foreign alias = %v", err)
+	}
+}

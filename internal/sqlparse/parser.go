@@ -96,27 +96,107 @@ type Query struct {
 	Limit    int64 // -1 when the query has no LIMIT clause
 }
 
+// Assign is one SET assignment of an UPDATE statement. Values are
+// literals: the dialect has no expressions on the write path.
+type Assign struct {
+	Col string
+	Val Operand
+}
+
+// InsertStmt is a parsed INSERT. An empty Columns list means "values in
+// schema order"; otherwise the list must cover the whole schema (the
+// store has no column defaults), checked when the statement is resolved
+// against a catalog.
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Operand
+}
+
+// UpdateStmt is a parsed UPDATE.
+type UpdateStmt struct {
+	Table TableRef
+	Set   []Assign
+	Where []Cond
+}
+
+// DeleteStmt is a parsed DELETE.
+type DeleteStmt struct {
+	Table TableRef
+	Where []Cond
+}
+
+// Statement is one parsed SQL statement: exactly one field is non-nil.
+type Statement struct {
+	Select *Query
+	Insert *InsertStmt
+	Update *UpdateStmt
+	Delete *DeleteStmt
+}
+
+// Kind returns the statement's leading keyword, for diagnostics.
+func (s *Statement) Kind() string {
+	switch {
+	case s.Select != nil:
+		return "SELECT"
+	case s.Insert != nil:
+		return "INSERT"
+	case s.Update != nil:
+		return "UPDATE"
+	case s.Delete != nil:
+		return "DELETE"
+	}
+	return "empty"
+}
+
 type parser struct {
 	src  string // original query text, for line/column error positions
 	toks []token
 	i    int
 }
 
-// Parse parses one SELECT statement of the supported dialect.
+// Parse parses one SELECT statement of the supported dialect. DML
+// statements are parsed by ParseStatement; passing one here reports the
+// read/write API split rather than a token-level error.
 func Parse(input string) (*Query, error) {
+	stmt, err := ParseStatement(input)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Select == nil {
+		return nil, posErrf(input, 0, "%s is a DML statement, not a query (use Exec)", stmt.Kind())
+	}
+	return stmt.Select, nil
+}
+
+// ParseStatement parses one statement of the supported dialect: a SELECT
+// query or an INSERT/UPDATE/DELETE mutation.
+func ParseStatement(input string) (*Statement, error) {
 	toks, err := lex(input)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{src: input, toks: toks}
-	q, err := p.parseQuery(false)
+	stmt := &Statement{}
+	switch {
+	case p.at(tkKeyword, "SELECT"):
+		stmt.Select, err = p.parseQuery(false)
+	case p.at(tkKeyword, "INSERT"):
+		stmt.Insert, err = p.parseInsert()
+	case p.at(tkKeyword, "UPDATE"):
+		stmt.Update, err = p.parseUpdate()
+	case p.at(tkKeyword, "DELETE"):
+		stmt.Delete, err = p.parseDelete()
+	default:
+		return nil, p.errf("expected SELECT, INSERT, UPDATE or DELETE, found %q", p.cur().text)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if !p.at(tkEOF, "") {
 		return nil, p.errf("trailing input starting at %q", p.cur().text)
 	}
-	return q, nil
+	return stmt, nil
 }
 
 func (p *parser) cur() token  { return p.toks[p.i] }
@@ -474,6 +554,149 @@ func (p *parser) parseOperand() (Operand, error) {
 		return Operand{IsCol: true, Col: col}, nil
 	}
 	return Operand{}, p.errf("expected value or column, found %q", t.text)
+}
+
+// parseInsert parses INSERT INTO t [(col, ...)] VALUES (lit, ...) [, ...].
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if _, err := p.expect(tkKeyword, "INSERT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tkIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name.text}
+	if p.accept(tkSymbol, "(") {
+		for {
+			col, err := p.expect(tkIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col.text)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tkKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tkSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Operand
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+		if len(st.Columns) > 0 && len(row) != len(st.Columns) {
+			return nil, p.errf("VALUES row has %d values, column list has %d", len(row), len(st.Columns))
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+// parseUpdate parses UPDATE t [alias] SET col = lit [, ...] [WHERE ...].
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	if _, err := p.expect(tkKeyword, "UPDATE"); err != nil {
+		return nil, err
+	}
+	tr, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: tr}
+	if _, err := p.expect(tkKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expect(tkIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkSymbol, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, Assign{Col: col.text, Val: val})
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	st.Where, err = p.parseOptWhere()
+	return st, err
+}
+
+// parseDelete parses DELETE FROM t [alias] [WHERE ...].
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if _, err := p.expect(tkKeyword, "DELETE"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	tr, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: tr}
+	st.Where, err = p.parseOptWhere()
+	return st, err
+}
+
+// parseOptWhere parses the optional WHERE clause of a DML statement: a
+// conjunction of simple comparisons (no subquery equalities on the write
+// path).
+func (p *parser) parseOptWhere() ([]Cond, error) {
+	if !p.accept(tkKeyword, "WHERE") {
+		return nil, nil
+	}
+	var conds []Cond
+	for {
+		c, err := p.parseCond(true)
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, c)
+		if !p.accept(tkKeyword, "AND") {
+			break
+		}
+	}
+	return conds, nil
+}
+
+// parseLiteral parses a string or number literal (the only values the
+// write path accepts — no expressions, no column references).
+func (p *parser) parseLiteral() (Operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tkString, tkNumber:
+		return p.parseOperand()
+	}
+	return Operand{}, p.errf("expected literal value, found %q", t.text)
 }
 
 func (p *parser) parseSubQuery() (SubQuery, error) {

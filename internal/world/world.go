@@ -48,7 +48,7 @@ func (l *ChangeLog) SetField(ref FieldRef, v relstore.Value) error {
 	}
 	cur, ok := rel.Get(ref.Row)
 	if !ok {
-		return fmt.Errorf("world: row %d not found in %q", ref.Row, ref.Rel)
+		return fmt.Errorf("world: relation %q row %d: %w", ref.Rel, ref.Row, relstore.ErrNotFound)
 	}
 	if ref.Col < 0 || ref.Col >= len(cur) {
 		return fmt.Errorf("world: column %d out of range in %q", ref.Col, ref.Rel)
@@ -75,7 +75,7 @@ func (l *ChangeLog) GetField(ref FieldRef) (relstore.Value, error) {
 	}
 	t, ok := rel.Get(ref.Row)
 	if !ok {
-		return relstore.Value{}, fmt.Errorf("world: row %d not found in %q", ref.Row, ref.Rel)
+		return relstore.Value{}, fmt.Errorf("world: relation %q row %d: %w", ref.Rel, ref.Row, relstore.ErrNotFound)
 	}
 	if ref.Col < 0 || ref.Col >= len(t) {
 		return relstore.Value{}, fmt.Errorf("world: column %d out of range in %q", ref.Col, ref.Rel)

@@ -6,6 +6,7 @@ import (
 	"factordb/internal/exp"
 	"factordb/internal/ie"
 	"factordb/internal/mcmc"
+	"factordb/internal/ra"
 	"factordb/internal/world"
 )
 
@@ -115,6 +116,10 @@ func (t *targetedNER) NewChainWorld(chain int) (*world.ChangeLog, mcmc.Proposer,
 	}
 	return log, tg, nil
 }
+
+// Exec forwards local-mode writes to the underlying prototype world;
+// proposal targeting only shapes the walk, not the write path.
+func (t *targetedNER) Exec(mut ra.Mutation) (int64, error) { return t.sys.Exec(mut) }
 
 // CorefConfig parameterizes the entity-resolution workload: generated
 // mention strings clustered by MCMC over a pairwise-cohesion model, with

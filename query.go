@@ -2,10 +2,8 @@ package factordb
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
-	"strings"
 	"time"
 
 	"factordb/internal/core"
@@ -103,18 +101,7 @@ func (db *DB) queryServed(ctx context.Context, sql string, cols []string, qo que
 		NoCache:    qo.noCache,
 	})
 	if err != nil {
-		switch {
-		case errors.Is(err, serve.ErrClosed):
-			return nil, ErrClosed
-		case errors.Is(err, serve.ErrBadQuery):
-			// Re-brand the engine's bad-query sentinel, keeping the
-			// underlying compile/bind detail intact.
-			detail := strings.TrimPrefix(err.Error(), serve.ErrBadQuery.Error()+": ")
-			return nil, fmt.Errorf("%w: %s", ErrBadQuery, detail)
-		case errors.Is(err, serve.ErrOverloaded):
-			return nil, ErrOverloaded
-		}
-		return nil, err
+		return nil, mapServeErr(err)
 	}
 	if res.Partial && !qo.allowPartial {
 		if cerr := ctx.Err(); cerr != nil {
@@ -144,7 +131,12 @@ func (db *DB) queryServed(ctx context.Context, sql string, cols []string, qo que
 // pseudo-column) to the finished estimate.
 func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, spec ra.ResultSpec, cols []string, qo queryOptions) (*Rows, error) {
 	start := time.Now()
+	// The read lock excludes a concurrent Exec mid-mutation: the private
+	// chain world is cloned from the prototype either wholly before or
+	// wholly after any write.
+	db.writeMu.RLock()
 	log, proposer, err := db.sys.NewChainWorld(0)
+	db.writeMu.RUnlock()
 	if err != nil {
 		return nil, err
 	}

@@ -30,9 +30,17 @@
 // their canonical plan rather than the SQL text, so spelling variants of
 // one query issued across pooled connections share a result-cache entry
 // and, while concurrently in flight, one materialized view per chain.
-// Statements take no placeholder arguments, and Exec and transactions
-// are not supported: the store is a sampled possible world, mutated only
-// by its MCMC chains.
+//
+// DML goes through the standard Exec surface:
+//
+//	res, err := db.ExecContext(ctx, "UPDATE TOKEN SET STRING='Boston' WHERE TOK_ID=4711")
+//	n, _ := res.RowsAffected()
+//
+// A write mutates every possible-world copy in place and the samplers
+// keep walking (the paper's update model): subsequent queries reflect the
+// mutation, cached pre-write answers are never served again, and no
+// reopen is needed. LastInsertId is not supported (row identities are
+// internal), nor are transactions or placeholder arguments.
 package sqldriver
 
 import (
@@ -251,6 +259,7 @@ type conn struct {
 var (
 	_ driver.Conn           = (*conn)(nil)
 	_ driver.QueryerContext = (*conn)(nil)
+	_ driver.ExecerContext  = (*conn)(nil)
 )
 
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
@@ -274,6 +283,31 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []driver.Nam
 	return newRows(fr), nil
 }
 
+// ExecContext runs one DML statement (INSERT, UPDATE or DELETE) against
+// the shared database. The returned result reports rows affected;
+// LastInsertId is not supported.
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	if len(args) > 0 {
+		return nil, fmt.Errorf("sqldriver: placeholder arguments are not supported")
+	}
+	res, err := c.db.Exec(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return execResult{rows: res.RowsAffected}, nil
+}
+
+// execResult adapts factordb.ExecResult to driver.Result.
+type execResult struct {
+	rows int64
+}
+
+func (execResult) LastInsertId() (int64, error) {
+	return 0, fmt.Errorf("sqldriver: LastInsertId is not supported (row identities are internal)")
+}
+
+func (r execResult) RowsAffected() (int64, error) { return r.rows, nil }
+
 // stmt is a trivially prepared statement: the dialect has no
 // placeholders, so preparation is deferred entirely to query time.
 type stmt struct {
@@ -284,13 +318,18 @@ type stmt struct {
 var (
 	_ driver.Stmt             = (*stmt)(nil)
 	_ driver.StmtQueryContext = (*stmt)(nil)
+	_ driver.StmtExecContext  = (*stmt)(nil)
 )
 
 func (s *stmt) Close() error  { return nil }
 func (s *stmt) NumInput() int { return 0 }
 
 func (s *stmt) Exec([]driver.Value) (driver.Result, error) {
-	return nil, fmt.Errorf("sqldriver: the database is read-only (worlds are mutated by MCMC, not SQL)")
+	return s.ExecContext(context.Background(), nil)
+}
+
+func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	return s.conn.ExecContext(ctx, s.query, args)
 }
 
 func (s *stmt) Query([]driver.Value) (driver.Rows, error) {

@@ -1,0 +1,318 @@
+package sqldriver
+
+import (
+	"bytes"
+	"context"
+	"database/sql"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"factordb"
+)
+
+// The three-path write tests build small private NER databases — writes
+// mutate worlds, so nothing here may share state with the read-path
+// tests. All paths use identical model and engine parameters; generation,
+// training and the seeded walks are deterministic, which is what makes
+// exact cross-transport comparisons possible.
+const (
+	wtTokens = 1200
+	wtTrain  = 8000
+	wtSeed   = 7
+	wtThin   = 200
+	wtSamp   = 12
+)
+
+const (
+	wtEvidenceSQL = `SELECT STRING FROM TOKEN WHERE TOK_ID = 3`
+	// A spelling variant of wtEvidenceSQL: same canonical plan, same
+	// fingerprint — it must share cache entries yet never resurrect a
+	// pre-write answer.
+	wtEvidenceVariant = "select  STRING\n from TOKEN\n where TOK_ID=3"
+	wtUpdateSQL       = `UPDATE TOKEN SET STRING = 'REVISEDNAME' WHERE TOK_ID = 3`
+	wtMarginalsSQL    = `SELECT STRING FROM TOKEN WHERE LABEL='B-PER'`
+)
+
+func wtModes() []factordb.Mode {
+	return []factordb.Mode{factordb.ModeMaterialized, factordb.ModeServed}
+}
+
+func wtOpenFacade(t testing.TB, mode factordb.Mode) *factordb.DB {
+	t.Helper()
+	db, err := factordb.Open(
+		factordb.NER(factordb.NERConfig{Tokens: wtTokens, Seed: wtSeed, TrainSteps: wtTrain}),
+		factordb.WithMode(mode), factordb.WithSteps(wtThin), factordb.WithSeed(wtSeed),
+		factordb.WithChains(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// pathResult is what each transport observed, for exact cross-path
+// comparison.
+type pathResult struct {
+	preString  string             // evidence value before the write
+	rows       int64              // rows affected by the update
+	postString string             // evidence value after the write
+	marginals  map[string]float64 // hidden-field query answer after the write
+}
+
+// facadePath drives the sequence through factordb.DB directly.
+func facadePath(t *testing.T, mode factordb.Mode) pathResult {
+	t.Helper()
+	db := wtOpenFacade(t, mode)
+	ctx := context.Background()
+	var out pathResult
+
+	readEvidence := func(sql string) (string, bool) {
+		rows, err := db.Query(ctx, sql, factordb.Samples(wtSamp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		if !rows.Next() {
+			t.Fatalf("evidence query %q returned no tuples", sql)
+		}
+		var s string
+		if err := rows.Scan(&s); err != nil {
+			t.Fatal(err)
+		}
+		if rows.Prob() != 1 {
+			t.Fatalf("evidence marginal %v, want 1", rows.Prob())
+		}
+		return s, rows.Cached()
+	}
+
+	out.preString, _ = readEvidence(wtEvidenceSQL)
+	if mode == factordb.ModeServed {
+		// Establish the pre-write cache entry and prove the variant
+		// spelling shares it.
+		if _, cached := readEvidence(wtEvidenceVariant); !cached {
+			t.Error("pre-write spelling variant missed the shared cache entry")
+		}
+	}
+
+	res, err := db.Exec(ctx, wtUpdateSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.rows = res.RowsAffected
+	if res.Epoch != 1 || db.WriteEpoch() != 1 {
+		t.Errorf("post-write epoch = %d/%d, want 1", res.Epoch, db.WriteEpoch())
+	}
+
+	post, cached := readEvidence(wtEvidenceVariant)
+	if cached {
+		t.Error("cached pre-write answer served after the write")
+	}
+	out.postString = post
+	out.marginals = facadeMarginals(t, db, wtMarginalsSQL)
+	return out
+}
+
+func facadeMarginals(t *testing.T, db *factordb.DB, sql string) map[string]float64 {
+	t.Helper()
+	rows, err := db.Query(context.Background(), sql, factordb.Samples(wtSamp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	out := map[string]float64{}
+	for rows.Next() {
+		var s string
+		if err := rows.Scan(&s); err != nil {
+			t.Fatal(err)
+		}
+		out[s] = rows.Prob()
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// driverPath drives the same sequence through database/sql.
+func driverPath(t *testing.T, mode factordb.Mode) pathResult {
+	t.Helper()
+	dsn := fmt.Sprintf("ner?tokens=%d&train_steps=%d&seed=%d&steps=%d&samples=%d&chains=2&mode=%s",
+		wtTokens, wtTrain, wtSeed, wtThin, wtSamp, mode)
+	db, err := sql.Open("factordb", dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	ctx := context.Background()
+	var out pathResult
+
+	readEvidence := func(sql string) string {
+		var s string
+		var p, lo, hi float64
+		if err := db.QueryRowContext(ctx, sql).Scan(&s, &p, &lo, &hi); err != nil {
+			t.Fatalf("evidence query %q: %v", sql, err)
+		}
+		if p != 1 {
+			t.Fatalf("evidence marginal %v, want 1", p)
+		}
+		return s
+	}
+
+	out.preString = readEvidence(wtEvidenceSQL)
+	if mode == factordb.ModeServed {
+		readEvidence(wtEvidenceVariant) // keep the walk sequence identical to the other paths
+	}
+
+	res, err := db.ExecContext(ctx, wtUpdateSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.rows, err = res.RowsAffected(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.LastInsertId(); err == nil {
+		t.Error("LastInsertId succeeded; row identities are internal")
+	}
+
+	out.postString = readEvidence(wtEvidenceVariant)
+	out.marginals = map[string]float64{}
+	rows, err := db.QueryContext(ctx, wtMarginalsSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var s string
+		var p, lo, hi float64
+		if err := rows.Scan(&s, &p, &lo, &hi); err != nil {
+			t.Fatal(err)
+		}
+		out.marginals[s] = p
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// httpPath drives the same sequence over POST /query and POST /exec.
+func httpPath(t *testing.T, mode factordb.Mode) pathResult {
+	t.Helper()
+	db := wtOpenFacade(t, mode)
+	srv := httptest.NewServer(db.Handler())
+	t.Cleanup(srv.Close)
+	var out pathResult
+
+	post := func(path string, body any, dst any) {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type queryResp struct {
+		Tuples []struct {
+			Values []string `json:"values"`
+			P      float64  `json:"p"`
+		} `json:"tuples"`
+		Cached bool `json:"cached"`
+	}
+	readEvidence := func(sql string) (string, bool) {
+		var qr queryResp
+		post("/query", map[string]any{"sql": sql, "samples": wtSamp}, &qr)
+		if len(qr.Tuples) != 1 || qr.Tuples[0].P != 1 {
+			t.Fatalf("evidence answer = %+v", qr.Tuples)
+		}
+		return qr.Tuples[0].Values[0], qr.Cached
+	}
+
+	out.preString, _ = readEvidence(wtEvidenceSQL)
+	if mode == factordb.ModeServed {
+		if _, cached := readEvidence(wtEvidenceVariant); !cached {
+			t.Error("pre-write spelling variant missed the shared cache entry")
+		}
+	}
+
+	var er struct {
+		RowsAffected int64 `json:"rows_affected"`
+		Epoch        int64 `json:"epoch"`
+	}
+	post("/exec", map[string]any{"sql": wtUpdateSQL}, &er)
+	out.rows = er.RowsAffected
+	if er.Epoch != 1 {
+		t.Errorf("exec epoch = %d, want 1", er.Epoch)
+	}
+
+	post2, cached := readEvidence(wtEvidenceVariant)
+	if cached {
+		t.Error("cached pre-write answer served after the write")
+	}
+	out.postString = post2
+
+	var mr queryResp
+	post("/query", map[string]any{"sql": wtMarginalsSQL, "samples": wtSamp}, &mr)
+	out.marginals = map[string]float64{}
+	for _, tp := range mr.Tuples {
+		out.marginals[tp.Values[0]] = tp.P
+	}
+	return out
+}
+
+// TestWriteThreePaths is the write subsystem's acceptance test: the same
+// UPDATE issued through the facade, through database/sql and through
+// POST /exec yields identical post-write answers — and on the served
+// engine a result cached before the write (under any spelling of the
+// query) is never served after it. Verified across the direct
+// (materialized) and served modes.
+func TestWriteThreePaths(t *testing.T) {
+	for _, mode := range wtModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			results := map[string]pathResult{
+				"facade": facadePath(t, mode),
+				"sql":    driverPath(t, mode),
+				"http":   httpPath(t, mode),
+			}
+			ref := results["facade"]
+			if ref.preString == "REVISEDNAME" {
+				t.Fatalf("degenerate corpus: evidence already holds the post-write value")
+			}
+			if len(ref.marginals) == 0 {
+				t.Fatal("degenerate run: no B-PER marginals sampled")
+			}
+			for name, r := range results {
+				if r.rows != 1 {
+					t.Errorf("%s: update affected %d rows, want 1", name, r.rows)
+				}
+				if r.postString != "REVISEDNAME" {
+					t.Errorf("%s: post-write evidence %q, want REVISEDNAME", name, r.postString)
+				}
+				if r.preString != ref.preString {
+					t.Errorf("%s: pre-write evidence %q, facade saw %q", name, r.preString, ref.preString)
+				}
+				if len(r.marginals) != len(ref.marginals) {
+					t.Errorf("%s: %d marginal tuples, facade %d", name, len(r.marginals), len(ref.marginals))
+					continue
+				}
+				for s, p := range ref.marginals {
+					if got, ok := r.marginals[s]; !ok || got != p {
+						t.Errorf("%s: marginal[%q] = %v (present=%v), facade %v", name, s, got, ok, p)
+					}
+				}
+			}
+		})
+	}
+}
