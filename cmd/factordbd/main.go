@@ -15,6 +15,11 @@
 //	POST /exec     {"sql": "UPDATE TOKEN SET STRING='Boston' WHERE TOK_ID=4711"}
 //	GET  /healthz  liveness, chain-pool status, data epoch
 //	GET  /metrics  Prometheus text exposition
+//	GET  /statusz  introspection: live views, sampler health, cache
+//
+// With -debug-addr set, a second listener serves the operator-only
+// endpoints (GET /debug/pprof/..., GET /debug/traces); without it they
+// are not reachable at all.
 //
 // /exec applies a DML mutation (INSERT, UPDATE or DELETE) to every
 // chain's world and invalidates all cached pre-write answers; the
@@ -50,6 +55,10 @@ func main() {
 		cacheN  = flag.Int("cache-size", 128, "result cache entries (negative disables)")
 		cacheT  = flag.Duration("cache-ttl", time.Minute, "result cache freshness bound")
 		noSkip  = flag.Bool("no-skip", false, "disable skip-chain factors (plain linear chain)")
+		dbgAddr = flag.String("debug-addr", "",
+			"listen address for the debug endpoints (pprof, /debug/traces); empty disables them")
+		traceN = flag.Int("trace-every", 0,
+			"trace every n-th query into the debug ring (0 = client opt-in only)")
 	)
 	flag.Parse()
 
@@ -65,6 +74,7 @@ func main() {
 		factordb.WithSamples(*samples),
 		factordb.WithQueryLimits(*maxConc, *maxQ),
 		factordb.WithCache(*cacheN, *cacheT),
+		factordb.WithTraceSampling(*traceN),
 	)
 	if err != nil {
 		fatal(err)
@@ -79,6 +89,20 @@ func main() {
 		log.Printf("listening on %s", *addr)
 		errCh <- srv.ListenAndServe()
 	}()
+
+	// The debug endpoints (pprof profiles, recent query traces) are only
+	// served when explicitly asked for, on their own listener — they can
+	// leak query text and timing, so they never ride on the public mux.
+	if *dbgAddr != "" {
+		dbgSrv := &http.Server{Addr: *dbgAddr, Handler: db.DebugHandler()}
+		go func() {
+			log.Printf("debug endpoints on %s", *dbgAddr)
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		defer dbgSrv.Close()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

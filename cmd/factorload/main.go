@@ -1,0 +1,397 @@
+// Command factorload is the load-generation harness: it replays a mixed
+// read/write/ranked workload against a factordb database — either an
+// in-process engine it opens itself or a running factordbd over HTTP —
+// while scraping the target's introspection endpoints, and writes a
+// BENCH_<name>.json trajectory: throughput, latency quantiles, the
+// early-stop and cache-hit rates, and the final convergence diagnostics
+// (split-R̂ / ESS) of every view the workload kept live.
+//
+// Usage:
+//
+//	factorload -name smoke -duration 5s -workers 4            # in-process
+//	factorload -name prod -url http://localhost:8080 -duration 30s
+//	factorload -check BENCH_smoke.json                        # validate a report
+//
+// The workload mix is: every ranked-every-th request is the ranked query
+// (ORDER BY P DESC LIMIT 10), every write-every-th request is a DML
+// UPDATE (0 disables writes), and the rest are the plain selection
+// query. The -check mode parses and validates a previously written
+// report, so CI can fail on a missing or malformed trajectory without
+// external tooling.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"factordb"
+	"factordb/internal/metrics"
+)
+
+func main() {
+	var (
+		name    = flag.String("name", "load", "benchmark name (output defaults to BENCH_<name>.json)")
+		out     = flag.String("out", "", "output path (default BENCH_<name>.json)")
+		check   = flag.String("check", "", "validate an existing BENCH report and exit")
+		url     = flag.String("url", "", "target factordbd base URL (empty = open an in-process engine)")
+		dur     = flag.Duration("duration", 10*time.Second, "load duration")
+		workers = flag.Int("workers", 4, "concurrent client workers")
+		samples = flag.Int("samples", 32, "per-query sample budget")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		rankedN = flag.Int("ranked-every", 4, "issue the ranked query every n-th request (0 disables)")
+		writeN  = flag.Int("write-every", 0, "issue a DML write every n-th request (0 disables)")
+		track   = flag.Bool("track", true,
+			"keep one uncached background query subscribed all run so its view's R-hat/ESS land in the report")
+
+		// In-process target build options (ignored with -url).
+		tokens  = flag.Int("tokens", 2000, "in-process corpus size in tokens")
+		seed    = flag.Int64("seed", 5, "in-process corpus / training / chain seed")
+		chains  = flag.Int("chains", 2, "in-process MCMC chains")
+		steps   = flag.Int("steps", 300, "in-process walk-steps per sample (thinning k)")
+		trainSt = flag.Int("train-steps", 20000, "in-process SampleRank training steps")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkReport(*check); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("factorload: %s is a valid BENCH report\n", *check)
+		return
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *name + ".json"
+	}
+
+	var tgt target
+	var err error
+	if *url != "" {
+		tgt = &httpTarget{base: strings.TrimRight(*url, "/"), client: &http.Client{Timeout: *timeout}}
+	} else {
+		fmt.Fprintf(os.Stderr, "factorload: building in-process NER engine (%d tokens)...\n", *tokens)
+		tgt, err = newInprocTarget(*tokens, *seed, *chains, *steps, *trainSt)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	defer tgt.close()
+
+	rep, err := run(tgt, runConfig{
+		name:        *name,
+		duration:    *dur,
+		workers:     *workers,
+		samples:     *samples,
+		timeout:     *timeout,
+		rankedEvery: *rankedN,
+		writeEvery:  *writeN,
+		track:       *track,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "factorload: %d requests (%d errors) in %.1fs → %.1f q/s, p50 %.1fms p99 %.1fms → %s\n",
+		rep.Requests, rep.Errors, rep.DurationS, rep.ThroughputQPS,
+		rep.Latency.P50*1000, rep.Latency.P99*1000, path)
+}
+
+// The workload statements: the paper's evaluation queries plus an
+// evidence UPDATE cycling over token ids.
+const (
+	readSQL   = factordb.Query1
+	rankedSQL = factordb.Query4Ranked
+)
+
+func writeSQL(i int64) string {
+	return fmt.Sprintf("UPDATE TOKEN SET STRING = 'load-%d' WHERE TOK_ID = %d", i%7, i%50)
+}
+
+// qstats is what one request contributes to the trajectory.
+type qstats struct {
+	earlyStop bool
+	cached    bool
+	partial   bool
+}
+
+// target abstracts the in-process engine and a remote factordbd.
+type target interface {
+	query(ctx context.Context, sql string, samples int, noCache bool) (qstats, error)
+	exec(ctx context.Context, sql string) error
+	status(ctx context.Context) (factordb.Status, error)
+	describe() string
+	close()
+}
+
+type runConfig struct {
+	name        string
+	duration    time.Duration
+	workers     int
+	samples     int
+	timeout     time.Duration
+	rankedEvery int
+	writeEvery  int
+	track       bool
+}
+
+// report is the BENCH_<name>.json schema. CI validates it with -check.
+type report struct {
+	Name          string       `json:"name"`
+	Kind          string       `json:"kind"` // always "factorload"
+	Target        string       `json:"target"`
+	Config        configJSON   `json:"config"`
+	DurationS     float64      `json:"duration_s"`
+	Requests      int64        `json:"requests"`
+	Errors        int64        `json:"errors"`
+	Writes        int64        `json:"writes"`
+	ThroughputQPS float64      `json:"throughput_qps"`
+	Latency       latencyJSON  `json:"latency_seconds"`
+	EarlyStopRate float64      `json:"early_stop_rate"`
+	CacheHitRate  float64      `json:"cache_hit_rate"`
+	PartialRate   float64      `json:"partial_rate"`
+	Views         []viewReport `json:"views"`
+}
+
+type configJSON struct {
+	Workers     int `json:"workers"`
+	Samples     int `json:"samples"`
+	RankedEvery int `json:"ranked_every"`
+	WriteEvery  int `json:"write_every"`
+}
+
+type latencyJSON struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// viewReport is the last convergence diagnostic observed for one view
+// while the workload kept it live (views are evicted when their last
+// subscriber completes, so the trajectory scrapes /statusz during the
+// run and keeps the freshest reading per fingerprint).
+type viewReport struct {
+	Fingerprint string   `json:"fingerprint"`
+	RHat        *float64 `json:"rhat"`
+	ESS         *float64 `json:"ess"`
+	MinSamples  int64    `json:"min_samples"`
+}
+
+func run(tgt target, cfg runConfig) (*report, error) {
+	reg := metrics.NewRegistry()
+	lat := reg.NewHistogram("latency_seconds", "per-request latency",
+		metrics.ExponentialBuckets(0.0005, 2, 18))
+
+	var requests, errors, writes, earlyStops, cacheHits, partials atomic.Int64
+	deadline := time.Now().Add(cfg.duration)
+	rootCtx, cancel := context.WithDeadline(context.Background(), deadline.Add(cfg.timeout))
+	defer cancel()
+
+	// Scrape the target's introspection while the load runs: views are
+	// refcounted and evicted at completion, so their diagnostics are only
+	// visible mid-flight.
+	views := make(map[string]viewReport)
+	var viewMu sync.Mutex
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-rootCtx.Done():
+				return
+			case <-tick.C:
+				if time.Now().After(deadline) {
+					return
+				}
+				st, err := tgt.status(rootCtx)
+				if err != nil {
+					continue
+				}
+				viewMu.Lock()
+				for _, v := range st.Views {
+					prev, seen := views[v.Fingerprint]
+					// Keep the freshest reading that actually carries a
+					// diagnostic; fall back to presence-only rows.
+					if v.RHat != nil || !seen || prev.RHat == nil {
+						views[v.Fingerprint] = viewReport{
+							Fingerprint: v.Fingerprint,
+							RHat:        v.RHat,
+							ESS:         v.ESS,
+							MinSamples:  v.MinSamples,
+						}
+					}
+				}
+				viewMu.Unlock()
+			}
+		}
+	}()
+
+	// The tracked view: one background query with a huge uncached budget
+	// keeps a shared view subscribed for the whole run, so its per-epoch
+	// observation series accumulates and the scraper reads a real split-R̂
+	// — short-lived worker queries complete (and evict their views) too
+	// fast to diagnose.
+	var trackWG sync.WaitGroup
+	if cfg.track {
+		trackWG.Add(1)
+		go func() {
+			defer trackWG.Done()
+			for time.Now().Before(deadline) {
+				ctx, cancel := context.WithDeadline(rootCtx, deadline)
+				_, _ = tgt.query(ctx, readSQL, 1<<20, true)
+				cancel()
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(w); time.Now().Before(deadline); i++ {
+				n := requests.Add(1)
+				ctx, cancel := context.WithTimeout(rootCtx, cfg.timeout)
+				t0 := time.Now()
+				switch {
+				case cfg.writeEvery > 0 && n%int64(cfg.writeEvery) == 0:
+					if err := tgt.exec(ctx, writeSQL(n)); err != nil {
+						errors.Add(1)
+					} else {
+						writes.Add(1)
+					}
+				default:
+					sql := readSQL
+					if cfg.rankedEvery > 0 && n%int64(cfg.rankedEvery) == 0 {
+						sql = rankedSQL
+					}
+					st, err := tgt.query(ctx, sql, cfg.samples, false)
+					if err != nil {
+						errors.Add(1)
+					} else {
+						if st.earlyStop {
+							earlyStops.Add(1)
+						}
+						if st.cached {
+							cacheHits.Add(1)
+						}
+						if st.partial {
+							partials.Add(1)
+						}
+					}
+				}
+				lat.Observe(time.Since(t0).Seconds())
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	trackWG.Wait()
+	cancel()
+	<-scrapeDone
+
+	n := requests.Load()
+	if n == 0 {
+		return nil, fmt.Errorf("factorload: no requests issued (duration too short?)")
+	}
+	reads := n - writes.Load() - errors.Load()
+	rate := func(k int64) float64 {
+		if reads <= 0 {
+			return 0
+		}
+		return float64(k) / float64(reads)
+	}
+	rep := &report{
+		Name:   cfg.name,
+		Kind:   "factorload",
+		Target: tgt.describe(),
+		Config: configJSON{
+			Workers: cfg.workers, Samples: cfg.samples,
+			RankedEvery: cfg.rankedEvery, WriteEvery: cfg.writeEvery,
+		},
+		DurationS:     elapsed.Seconds(),
+		Requests:      n,
+		Errors:        errors.Load(),
+		Writes:        writes.Load(),
+		ThroughputQPS: float64(n) / elapsed.Seconds(),
+		Latency: latencyJSON{
+			P50:  lat.Quantile(0.50),
+			P95:  lat.Quantile(0.95),
+			P99:  lat.Quantile(0.99),
+			Mean: lat.Mean(),
+			Max:  lat.Max(),
+		},
+		EarlyStopRate: rate(earlyStops.Load()),
+		CacheHitRate:  rate(cacheHits.Load()),
+		PartialRate:   rate(partials.Load()),
+		Views:         make([]viewReport, 0, len(views)),
+	}
+	viewMu.Lock()
+	for _, v := range views {
+		rep.Views = append(rep.Views, v)
+	}
+	viewMu.Unlock()
+	return rep, nil
+}
+
+// checkReport validates a BENCH file: present, parsable, and internally
+// consistent. This is what CI runs so a broken trajectory fails the build.
+func checkReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep report
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("%s: invalid BENCH JSON: %v", path, err)
+	}
+	switch {
+	case rep.Name == "":
+		return fmt.Errorf("%s: missing name", path)
+	case rep.Kind != "factorload":
+		return fmt.Errorf("%s: kind %q is not \"factorload\"", path, rep.Kind)
+	case rep.Requests <= 0:
+		return fmt.Errorf("%s: no requests recorded", path)
+	case rep.ThroughputQPS <= 0:
+		return fmt.Errorf("%s: non-positive throughput", path)
+	case rep.DurationS <= 0:
+		return fmt.Errorf("%s: non-positive duration", path)
+	case rep.Latency.P50 > rep.Latency.P95 || rep.Latency.P95 > rep.Latency.P99:
+		return fmt.Errorf("%s: latency quantiles not monotone: p50=%v p95=%v p99=%v",
+			path, rep.Latency.P50, rep.Latency.P95, rep.Latency.P99)
+	case rep.Latency.Max < rep.Latency.P99:
+		return fmt.Errorf("%s: max latency below p99", path)
+	case rep.Errors > rep.Requests/2:
+		return fmt.Errorf("%s: more than half the requests failed (%d/%d)",
+			path, rep.Errors, rep.Requests)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "factorload:", err)
+	os.Exit(1)
+}

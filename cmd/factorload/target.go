@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"factordb"
+)
+
+// inprocTarget drives a served-mode engine opened in this process — the
+// zero-setup way to record a trajectory (CI's smoke configuration).
+type inprocTarget struct {
+	db *factordb.DB
+}
+
+func newInprocTarget(tokens int, seed int64, chains, steps, trainSteps int) (*inprocTarget, error) {
+	db, err := factordb.Open(
+		factordb.NER(factordb.NERConfig{Tokens: tokens, Seed: seed, TrainSteps: trainSteps}),
+		factordb.WithMode(factordb.ModeServed),
+		factordb.WithChains(chains),
+		factordb.WithSteps(steps),
+		factordb.WithSeed(seed+42),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &inprocTarget{db: db}, nil
+}
+
+func (t *inprocTarget) query(ctx context.Context, sql string, samples int, noCache bool) (qstats, error) {
+	opts := []factordb.QueryOption{factordb.Samples(samples), factordb.AllowPartial()}
+	if noCache {
+		opts = append(opts, factordb.NoCache())
+	}
+	rows, err := t.db.Query(ctx, sql, opts...)
+	if err != nil {
+		return qstats{}, err
+	}
+	defer rows.Close()
+	return qstats{
+		earlyStop: rows.EarlyStopped(),
+		cached:    rows.Cached(),
+		partial:   rows.Partial(),
+	}, nil
+}
+
+func (t *inprocTarget) exec(ctx context.Context, sql string) error {
+	_, err := t.db.Exec(ctx, sql)
+	return err
+}
+
+func (t *inprocTarget) status(context.Context) (factordb.Status, error) {
+	return t.db.Status(), nil
+}
+
+func (t *inprocTarget) describe() string { return "inproc" }
+func (t *inprocTarget) close()           { _ = t.db.Close() }
+
+// httpTarget drives a running factordbd over its HTTP API.
+type httpTarget struct {
+	base   string
+	client *http.Client
+}
+
+// queryWire mirrors the daemon's POST /query request and the response
+// fields the trajectory needs.
+type queryWire struct {
+	SQL     string `json:"sql"`
+	Samples int    `json:"samples,omitempty"`
+	NoCache bool   `json:"no_cache,omitempty"`
+}
+
+type queryRespWire struct {
+	EarlyStop bool `json:"early_stop"`
+	Cached    bool `json:"cached"`
+	Partial   bool `json:"partial"`
+}
+
+type execWire struct {
+	SQL string `json:"sql"`
+}
+
+func (t *httpTarget) post(ctx context.Context, path string, body, dst any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, msg)
+	}
+	if dst == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+func (t *httpTarget) query(ctx context.Context, sql string, samples int, noCache bool) (qstats, error) {
+	var resp queryRespWire
+	if err := t.post(ctx, "/query", queryWire{SQL: sql, Samples: samples, NoCache: noCache}, &resp); err != nil {
+		return qstats{}, err
+	}
+	return qstats{earlyStop: resp.EarlyStop, cached: resp.Cached, partial: resp.Partial}, nil
+}
+
+func (t *httpTarget) exec(ctx context.Context, sql string) error {
+	return t.post(ctx, "/exec", execWire{SQL: sql}, nil)
+}
+
+func (t *httpTarget) status(ctx context.Context) (factordb.Status, error) {
+	var st factordb.Status
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+"/statusz", nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("/statusz: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func (t *httpTarget) describe() string { return t.base }
+func (t *httpTarget) close()           {}

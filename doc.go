@@ -63,7 +63,37 @@
 // P, CI_LO and CI_HI columns.
 //
 // DB.Handler exposes the HTTP transport (POST /query, POST /exec,
-// GET /healthz, GET /metrics) that cmd/factordbd serves.
+// GET /healthz, GET /metrics, GET /statusz) that cmd/factordbd serves.
+// DB.DebugHandler serves the operator-only endpoints (net/http/pprof and
+// GET /debug/traces); they are never mounted on the public handler.
+//
+// # Observability: traces and sampler health
+//
+// Every query can carry a trace: request it per query with the Trace
+// option (or "trace": true over HTTP), or sample every n-th query into a
+// ring with WithTraceSampling. Read it from Rows.Trace, the "trace"
+// block of the /query response, DB.RecentTraces, or GET /debug/traces.
+//
+// The trace contract: a QueryTrace's spans are contiguous — each span's
+// StartNS equals the previous span's StartNS+DurNS, and the span
+// durations plus the first span's lead-in sum exactly to WallNS, so no
+// latency is unaccounted for. Span names are stable identifiers:
+// the served engine emits "compile", "cache_probe", "admission_wait",
+// "register", "sample_wait", "snapshot_merge" and "rank"; the local
+// modes emit "compile", "clone_world", "sample" and "rank". New spans
+// may be added in later releases (always preserving contiguity), and a
+// span whose stage was skipped (e.g. cache_probe under NoCache) is
+// omitted rather than emitted with zero duration; consumers must key on
+// span names, not positions. Outcome is one of "ok", "cached",
+// "early_stop", "partial" or "error". Tracing disabled costs
+// single-digit nanoseconds per query (BenchmarkTraceOverhead pins it).
+//
+// Sampler health is exported alongside: per-chain acceptance rate and
+// steps/sec, and — per live shared view — the cross-chain split-R̂ and
+// effective sample size of the view's answer-cardinality stream, on
+// GET /metrics (factordb_chain_*, factordb_view_rhat, factordb_view_ess)
+// and GET /statusz. cmd/factorload replays a mixed workload and records
+// these into a BENCH_<name>.json trajectory.
 //
 // # Write path: DML and the data epoch
 //

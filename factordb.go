@@ -93,6 +93,7 @@ type options struct {
 	cacheTTL      time.Duration
 	maxConcurrent int
 	maxQueued     int
+	traceEvery    int
 }
 
 func defaultOptions() options {
@@ -149,6 +150,12 @@ func WithQueryLimits(maxConcurrent, maxQueued int) Option {
 	return func(o *options) { o.maxConcurrent, o.maxQueued = maxConcurrent, maxQueued }
 }
 
+// WithTraceSampling makes the served engine trace every n-th query even
+// without the client asking, so the recent-traces ring has material
+// under steady load (default 0: client opt-in only). Ignored by the
+// local modes.
+func WithTraceSampling(every int) Option { return func(o *options) { o.traceEvery = every } }
+
 // DB is a probabilistic database: one workload model opened under one
 // evaluation strategy, answering SQL queries with per-tuple marginal
 // probabilities and confidence intervals. It is safe for concurrent use.
@@ -162,11 +169,13 @@ type DB struct {
 	eng *serve.Engine // ModeServed only
 
 	// Local-mode observability (the served engine keeps its own).
-	reg     *metrics.Registry
-	queries *metrics.Counter
-	failed  *metrics.Counter
-	writes  *metrics.Counter
-	latency *metrics.Summary
+	reg         *metrics.Registry
+	queries     *metrics.Counter
+	failed      *metrics.Counter
+	writes      *metrics.Counter
+	latency     *metrics.Histogram
+	localTraces *localTraceRing
+	traceID     atomic.Int64
 
 	// Local-mode write path: writeMu excludes Exec from queries cloning
 	// the prototype world; writeEpoch counts committed writes. Served
@@ -213,6 +222,7 @@ func Open(model Model, opts ...Option) (*DB, error) {
 			MaxQueuedQueries:     o.maxQueued,
 			CacheSize:            o.cacheSize,
 			CacheTTL:             o.cacheTTL,
+			TraceEvery:           o.traceEvery,
 		})
 		if err != nil {
 			return nil, err
@@ -224,7 +234,8 @@ func Open(model Model, opts ...Option) (*DB, error) {
 	db.queries = db.reg.NewCounter("factordb_queries_total", "queries evaluated")
 	db.failed = db.reg.NewCounter("factordb_queries_failed_total", "queries that failed to compile or bind")
 	db.writes = db.reg.NewCounter("factordb_writes_total", "DML mutations applied to the prototype world")
-	db.latency = db.reg.NewSummary("factordb_query_seconds", "per-query latency in seconds")
+	db.latency = db.reg.NewHistogram("factordb_query_seconds", "per-query latency in seconds", nil)
+	db.localTraces = newLocalTraceRing(64)
 	db.reg.NewGaugeFunc("factordb_write_epoch", "data epoch: committed DML mutations since open",
 		func() float64 { return float64(db.writeEpoch.Load()) })
 	return db, nil

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -16,6 +17,7 @@ type queryRequest struct {
 	TimeoutMS  int     `json:"timeout_ms,omitempty"`
 	Confidence float64 `json:"confidence,omitempty"`
 	NoCache    bool    `json:"no_cache,omitempty"`
+	Trace      bool    `json:"trace,omitempty"`
 }
 
 // tupleJSON is one answer tuple on the wire.
@@ -39,6 +41,7 @@ type queryResponse struct {
 	EarlyStop  bool        `json:"early_stop,omitempty"`
 	Cached     bool        `json:"cached"`
 	ElapsedMS  float64     `json:"elapsed_ms"`
+	Trace      *QueryTrace `json:"trace,omitempty"`
 }
 
 // execRequest is the POST /exec body.
@@ -67,6 +70,10 @@ type healthResponse struct {
 	Epoch      int64   `json:"epoch"`
 	WriteEpoch int64   `json:"write_epoch"`
 	UptimeS    float64 `json:"uptime_s"`
+	// Chain-health summary (served mode; zero in the local modes): the
+	// pool-wide MH acceptance rate and the live shared-view count.
+	AcceptanceRate float64 `json:"acceptance_rate"`
+	SharedViews    int64   `json:"shared_views"`
 }
 
 // MaxQueryTimeout caps the per-request timeout a client may ask for.
@@ -88,15 +95,40 @@ const MaxQueryBodyBytes = 1 << 20
 //	POST /exec     {"sql": "UPDATE ...", "timeout_ms": 5000}
 //	GET  /healthz  liveness and chain-pool status
 //	GET  /metrics  Prometheus text exposition
+//	GET  /statusz  introspection: live views, sampler health, cache
 //
 // DML travels only over POST /exec: the method-qualified patterns make
 // the mux answer 405 for a GET of either mutation or query endpoint.
+// Debug endpoints (pprof, recent traces) are deliberately NOT here —
+// they live on DebugHandler, which deployments bind to a separate,
+// non-public listener.
 func (db *DB) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", db.handleQuery)
 	mux.HandleFunc("POST /exec", db.handleExec)
 	mux.HandleFunc("GET /healthz", db.handleHealthz)
 	mux.HandleFunc("GET /metrics", db.handleMetrics)
+	mux.HandleFunc("GET /statusz", db.handleStatusz)
+	return mux
+}
+
+// DebugHandler returns the operator-only endpoints — Go pprof profiles
+// and the recent query traces:
+//
+//	GET /debug/pprof/...   net/http/pprof profiles
+//	GET /debug/traces      recent query traces, newest first (JSON)
+//
+// It is a separate handler, not part of Handler: profiles and traces can
+// leak query text and timing, so cmd/factordbd only serves them when the
+// -debug-addr flag opts in, typically on localhost.
+func (db *DB) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/traces", db.handleTraces)
 	return mux
 }
 
@@ -184,6 +216,9 @@ func (db *DB) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.NoCache {
 		opts = append(opts, NoCache())
 	}
+	if req.Trace {
+		opts = append(opts, Trace())
+	}
 	rows, err := db.Query(ctx, req.SQL, opts...)
 	if err != nil {
 		writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
@@ -202,6 +237,7 @@ func (db *DB) handleQuery(w http.ResponseWriter, r *http.Request) {
 		EarlyStop:  rows.EarlyStopped(),
 		Cached:     rows.Cached(),
 		ElapsedMS:  float64(rows.Elapsed().Microseconds()) / 1000,
+		Trace:      rows.Trace(),
 	}
 	for rows.Next() {
 		tp := rows.cis[rows.i]
@@ -242,14 +278,34 @@ func (db *DB) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if db.eng != nil {
 		epoch = db.eng.Epoch()
 	}
+	var acceptance float64
+	var views int64
+	if db.eng != nil {
+		acceptance = db.eng.AcceptanceRate()
+		views = db.eng.SharedViews()
+	}
 	writeJSON(w, code, healthResponse{
-		Status:     status,
-		Mode:       db.opts.mode.String(),
-		Chains:     db.Chains(),
-		Epoch:      epoch,
-		WriteEpoch: db.WriteEpoch(),
-		UptimeS:    time.Since(db.start).Seconds(),
+		Status:         status,
+		Mode:           db.opts.mode.String(),
+		Chains:         db.Chains(),
+		Epoch:          epoch,
+		WriteEpoch:     db.WriteEpoch(),
+		UptimeS:        time.Since(db.start).Seconds(),
+		AcceptanceRate: acceptance,
+		SharedViews:    views,
 	})
+}
+
+func (db *DB) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, db.Status())
+}
+
+func (db *DB) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	traces := db.RecentTraces()
+	if traces == nil {
+		traces = []*QueryTrace{}
+	}
+	writeJSON(w, http.StatusOK, traces)
 }
 
 func (db *DB) handleMetrics(w http.ResponseWriter, _ *http.Request) {

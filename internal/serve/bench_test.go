@@ -36,7 +36,7 @@ func BenchmarkSharedViews(b *testing.B) {
 				b.Fatal(err)
 			}
 			holdID := viewID(eng.nextID.Add(1))
-			if _, err := eng.chains[0].registerView(ctx, registerReq{
+			if _, _, err := eng.chains[0].registerView(ctx, registerReq{
 				id: holdID, plan: plan, target: 1 << 62, done: make(chan struct{}),
 			}); err != nil {
 				b.Fatal(err)

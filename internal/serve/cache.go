@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"time"
+
+	"factordb/internal/metrics"
 )
 
 // resultCache is an LRU cache of completed query results with a TTL.
@@ -12,11 +14,12 @@ import (
 // freshness bound for repeated identical queries (dashboards, retries),
 // not a correctness mechanism.
 type resultCache struct {
-	mu    sync.Mutex
-	cap   int
-	ttl   time.Duration
-	ll    *list.List               // front = most recently used
-	items map[string]*list.Element // key -> element holding *cacheEntry
+	mu        sync.Mutex
+	cap       int
+	ttl       time.Duration
+	ll        *list.List               // front = most recently used
+	items     map[string]*list.Element // key -> element holding *cacheEntry
+	evictions *metrics.Counter         // optional; LRU overflow + TTL expiry
 }
 
 type cacheEntry struct {
@@ -27,12 +30,20 @@ type cacheEntry struct {
 
 // newResultCache returns a cache with the given capacity; capacity < 1
 // yields a disabled cache (all gets miss, puts are dropped).
-func newResultCache(capacity int, ttl time.Duration) *resultCache {
+func newResultCache(capacity int, ttl time.Duration, evictions *metrics.Counter) *resultCache {
 	return &resultCache{
-		cap:   capacity,
-		ttl:   ttl,
-		ll:    list.New(),
-		items: make(map[string]*list.Element),
+		cap:       capacity,
+		ttl:       ttl,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		evictions: evictions,
+	}
+}
+
+// evicted counts one removed entry (nil counter = untracked, e.g. tests).
+func (c *resultCache) evicted() {
+	if c.evictions != nil {
+		c.evictions.Inc()
 	}
 }
 
@@ -54,6 +65,7 @@ func (c *resultCache) get(key string, now time.Time) (*Result, bool) {
 	if now.Sub(ent.at) > c.ttl {
 		c.ll.Remove(el)
 		delete(c.items, key)
+		c.evicted()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
@@ -80,6 +92,7 @@ func (c *resultCache) put(key string, res *Result, now time.Time) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evicted()
 	}
 }
 

@@ -3,9 +3,11 @@ package serve
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"factordb/internal/core"
 	"factordb/internal/mcmc"
+	"factordb/internal/metrics"
 	"factordb/internal/ra"
 	"factordb/internal/world"
 )
@@ -29,6 +31,7 @@ type registerReq struct {
 
 type registerReply struct {
 	cell *world.Cell[*core.Estimator]
+	hit  bool // an existing shared view was reused
 	err  error
 }
 
@@ -85,25 +88,44 @@ type chain struct {
 	// goroutine (health checks); the log itself is goroutine-private.
 	curEpoch atomic.Int64
 
-	// writeGen counts the DML mutations this chain has absorbed. It is
-	// goroutine-private; completed subscribers carry it out in their
-	// final snapshots so sessions can detect cross-chain blends.
-	writeGen int64
+	// writeGen counts the DML mutations this chain has absorbed. Written
+	// only by the chain goroutine; completed subscribers carry it out in
+	// their final snapshots so sessions can detect cross-chain blends,
+	// and /statusz reads it atomically.
+	writeGen atomic.Int64
+
+	// stepsN/acceptedN mirror the sampler's counters for readers outside
+	// the chain goroutine (per-chain health gauges; the sampler itself is
+	// goroutine-private). stepRate turns stepsN into steps/sec between
+	// scrapes.
+	stepsN    atomic.Int64
+	acceptedN atomic.Int64
+	stepRate  *rateTracker
+
+	// stepsC/acceptedC are this chain's children of the labeled
+	// factordb_chain_* counter families — resolved once so the walk hot
+	// loop pays one atomic add, same as the global counters.
+	stepsC    *metrics.Counter
+	acceptedC *metrics.Counter
 
 	m *engineMetrics
 }
 
 func newChain(id, steps int, log *world.ChangeLog, p mcmc.Proposer, seed int64, m *engineMetrics) *chain {
+	lbl := fmt.Sprintf("%d", id)
 	return &chain{
-		id:      id,
-		steps:   steps,
-		log:     log,
-		sampler: mcmc.NewSampler(p, seed),
-		ctl:     make(chan any),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-		reg:     newViewRegistry(),
-		m:       m,
+		id:        id,
+		steps:     steps,
+		log:       log,
+		sampler:   mcmc.NewSampler(p, seed),
+		ctl:       make(chan any),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		reg:       newViewRegistry(),
+		stepRate:  newRateTracker(time.Now()),
+		stepsC:    m.chainSteps.With(lbl),
+		acceptedC: m.chainAccepted.With(lbl),
+		m:         m,
 	}
 }
 
@@ -153,7 +175,12 @@ func (c *chain) epoch() {
 	c.reg.graph.NextRound()
 	for _, pv := range c.reg.byFP {
 		pv.view.Apply(d)
-		pv.est.AddSample(pv.view.Result())
+		result := pv.view.Result()
+		pv.est.AddSample(result)
+		// One health observation per batch: the sampled answer's
+		// cardinality — a per-sample scalar the cross-chain R̂/ESS
+		// diagnostics can be computed over.
+		c.reg.noteSample(pv, float64(answerCardinality(result)))
 		// Every subscriber receives this sample; the walk and the view
 		// maintenance were paid once.
 		c.m.samples.Add(int64(len(pv.subs)))
@@ -164,7 +191,7 @@ func (c *chain) epoch() {
 				// waking it: the shared cell may be reset by a later
 				// write before the session gets around to merging.
 				if sub.final != nil {
-					sub.final.Store(&finalSnap{est: pv.est.Clone(), epoch: epoch, gen: c.writeGen})
+					sub.final.Store(&finalSnap{est: pv.est.Clone(), epoch: epoch, gen: c.writeGen.Load()})
 				}
 				close(sub.done)
 				c.reg.dropSub(id)
@@ -173,19 +200,38 @@ func (c *chain) epoch() {
 	}
 }
 
-// walk runs n MH steps and feeds the global step/acceptance counters.
+// answerCardinality counts the tuples present (count > 0) in one sampled
+// answer — the scalar chain statistic behind the convergence gauges.
+func answerCardinality(bag *ra.Bag) int64 {
+	var n int64
+	bag.Each(func(_ string, r *ra.BagRow) bool {
+		if r.N > 0 {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// walk runs n MH steps and feeds the global and per-chain
+// step/acceptance counters.
 func (c *chain) walk(n int) {
 	s0, a0 := c.sampler.Steps(), c.sampler.Accepted()
 	c.sampler.Run(n)
-	c.m.steps.Add(c.sampler.Steps() - s0)
-	c.m.accepted.Add(c.sampler.Accepted() - a0)
+	ds, da := c.sampler.Steps()-s0, c.sampler.Accepted()-a0
+	c.m.steps.Add(ds)
+	c.m.accepted.Add(da)
+	c.stepsC.Add(ds)
+	c.acceptedC.Add(da)
+	c.stepsN.Add(ds)
+	c.acceptedN.Add(da)
 }
 
 func (c *chain) handle(msg any) {
 	switch req := msg.(type) {
 	case registerReq:
-		cell, err := c.register(req)
-		req.reply <- registerReply{cell: cell, err: err}
+		cell, hit, err := c.register(req)
+		req.reply <- registerReply{cell: cell, hit: hit, err: err}
 	case unregisterReq:
 		c.reg.dropSub(req.id)
 		close(req.reply)
@@ -217,7 +263,7 @@ func (c *chain) applyWrite(ops []world.Op, burnIn int) error {
 	if _, err := c.log.ApplyOps(ops); err != nil {
 		return err
 	}
-	c.writeGen++
+	c.writeGen.Add(1)
 	if burnIn > 0 {
 		c.walk(burnIn)
 	}
@@ -231,6 +277,9 @@ func (c *chain) applyWrite(ops []world.Op, burnIn int) error {
 		for _, sub := range pv.subs {
 			sub.start = 0
 		}
+		// Pre-write observations describe a distribution that no longer
+		// exists; the convergence diagnostics restart with the estimator.
+		pv.stat.series.reset()
 		// Publish the empty estimator: the cell must not keep serving the
 		// pre-write snapshot to readers that merge before the next batch.
 		pv.cell.Publish(epoch, pv.est.Clone())
@@ -244,17 +293,17 @@ func (c *chain) applyWrite(ops []world.Op, burnIn int) error {
 // deltas and a freshly mounted view is consistent with the world from its
 // first sample on; an existing view is reused as-is (its estimator state
 // is a valid prefix of the same chain's walk).
-func (c *chain) register(req registerReq) (*world.Cell[*core.Estimator], error) {
+func (c *chain) register(req registerReq) (*world.Cell[*core.Estimator], bool, error) {
 	bound, err := ra.Bind(c.log.DB(), req.plan)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	pv, hit, err := c.reg.acquire(req.id, bound, req.target, req.done, req.final)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if hit {
 		c.m.viewHits.Inc()
 	}
-	return pv.cell, nil
+	return pv.cell, hit, nil
 }

@@ -79,6 +79,15 @@ type Config struct {
 	// a short TTL trades freshness for the repeated-dashboard-query case.
 	CacheSize int
 	CacheTTL  time.Duration
+
+	// TraceRing is the capacity of the recent-traces ring buffer behind
+	// GET /debug/traces (default 64).
+	TraceRing int
+	// TraceEvery, when positive, traces every n-th query even without
+	// the client asking, so the debug ring has material under steady
+	// load. Zero (the default) disables engine-initiated tracing; client
+	// opt-in (QueryOptions.Trace) always works.
+	TraceEvery int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -112,6 +121,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.CacheTTL <= 0 {
 		cfg.CacheTTL = time.Minute
 	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 64
+	}
 	return cfg
 }
 
@@ -138,7 +150,11 @@ type engineMetrics struct {
 	viewHits  *metrics.Counter
 	topkStops *metrics.Counter
 	writes    *metrics.Counter
-	latency   *metrics.Summary
+	evictions *metrics.Counter
+	latency   *metrics.Histogram
+
+	chainSteps    *metrics.CounterVec
+	chainAccepted *metrics.CounterVec
 }
 
 // Engine owns the trained world and serves concurrent queries over it.
@@ -148,6 +164,8 @@ type Engine struct {
 	admit  *admission
 	cache  *resultCache
 	m      *engineMetrics
+	traces *traceRing
+	tracer *traceSampler
 
 	start  time.Time
 	nextID atomic.Int64
@@ -171,11 +189,13 @@ func New(src Source, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	m := newEngineMetrics()
 	e := &Engine{
-		cfg:   cfg,
-		admit: newAdmission(cfg.MaxConcurrentQueries, cfg.MaxQueuedQueries),
-		cache: newResultCache(cfg.CacheSize, cfg.CacheTTL),
-		m:     m,
-		start: time.Now(),
+		cfg:    cfg,
+		admit:  newAdmission(cfg.MaxConcurrentQueries, cfg.MaxQueuedQueries),
+		cache:  newResultCache(cfg.CacheSize, cfg.CacheTTL, m.evictions),
+		m:      m,
+		traces: newTraceRing(cfg.TraceRing),
+		tracer: &traceSampler{every: int64(cfg.TraceEvery)},
+		start:  time.Now(),
 	}
 	// Each chain goroutine starts as soon as its world is cloned, so the
 	// error path below can always stopChains: every chain in e.chains has
@@ -209,8 +229,14 @@ func newEngineMetrics() *engineMetrics {
 			"view registrations that reused an existing shared view (per chain)"),
 		topkStops: reg.NewCounter("factordb_topk_early_stops_total",
 			"ranked queries finished early because the top-k separated"),
-		writes:  reg.NewCounter("factordb_writes_total", "DML mutations applied across all chains"),
-		latency: reg.NewSummary("factordb_query_seconds", "per-query latency in seconds"),
+		writes: reg.NewCounter("factordb_writes_total", "DML mutations applied across all chains"),
+		evictions: reg.NewCounter("factordb_cache_evictions_total",
+			"result-cache entries evicted (LRU overflow or TTL expiry)"),
+		latency: reg.NewHistogram("factordb_query_seconds", "per-query latency in seconds", nil),
+		chainSteps: reg.NewCounterVec("factordb_chain_steps_total",
+			"Metropolis-Hastings walk-steps per chain", "chain"),
+		chainAccepted: reg.NewCounterVec("factordb_chain_accepted_total",
+			"accepted MH proposals per chain", "chain"),
 	}
 }
 
@@ -242,6 +268,68 @@ func (e *Engine) registerDerivedMetrics() {
 	e.m.reg.NewGaugeFunc("factordb_write_epoch",
 		"data epoch: committed DML mutations since engine start",
 		func() float64 { return float64(e.dataEpoch.Load()) })
+	e.m.reg.NewGaugeFunc("factordb_cache_entries", "result-cache entries currently held",
+		func() float64 { return float64(e.cache.len()) })
+	e.m.reg.NewMultiGaugeFunc("factordb_chain_acceptance_rate",
+		"fraction of MH proposals accepted, per chain", []string{"chain"},
+		func() []metrics.LabeledValue {
+			out := make([]metrics.LabeledValue, 0, len(e.chains))
+			for _, c := range e.chains {
+				steps := c.stepsN.Load()
+				var rate float64
+				if steps > 0 {
+					rate = float64(c.acceptedN.Load()) / float64(steps)
+				}
+				out = append(out, metrics.LabeledValue{
+					Labels: []string{fmt.Sprintf("%d", c.id)}, Value: rate,
+				})
+			}
+			return out
+		})
+	e.m.reg.NewMultiGaugeFunc("factordb_chain_steps_per_second",
+		"MH walk-steps per second since the previous scrape, per chain", []string{"chain"},
+		func() []metrics.LabeledValue {
+			now := time.Now()
+			out := make([]metrics.LabeledValue, 0, len(e.chains))
+			for _, c := range e.chains {
+				out = append(out, metrics.LabeledValue{
+					Labels: []string{fmt.Sprintf("%d", c.id)},
+					Value:  c.stepRate.rate(c.stepsN.Load(), now),
+				})
+			}
+			return out
+		})
+	e.m.reg.NewMultiGaugeFunc("factordb_view_rhat",
+		"cross-chain split-R-hat of each live view's sampled answer cardinality "+
+			"(near 1 = converged; NaN = insufficient data)", []string{"view"},
+		func() []metrics.LabeledValue {
+			return e.viewDiagnostics(splitRHat)
+		})
+	e.m.reg.NewMultiGaugeFunc("factordb_view_ess",
+		"cross-chain effective sample size of each live view's sampled answer cardinality",
+		[]string{"view"},
+		func() []metrics.LabeledValue {
+			return e.viewDiagnostics(effectiveSampleSize)
+		})
+}
+
+// viewDiagnostics groups each live view's observation series across the
+// chain pool and reduces them with diag (split-R̂ or ESS). A view only
+// live on a subset of chains is diagnosed over that subset.
+func (e *Engine) viewDiagnostics(diag func([][]float64) float64) []metrics.LabeledValue {
+	grouped := make(map[string][][]float64)
+	for _, c := range e.chains {
+		for _, fp := range c.reg.liveFingerprints() {
+			if s := c.reg.viewSeries(fp); s != nil {
+				grouped[fp] = append(grouped[fp], s.snapshot())
+			}
+		}
+	}
+	out := make([]metrics.LabeledValue, 0, len(grouped))
+	for fp, series := range grouped {
+		out = append(out, metrics.LabeledValue{Labels: []string{fp}, Value: diag(series)})
+	}
+	return out
 }
 
 // sharedViews sums the live physical-view count over the chain pool.
@@ -258,6 +346,11 @@ func (e *Engine) sharedViews() int64 {
 // Metrics exposes the engine's metric registry (the /metrics endpoint).
 func (e *Engine) Metrics() *metrics.Registry { return e.m.reg }
 
+// Traces returns the most recent query traces, newest first — the
+// engine-initiated samples (Config.TraceEvery) plus every client
+// opt-in trace, bounded by Config.TraceRing.
+func (e *Engine) Traces() []*QueryTrace { return e.traces.snapshot() }
+
 // NoteBadQuery feeds the failed-query counter for queries rejected
 // before reaching the engine — the facade compiles SQL up front, so its
 // compile failures are recorded here rather than lost.
@@ -265,6 +358,19 @@ func (e *Engine) NoteBadQuery() { e.m.failed.Inc() }
 
 // Chains returns the pool size.
 func (e *Engine) Chains() int { return len(e.chains) }
+
+// AcceptanceRate reports the pool-wide fraction of MH proposals accepted
+// since the engine started (the /healthz chain-health summary).
+func (e *Engine) AcceptanceRate() float64 {
+	steps := e.m.steps.Value()
+	if steps == 0 {
+		return 0
+	}
+	return float64(e.m.accepted.Value()) / float64(steps)
+}
+
+// SharedViews reports the live physical-view count across the pool.
+func (e *Engine) SharedViews() int64 { return e.sharedViews() }
 
 // Epoch returns the highest epoch any chain has completed — a liveness
 // signal for health checks. Individual chains may lag while parked idle.

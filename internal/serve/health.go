@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Sampler health diagnostics. The paper's answer-quality story is "the
+// chains mixed long enough": these are the classical MCMC diagnostics
+// that make that claim observable. Each physical view keeps a bounded
+// series of per-sample scalar observations (the sampled answer's
+// cardinality — one number per walk batch, per chain); the engine groups
+// the series of equal views across chains and computes cross-chain
+// split-R̂ (Gelman-Rubin, halved chains) and the effective sample size,
+// exposed as labeled gauges on /metrics and in /statusz and BENCH
+// reports. R̂ near 1 means the chains agree with their own halves and
+// with each other; ESS reports how many independent samples the
+// autocorrelated walk is actually worth.
+
+// seriesCap bounds each view's observation ring: enough history for a
+// stable diagnostic, small enough that a thousand live views cost ~2 MB.
+const seriesCap = 256
+
+// sampleSeries is a bounded ring of float64 observations, written by the
+// chain goroutine once per walk batch and snapshotted by scrapers.
+type sampleSeries struct {
+	mu   sync.Mutex
+	buf  []float64
+	next int
+	n    int // live entries (<= len(buf))
+}
+
+func newSampleSeries() *sampleSeries {
+	return &sampleSeries{buf: make([]float64, seriesCap)}
+}
+
+func (s *sampleSeries) push(v float64) {
+	s.mu.Lock()
+	s.buf[s.next] = v
+	s.next = (s.next + 1) % len(s.buf)
+	if s.n < len(s.buf) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// reset drops the history (a write resets estimators; pre-write samples
+// must not blend into post-write diagnostics either).
+func (s *sampleSeries) reset() {
+	s.mu.Lock()
+	s.next, s.n = 0, 0
+	s.mu.Unlock()
+}
+
+// snapshot returns the observations oldest-first.
+func (s *sampleSeries) snapshot() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.buf[(s.next-s.n+i+len(s.buf))%len(s.buf)])
+	}
+	return out
+}
+
+// splitSequences halves each chain's series (Gelman's split trick: a
+// chain that drifts disagrees with its own halves, so R̂ catches
+// non-stationarity even with one chain). Sequences are truncated to a
+// common even length; fewer than 4 common observations yield nil.
+func splitSequences(chains [][]float64) [][]float64 {
+	n := math.MaxInt
+	for _, c := range chains {
+		if len(c) < n {
+			n = len(c)
+		}
+	}
+	if len(chains) == 0 || n < 4 {
+		return nil
+	}
+	n -= n % 2
+	out := make([][]float64, 0, 2*len(chains))
+	for _, c := range chains {
+		c = c[len(c)-n:] // keep the freshest window
+		out = append(out, c[:n/2], c[n/2:])
+	}
+	return out
+}
+
+func meanVar(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs) - 1)
+	return mean, variance
+}
+
+// splitRHat computes the Gelman-Rubin potential scale reduction factor
+// over split chains. 1.0 means converged; values well above ~1.05 mean
+// the chains have not mixed into the same distribution yet. Returns NaN
+// when there is not enough data, and 1.0 when every sequence is constant
+// and equal (a converged degenerate statistic, common for small answer
+// sets whose cardinality has settled).
+func splitRHat(chains [][]float64) float64 {
+	seqs := splitSequences(chains)
+	if len(seqs) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(seqs[0]))
+	means := make([]float64, len(seqs))
+	var w float64
+	for i, s := range seqs {
+		m, v := meanVar(s)
+		means[i] = m
+		w += v
+	}
+	w /= float64(len(seqs))
+	_, b := meanVar(means) // b/n in BDA notation; multiply back below
+	b *= n
+	if w == 0 {
+		if b == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	varPlus := (n-1)/n*w + b/n
+	return math.Sqrt(varPlus / w)
+}
+
+// effectiveSampleSize estimates ESS over split chains via the variogram
+// autocorrelation estimator with Geyer's initial-positive-sequence
+// truncation (BDA3 §11.5 / Stan's ess_bulk shape). Bounded to the total
+// draw count. NaN when there is not enough data; for constant sequences
+// the walk carries no information about the statistic and ESS reports
+// the raw draw count.
+func effectiveSampleSize(chains [][]float64) float64 {
+	seqs := splitSequences(chains)
+	if len(seqs) < 2 {
+		return math.NaN()
+	}
+	m := float64(len(seqs))
+	n := len(seqs[0])
+	total := m * float64(n)
+
+	means := make([]float64, len(seqs))
+	var w float64
+	for i, s := range seqs {
+		mu, v := meanVar(s)
+		means[i] = mu
+		w += v
+	}
+	w /= m
+	_, b := meanVar(means)
+	b *= float64(n)
+	varPlus := (float64(n-1)/float64(n))*w + b/float64(n)
+	if varPlus == 0 {
+		return total // constant everywhere: no autocorrelation to discount
+	}
+
+	// rho_t = 1 - (W - mean_j acov_t,j) / varPlus, summed while pairs of
+	// consecutive autocorrelations stay positive.
+	var sumRho float64
+	for t := 1; t < n; t += 2 {
+		r1 := avgAutocov(seqs, t)
+		rho1 := 1 - (w-r1)/varPlus
+		rho2 := -1.0
+		if t+1 < n {
+			r2 := avgAutocov(seqs, t+1)
+			rho2 = 1 - (w-r2)/varPlus
+		}
+		if rho1+rho2 <= 0 {
+			break
+		}
+		sumRho += rho1
+		if rho2 > 0 {
+			sumRho += rho2
+		}
+	}
+	ess := total / (1 + 2*sumRho)
+	if ess > total {
+		ess = total
+	}
+	return ess
+}
+
+// avgAutocov is the mean lag-t autocovariance across sequences.
+func avgAutocov(seqs [][]float64, t int) float64 {
+	var sum float64
+	for _, s := range seqs {
+		mu, _ := meanVar(s)
+		var acc float64
+		for i := t; i < len(s); i++ {
+			acc += (s[i] - mu) * (s[i-t] - mu)
+		}
+		sum += acc / float64(len(s)-t)
+	}
+	return sum / float64(len(seqs))
+}
+
+// rateTracker turns a monotone counter into a steps-per-second gauge by
+// differencing against the previous scrape (first scrape rates since
+// start). Scrapes are serialized by the registry render, but guard with
+// a mutex anyway — /statusz and /metrics can race.
+type rateTracker struct {
+	mu       sync.Mutex
+	lastV    int64
+	lastT    time.Time
+	started  time.Time
+	haveLast bool
+}
+
+func newRateTracker(start time.Time) *rateTracker {
+	return &rateTracker{started: start}
+}
+
+// rate reports the per-second rate of v since the previous call.
+func (r *rateTracker) rate(v int64, now time.Time) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prevV, prevT := r.lastV, r.lastT
+	if !r.haveLast {
+		prevV, prevT = 0, r.started
+	}
+	r.lastV, r.lastT, r.haveLast = v, now, true
+	dt := now.Sub(prevT).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(v-prevV) / dt
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"factordb/internal/core"
@@ -48,6 +49,26 @@ type physicalView struct {
 	est  *core.Estimator
 	cell *world.Cell[*core.Estimator]
 	subs map[viewID]*subscriber
+	stat *viewStat
+}
+
+// viewStat is the externally readable shadow of a physical view: the
+// health scraper and /statusz read it without entering the chain
+// goroutine. The chain updates subs/samples under the registry's stats
+// lock; the observation series carries its own lock.
+type viewStat struct {
+	fp      string
+	subs    int
+	samples int64
+	series  *sampleSeries
+}
+
+// ViewStat is one live view's status on one chain, as reported by
+// Engine.Status.
+type ViewStat struct {
+	Fingerprint string `json:"fingerprint"`
+	Subscribers int    `json:"subscribers"`
+	Samples     int64  `json:"samples"`
 }
 
 // viewRegistry is the per-chain shared-view table: it keys physical
@@ -65,6 +86,11 @@ type viewRegistry struct {
 	byFP  map[string]*physicalView
 	bySub map[viewID]*physicalView
 	size  atomic.Int64
+
+	// statsMu guards the stats mirror (and the subs/samples fields of
+	// every viewStat); the chain goroutine writes, scrapers read.
+	statsMu sync.Mutex
+	stats   map[string]*viewStat
 }
 
 func newViewRegistry() *viewRegistry {
@@ -72,6 +98,7 @@ func newViewRegistry() *viewRegistry {
 		graph: ivm.NewGraph(),
 		byFP:  make(map[string]*physicalView),
 		bySub: make(map[viewID]*physicalView),
+		stats: make(map[string]*viewStat),
 	}
 }
 
@@ -93,14 +120,21 @@ func (r *viewRegistry) acquire(id viewID, bound *ra.Bound, target int64, done ch
 			est:  core.NewEstimator(),
 			cell: &world.Cell[*core.Estimator]{},
 			subs: make(map[viewID]*subscriber),
+			stat: &viewStat{fp: fp, series: newSampleSeries()},
 		}
 		r.byFP[fp] = pv
 		r.size.Store(int64(len(r.byFP)))
+		r.statsMu.Lock()
+		r.stats[fp] = pv.stat
+		r.statsMu.Unlock()
 	} else {
 		hit = true
 	}
 	pv.subs[id] = &subscriber{target: target, start: pv.est.Samples(), done: done, final: final}
 	r.bySub[id] = pv
+	r.statsMu.Lock()
+	pv.stat.subs = len(pv.subs)
+	r.statsMu.Unlock()
 	return pv, hit, nil
 }
 
@@ -115,11 +149,59 @@ func (r *viewRegistry) dropSub(id viewID) {
 	}
 	delete(r.bySub, id)
 	delete(pv.subs, id)
+	r.statsMu.Lock()
+	pv.stat.subs = len(pv.subs)
+	if len(pv.subs) == 0 {
+		delete(r.stats, pv.fp)
+	}
+	r.statsMu.Unlock()
 	if len(pv.subs) == 0 {
 		delete(r.byFP, pv.fp)
 		r.graph.Unmount(pv.view)
 		r.size.Store(int64(len(r.byFP)))
 	}
+}
+
+// noteSample records one walk batch's observation for a view: the chain
+// goroutine calls it per epoch with the sampled answer's cardinality.
+func (r *viewRegistry) noteSample(pv *physicalView, cardinality float64) {
+	r.statsMu.Lock()
+	pv.stat.samples = pv.est.Samples()
+	r.statsMu.Unlock()
+	pv.stat.series.push(cardinality)
+}
+
+// viewStats snapshots the live views' status; safe from any goroutine.
+func (r *viewRegistry) viewStats() []ViewStat {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	out := make([]ViewStat, 0, len(r.stats))
+	for _, s := range r.stats {
+		out = append(out, ViewStat{Fingerprint: s.fp, Subscribers: s.subs, Samples: s.samples})
+	}
+	return out
+}
+
+// viewSeries returns the observation series for one view fingerprint
+// (nil when the view is not live on this chain).
+func (r *viewRegistry) viewSeries(fp string) *sampleSeries {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	if s, ok := r.stats[fp]; ok {
+		return s.series
+	}
+	return nil
+}
+
+// liveFingerprints lists the fingerprints of this chain's live views.
+func (r *viewRegistry) liveFingerprints() []string {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	out := make([]string, 0, len(r.stats))
+	for fp := range r.stats {
+		out = append(out, fp)
+	}
+	return out
 }
 
 // empty reports whether no physical views are live (the chain may park).

@@ -317,7 +317,7 @@ func TestAdmissionControl(t *testing.T) {
 
 func TestResultCache(t *testing.T) {
 	now := time.Unix(0, 0)
-	c := newResultCache(2, time.Minute)
+	c := newResultCache(2, time.Minute, nil)
 	r := &Result{SQL: "a"}
 	c.put("a", r, now)
 	// get returns a defensive copy, never the stored pointer.
@@ -343,7 +343,7 @@ func TestResultCache(t *testing.T) {
 		t.Errorf("cache len = %d", c.len())
 	}
 	// Disabled cache.
-	d := newResultCache(-1, time.Minute)
+	d := newResultCache(-1, time.Minute, nil)
 	d.put("x", r, now)
 	if _, ok := d.get("x", now); ok {
 		t.Error("disabled cache served an entry")

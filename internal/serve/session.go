@@ -29,6 +29,10 @@ type QueryOptions struct {
 	Confidence float64
 	// NoCache bypasses the result cache for this query.
 	NoCache bool
+	// Trace records a span breakdown of this query's execution, returned
+	// in Result.Trace and kept in the engine's debug ring. Off by
+	// default; the untraced path pays a nil check per span only.
+	Trace bool
 }
 
 // TupleResult is one answer tuple with its marginal and interval.
@@ -56,6 +60,12 @@ type Result struct {
 	// already separated the top k from the rest — refining the remaining
 	// tuples could no longer change the answer.
 	EarlyStop bool `json:"early_stop,omitempty"`
+
+	// Trace is the span breakdown of this evaluation, present only when
+	// the query opted in (QueryOptions.Trace) or the engine's trace
+	// sampler picked it. Immutable; cache hits carry the original
+	// evaluation's trace.
+	Trace *QueryTrace `json:"trace,omitempty"`
 
 	// cis carries the typed answer tuples (relstore values rather than
 	// rendered strings) for in-process consumers — the factordb facade
@@ -142,15 +152,27 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 		return nil, fmt.Errorf("%w: confidence %v outside (0,1)", ErrBadQuery, opts.Confidence)
 	}
 
+	// Tracing is strictly opt-in (per query, or the engine's sampler):
+	// the disabled state is a nil *qtrace whose every method returns on a
+	// nil check, so untraced queries pay one branch per would-be span.
+	var tr *qtrace
+	if opts.Trace || e.tracer.hit() {
+		tr = newTrace(e.nextID.Add(1), sql, time.Now())
+	}
+
 	// Compile before the cache probe: the cache keys on the canonical
 	// plan's fingerprint rather than the SQL text, so whitespace, keyword
 	// case, alias spelling, and predicate-order variants of one query are
 	// one entry. Compilation is microseconds against a sampling run.
+	tr.span("compile")
 	plan, spec, err := sqlparse.Compile(sql)
 	if err != nil {
 		e.m.failed.Inc()
+		e.traces.add(tr.finish("error"))
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
+	fp := ra.CanonicalFingerprint(plan)
+	tr.setPlan(fp)
 	// The key adds the result-level spec (ORDER BY P / LIMIT shape the
 	// cached presentation) and the per-query options that scale the
 	// estimate; plan identity itself is options-free. The data epoch
@@ -160,21 +182,28 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 	// the write, however the query was spelled.
 	cacheKey := func(epoch int64) string {
 		return fmt.Sprintf("w%d|%s|%s|n=%d|c=%v",
-			epoch, ra.CanonicalFingerprint(plan), specKey(spec), opts.Samples, opts.Confidence)
+			epoch, fp, specKey(spec), opts.Samples, opts.Confidence)
 	}
 	if !opts.NoCache {
+		tr.span("cache_probe")
 		if res, ok := e.cache.get(cacheKey(e.dataEpoch.Load()), time.Now()); ok {
 			e.m.hits.Inc()
 			res.Cached = true
 			res.SQL = sql // a fingerprint hit may come from a textual variant
+			tr.attr("result", "hit")
+			res.Trace = tr.finish("cached")
+			e.traces.add(res.Trace)
 			return res, nil
 		}
+		tr.attr("result", "miss")
 	}
 
+	tr.span("admission_wait")
 	if err := e.admit.acquire(ctx); err != nil {
 		if errors.Is(err, ErrOverloaded) {
 			e.m.rejected.Inc()
 		}
+		e.traces.add(tr.finish("error"))
 		return nil, err
 	}
 	defer e.admit.release()
@@ -203,8 +232,9 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 	for attempt := 0; ; attempt++ {
 		epoch0 = e.dataEpoch.Load()
 		var err error
-		col, err = e.collectOnce(ctx, plan, spec, opts, z)
+		col, err = e.collectOnce(ctx, plan, spec, opts, z, tr)
 		if err != nil {
+			e.traces.add(tr.finish("error"))
 			return nil, err
 		}
 		if col.partial || col.closed {
@@ -219,6 +249,7 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 		}
 		if attempt >= maxCollectRetries {
 			e.m.rejected.Inc()
+			e.traces.add(tr.finish("error"))
 			return nil, fmt.Errorf("%w: query torn by concurrent writes %d times",
 				ErrOverloaded, attempt+1)
 		}
@@ -226,6 +257,7 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 	merged, partial, closed, earlyStop := col.merged, col.partial, col.closed, col.earlyStop
 
 	if merged.Samples() == 0 {
+		e.traces.add(tr.finish("error"))
 		if closed {
 			return nil, ErrClosed
 		}
@@ -238,6 +270,7 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 		return nil, fmt.Errorf("serve: no samples collected for %q", sql)
 	}
 
+	tr.span("rank")
 	cis := core.SortTupleCIs(merged.ResultsCI(z), spec)
 	tuples := make([]TupleResult, len(cis))
 	for i, ci := range cis {
@@ -261,6 +294,15 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 	}
 	e.m.queries.Inc()
 	e.m.latency.Observe(res.Elapsed.Seconds())
+	outcome := "ok"
+	switch {
+	case earlyStop:
+		outcome = "early_stop"
+	case partial:
+		outcome = "partial"
+	}
+	res.Trace = tr.finish(outcome)
+	e.traces.add(res.Trace)
 	// Cache only answers whose data epoch is still current: a consistent
 	// pass collected across a commit is a correct answer to return, but
 	// its epoch attribution is ambiguous, and the entry would either be
@@ -295,7 +337,7 @@ type collection struct {
 // the per-chain snapshots. Each call is self-contained: its views are
 // detached before it returns.
 func (e *Engine) collectOnce(ctx context.Context, plan ra.Plan, spec ra.ResultSpec,
-	opts QueryOptions, z float64) (collection, error) {
+	opts QueryOptions, z float64, tr *qtrace) (collection, error) {
 	perChain := int64((opts.Samples + len(e.chains) - 1) / len(e.chains))
 	regs := make([]*registration, 0, len(e.chains))
 	defer func() {
@@ -309,13 +351,15 @@ func (e *Engine) collectOnce(ctx context.Context, plan ra.Plan, spec ra.ResultSp
 			}
 		}
 	}()
+	tr.span("register")
+	reused := 0
 	for _, c := range e.chains {
 		reg := &registration{
 			c:    c,
 			id:   viewID(e.nextID.Add(1)),
 			done: make(chan struct{}),
 		}
-		cell, err := c.registerView(ctx, registerReq{
+		cell, hit, err := c.registerView(ctx, registerReq{
 			id:     reg.id,
 			plan:   plan,
 			target: perChain,
@@ -330,8 +374,14 @@ func (e *Engine) collectOnce(ctx context.Context, plan ra.Plan, spec ra.ResultSp
 			}
 			return collection{}, fmt.Errorf("%w: %v", ErrBadQuery, err)
 		}
+		if hit {
+			reused++
+		}
 		regs = append(regs, reg)
 	}
+	// view_reuse tells registry hits (shared view already live) from
+	// fresh mounts, per chain.
+	tr.attr("view_reuse", fmt.Sprintf("%d/%d", reused, len(e.chains)))
 
 	// Ranked queries watch the merged snapshots while waiting: when the
 	// top k separates, the remaining budget is handed back to the pool.
@@ -342,6 +392,7 @@ func (e *Engine) collectOnce(ctx context.Context, plan ra.Plan, spec ra.ResultSp
 		tick = ticker.C
 	}
 
+	tr.span("sample_wait")
 	col := collection{}
 	lastEpochs := int64(-1)
 wait:
@@ -386,6 +437,7 @@ wait:
 		}
 	}
 
+	tr.span("snapshot_merge")
 	col.merged = core.NewEstimator()
 	gen := int64(-1)
 	for _, r := range regs {
@@ -401,6 +453,10 @@ wait:
 				col.epoch = snap.Epoch
 			}
 		}
+	}
+	tr.attr("samples", fmt.Sprintf("%d", col.merged.Samples()))
+	if col.earlyStop {
+		tr.attr("early_stop", "true")
 	}
 	return col, nil
 }
@@ -455,20 +511,20 @@ func topKSeparated(regs []*registration, k int64, z float64) bool {
 // registerView sends a registration to the chain goroutine and waits for
 // the bind result — the shared view's snapshot cell — honoring ctx and
 // engine shutdown.
-func (c *chain) registerView(ctx context.Context, req registerReq) (*world.Cell[*core.Estimator], error) {
+func (c *chain) registerView(ctx context.Context, req registerReq) (*world.Cell[*core.Estimator], bool, error) {
 	req.reply = make(chan registerReply, 1)
 	select {
 	case c.ctl <- req:
 	case <-c.done:
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, false, ctx.Err()
 	}
 	select {
 	case rep := <-req.reply:
-		return rep.cell, rep.err
+		return rep.cell, rep.hit, rep.err
 	case <-c.done:
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
 }
 

@@ -19,6 +19,7 @@ type queryOptions struct {
 	confidence   float64
 	noCache      bool
 	allowPartial bool
+	trace        bool
 }
 
 // QueryOption configures one DB.Query call.
@@ -45,6 +46,13 @@ func NoCache() QueryOption { return func(o *queryOptions) { o.noCache = true } }
 // a timeout. Without this option, interrupted queries return the context
 // error (or ErrClosed), matching database/sql expectations.
 func AllowPartial() QueryOption { return func(o *queryOptions) { o.allowPartial = true } }
+
+// Trace records a span breakdown of this query's evaluation — where the
+// time went, step by step — readable afterwards through Rows.Trace (and
+// kept in the recent-traces ring behind GET /debug/traces). Tracing is
+// off by default and the disabled path is one branch per span site, so
+// leaving it off costs nothing measurable.
+func Trace() QueryOption { return func(o *queryOptions) { o.trace = true } }
 
 // Query evaluates one SQL SELECT over the possible-world distribution and
 // returns a streaming iterator over the answer tuples, each carrying its
@@ -78,16 +86,25 @@ func (db *DB) Query(ctx context.Context, sql string, opts ...QueryOption) (*Rows
 	// text — so however a query reaches the engine (this facade, the
 	// database/sql driver, or HTTP) and however it is spelled, equal
 	// queries share cache entries and materialized views.
+	// The served engine traces its own compile; the local modes trace the
+	// facade's (the only one they run).
+	var lt *localTrace
+	if qo.trace && db.eng == nil {
+		lt = newLocalTrace(db.traceID.Add(1), sql, time.Now())
+	}
+	lt.span("compile")
 	plan, spec, err := sqlparse.Compile(sql)
 	if err != nil {
 		db.countFailed()
+		db.localTraces.add(lt.finish("error"))
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
+	lt.setPlan(ra.CanonicalFingerprint(plan))
 	cols := ra.OutputColumns(plan)
 	if db.eng != nil {
 		return db.queryServed(ctx, sql, cols, qo)
 	}
-	return db.queryLocal(ctx, sql, plan, spec, cols, qo)
+	return db.queryLocal(ctx, sql, plan, spec, cols, qo, lt)
 }
 
 // queryServed delegates to the serving engine and maps its errors and
@@ -99,6 +116,7 @@ func (db *DB) queryServed(ctx context.Context, sql string, cols []string, qo que
 		Samples:    qo.samples,
 		Confidence: qo.confidence,
 		NoCache:    qo.noCache,
+		Trace:      qo.trace,
 	})
 	if err != nil {
 		return nil, mapServeErr(err)
@@ -122,6 +140,7 @@ func (db *DB) queryServed(ctx context.Context, sql string, cols []string, qo que
 		earlyStop:  res.EarlyStop,
 		cached:     res.Cached,
 		elapsed:    res.Elapsed,
+		trace:      traceFromServe(res.Trace),
 	}, nil
 }
 
@@ -129,15 +148,17 @@ func (db *DB) queryServed(ctx context.Context, sql string, cols []string, qo que
 // goroutine — Algorithm 3 (naive) or Algorithm 1 (materialized) — and
 // applies the query's result-level ranking (ORDER BY / LIMIT / the P
 // pseudo-column) to the finished estimate.
-func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, spec ra.ResultSpec, cols []string, qo queryOptions) (*Rows, error) {
+func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, spec ra.ResultSpec, cols []string, qo queryOptions, lt *localTrace) (*Rows, error) {
 	start := time.Now()
 	// The read lock excludes a concurrent Exec mid-mutation: the private
 	// chain world is cloned from the prototype either wholly before or
 	// wholly after any write.
+	lt.span("clone_world")
 	db.writeMu.RLock()
 	log, proposer, err := db.sys.NewChainWorld(0)
 	db.writeMu.RUnlock()
 	if err != nil {
+		db.localTraces.add(lt.finish("error"))
 		return nil, err
 	}
 	mode := core.Naive
@@ -147,8 +168,10 @@ func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, spec ra.
 	ev, err := core.NewEvaluator(mode, log, proposer, plan, db.opts.steps, db.opts.seed)
 	if err != nil {
 		db.countFailed()
+		db.localTraces.add(lt.finish("error"))
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
+	lt.span("sample")
 	if db.opts.burnIn > 0 {
 		ev.Burn(db.opts.burnIn)
 	}
@@ -162,12 +185,15 @@ func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, spec ra.
 			break
 		}
 		if err := ev.CollectSample(); err != nil {
+			db.localTraces.add(lt.finish("error"))
 			return nil, err
 		}
 	}
 	est := ev.Estimator()
+	lt.attr("samples", fmt.Sprintf("%d", est.Samples()))
 	if partial {
 		if est.Samples() == 0 || !qo.allowPartial {
+			db.localTraces.add(lt.finish("error"))
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, cerr
 			}
@@ -175,11 +201,19 @@ func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, spec ra.
 		}
 	}
 	db.queries.Inc()
+	lt.span("rank")
+	cis := core.SortTupleCIs(est.ResultsCI(normalQuantile(qo.confidence)), spec)
 	elapsed := time.Since(start)
 	db.latency.Observe(elapsed.Seconds())
+	outcome := "ok"
+	if partial {
+		outcome = "partial"
+	}
+	qt := lt.finish(outcome)
+	db.localTraces.add(qt)
 	return &Rows{
 		cols:       cols,
-		cis:        core.SortTupleCIs(est.ResultsCI(normalQuantile(qo.confidence)), spec),
+		cis:        cis,
 		i:          -1,
 		samples:    est.Samples(),
 		chains:     1,
@@ -187,6 +221,7 @@ func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, spec ra.
 		confidence: qo.confidence,
 		partial:    partial,
 		elapsed:    elapsed,
+		trace:      qt,
 	}, nil
 }
 

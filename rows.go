@@ -38,6 +38,7 @@ type Rows struct {
 	earlyStop  bool
 	cached     bool
 	elapsed    time.Duration
+	trace      *QueryTrace
 
 	closed bool
 	err    error
@@ -223,3 +224,8 @@ func (r *Rows) Cached() bool { return r.cached }
 // original evaluation's time, not the lookup's — check Cached to tell
 // them apart.
 func (r *Rows) Elapsed() time.Duration { return r.elapsed }
+
+// Trace returns the span breakdown of this evaluation, or nil unless the
+// query opted in with the Trace option (in served mode the engine's
+// trace sampler may also attach one). The trace is immutable.
+func (r *Rows) Trace() *QueryTrace { return r.trace }

@@ -1,0 +1,174 @@
+package factordb
+
+import (
+	"sync"
+	"time"
+
+	"factordb/internal/serve"
+)
+
+// TraceSpan is one step of a traced query. StartNS is the offset from the
+// trace's Begin; spans are contiguous and in order, so their durations
+// tile the query's wall time (the first span opens within nanoseconds of
+// Begin, and each later span begins the instant the previous one ends).
+type TraceSpan struct {
+	Name    string            `json:"name"`
+	StartNS int64             `json:"start_ns"`
+	DurNS   int64             `json:"dur_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// QueryTrace is the span breakdown of one query evaluation, returned by
+// Rows.Trace for queries that opted in with the Trace option (in served
+// mode the engine's trace sampler may also pick queries). Span names and
+// attribute keys are a stable contract — see the package documentation.
+type QueryTrace struct {
+	ID      int64       `json:"id"`
+	SQL     string      `json:"sql"`
+	Plan    string      `json:"plan_fingerprint,omitempty"`
+	Begin   time.Time   `json:"begin"`
+	WallNS  int64       `json:"wall_ns"`
+	Outcome string      `json:"outcome"` // ok | cached | early_stop | partial | error
+	Spans   []TraceSpan `json:"spans"`
+}
+
+// traceFromServe converts the engine's trace into the public mirror.
+func traceFromServe(t *serve.QueryTrace) *QueryTrace {
+	if t == nil {
+		return nil
+	}
+	out := &QueryTrace{
+		ID:      t.ID,
+		SQL:     t.SQL,
+		Plan:    t.Plan,
+		Begin:   t.Begin,
+		WallNS:  t.WallNS,
+		Outcome: t.Outcome,
+		Spans:   make([]TraceSpan, len(t.Spans)),
+	}
+	for i, s := range t.Spans {
+		out.Spans[i] = TraceSpan{Name: s.Name, StartNS: s.StartNS, DurNS: s.DurNS, Attrs: s.Attrs}
+	}
+	return out
+}
+
+// localTrace builds a QueryTrace for the local evaluation modes, with the
+// same contiguous-span discipline as the served engine's tracer. All
+// methods are safe on a nil receiver (tracing disabled).
+type localTrace struct {
+	qt    QueryTrace
+	begin time.Time
+	open  bool
+	start time.Time
+}
+
+func newLocalTrace(id int64, sql string, begin time.Time) *localTrace {
+	return &localTrace{qt: QueryTrace{ID: id, SQL: sql, Begin: begin}, begin: begin, start: begin}
+}
+
+func (t *localTrace) span(name string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.closeSpan(now)
+	t.qt.Spans = append(t.qt.Spans, TraceSpan{Name: name, StartNS: now.Sub(t.begin).Nanoseconds()})
+	t.open = true
+	t.start = now
+}
+
+func (t *localTrace) closeSpan(now time.Time) {
+	if !t.open {
+		return
+	}
+	s := &t.qt.Spans[len(t.qt.Spans)-1]
+	s.DurNS = now.Sub(t.start).Nanoseconds()
+	t.open = false
+}
+
+func (t *localTrace) attr(key, val string) {
+	if t == nil || len(t.qt.Spans) == 0 {
+		return
+	}
+	s := &t.qt.Spans[len(t.qt.Spans)-1]
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 2)
+	}
+	s.Attrs[key] = val
+}
+
+func (t *localTrace) setPlan(fp string) {
+	if t == nil {
+		return
+	}
+	t.qt.Plan = fp
+}
+
+func (t *localTrace) finish(outcome string) *QueryTrace {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.closeSpan(now)
+	t.qt.WallNS = now.Sub(t.begin).Nanoseconds()
+	t.qt.Outcome = outcome
+	return &t.qt
+}
+
+// localTraceRing keeps the local modes' recent traces for /debug/traces
+// (the served engine keeps its own ring).
+type localTraceRing struct {
+	mu   sync.Mutex
+	buf  []*QueryTrace
+	next int
+	n    int
+}
+
+func newLocalTraceRing(size int) *localTraceRing {
+	if size < 1 {
+		size = 1
+	}
+	return &localTraceRing{buf: make([]*QueryTrace, size)}
+}
+
+func (r *localTraceRing) add(t *QueryTrace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+func (r *localTraceRing) snapshot() []*QueryTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*QueryTrace, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// RecentTraces returns the most recent query traces, newest first:
+// client-opted traces plus, in served mode, the engine trace sampler's
+// picks. The ring size is fixed (64 entries); traces are immutable.
+// GET /debug/traces on DebugHandler serves this list.
+func (db *DB) RecentTraces() []*QueryTrace {
+	if db.eng != nil {
+		ts := db.eng.Traces()
+		out := make([]*QueryTrace, 0, len(ts))
+		for _, t := range ts {
+			out = append(out, traceFromServe(t))
+		}
+		return out
+	}
+	return db.localTraces.snapshot()
+}
