@@ -8,6 +8,13 @@
 // Usage:
 //
 //	factordbd -addr :8080 -tokens 50000 -chains 4 -steps 1000
+//	factordbd -data-dir /var/lib/factordb -fsync interval
+//
+// With -data-dir set, every committed write is appended to a durable
+// write-ahead log and the evidence world is checkpointed in the
+// background; restarting with the same directory recovers the world and
+// the write epoch a crash interrupted (see the README's Durability
+// section).
 //
 // Endpoints:
 //
@@ -59,22 +66,45 @@ func main() {
 			"listen address for the debug endpoints (pprof, /debug/traces); empty disables them")
 		traceN = flag.Int("trace-every", 0,
 			"trace every n-th query into the debug ring (0 = client opt-in only)")
+		dataDir = flag.String("data-dir", "",
+			"directory for the durable snapshot+WAL store; empty runs in-memory only")
+		fsync = flag.String("fsync", "interval",
+			"WAL sync policy with -data-dir: always, interval or never")
+		ckOps = flag.Int64("checkpoint-ops", 0,
+			"ops between background checkpoints (0 = default 4096, negative disables)")
+		ckBytes = flag.Int64("checkpoint-bytes", 0,
+			"WAL bytes between background checkpoints (0 = default 4MiB, negative disables)")
 	)
 	flag.Parse()
 
+	fsyncPolicy, err := factordb.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		fatal(err)
+	}
+
 	log.Printf("building NER system (%d tokens, seed %d)...", *tokens, *seed)
 	start := time.Now()
-	db, err := factordb.Open(
-		factordb.NER(factordb.NERConfig{Tokens: *tokens, Seed: *seed, LinearChain: *noSkip}),
+	opts := []factordb.Option{
 		factordb.WithMode(factordb.ModeServed),
 		factordb.WithChains(*chains),
 		factordb.WithSteps(*steps),
 		factordb.WithBurnIn(*burn),
-		factordb.WithSeed(*seed+42),
+		factordb.WithSeed(*seed + 42),
 		factordb.WithSamples(*samples),
 		factordb.WithQueryLimits(*maxConc, *maxQ),
 		factordb.WithCache(*cacheN, *cacheT),
 		factordb.WithTraceSampling(*traceN),
+	}
+	if *dataDir != "" {
+		opts = append(opts,
+			factordb.WithDataDir(*dataDir),
+			factordb.WithFsync(fsyncPolicy),
+			factordb.WithCheckpointEvery(*ckOps, *ckBytes),
+		)
+	}
+	db, err := factordb.Open(
+		factordb.NER(factordb.NERConfig{Tokens: *tokens, Seed: *seed, LinearChain: *noSkip}),
+		opts...,
 	)
 	if err != nil {
 		fatal(err)
@@ -82,6 +112,10 @@ func main() {
 	defer db.Close()
 	log.Printf("%s (built in %v)", db.Describe(), time.Since(start).Round(time.Millisecond))
 	log.Printf("engine up: %d chains, k=%d", db.Chains(), *steps)
+	if d := db.Durability(); d != nil {
+		log.Printf("durable: dir=%s fsync=%s recovered_epoch=%d replayed=%d torn_tail=%v",
+			d.Dir, d.Fsync, d.RecoveredEpoch, d.ReplayedRecords, d.TornTail)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: db.Handler()}
 	errCh := make(chan error, 1)

@@ -57,8 +57,28 @@ func main() {
 		chains  = flag.Int("chains", 2, "in-process MCMC chains")
 		steps   = flag.Int("steps", 300, "in-process walk-steps per sample (thinning k)")
 		trainSt = flag.Int("train-steps", 20000, "in-process SampleRank training steps")
+		dataDir = flag.String("data-dir", "",
+			"in-process durable data directory (empty = in-memory; passed through to the engine)")
+
+		// Crash-recovery scenario options.
+		recovery = flag.Bool("recovery", false,
+			"run the kill/restart recovery scenario instead of the load: write, recover from -data-dir, compare marginals")
+		recWrites = flag.Int("recovery-writes", 8, "writes committed before the kill in -recovery")
+		tolerance = flag.Float64("tolerance", 0.25,
+			"max mean |Δp| between pre-kill and post-restart marginals in -recovery")
 	)
 	flag.Parse()
+
+	if *recovery {
+		if err := runRecovery(recoveryConfig{
+			dataDir: *dataDir, tokens: *tokens, seed: *seed, chains: *chains,
+			steps: *steps, trainSt: *trainSt, writes: *recWrites,
+			samples: *samples, tolerance: *tolerance,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *check != "" {
 		if err := checkReport(*check); err != nil {
@@ -79,7 +99,7 @@ func main() {
 		tgt = &httpTarget{base: strings.TrimRight(*url, "/"), client: &http.Client{Timeout: *timeout}}
 	} else {
 		fmt.Fprintf(os.Stderr, "factorload: building in-process NER engine (%d tokens)...\n", *tokens)
-		tgt, err = newInprocTarget(*tokens, *seed, *chains, *steps, *trainSt)
+		tgt, err = newInprocTarget(*tokens, *seed, *chains, *steps, *trainSt, *dataDir)
 		if err != nil {
 			fatal(err)
 		}

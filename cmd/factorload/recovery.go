@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"factordb"
+)
+
+// recoveryConfig parameterizes the kill/restart scenario.
+type recoveryConfig struct {
+	dataDir   string // empty = private temp dir, removed afterwards
+	tokens    int
+	seed      int64
+	chains    int
+	steps     int
+	trainSt   int
+	writes    int
+	samples   int
+	tolerance float64
+}
+
+// runRecovery is the crash-recovery acceptance scenario: open a durable
+// engine, commit a write burst, estimate the workload query's marginals,
+// tear the engine down, recover from the same data directory, and
+// require (a) the write epoch survived exactly and (b) the re-estimated
+// marginals match the pre-kill ones within tolerance. The writes use
+// fsync=always so every committed record would survive a real SIGKILL —
+// the same property CI's kill test exercises against factordbd.
+//
+// Marginals are MCMC estimates, so the comparison is statistical, not
+// exact: both runs re-equilibrate from the same recovered evidence and
+// must agree on the answer distribution within the CI tolerance.
+func runRecovery(cfg recoveryConfig) error {
+	dir := cfg.dataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "factorload-recovery-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	open := func() (*factordb.DB, error) {
+		return factordb.Open(
+			factordb.NER(factordb.NERConfig{Tokens: cfg.tokens, Seed: cfg.seed, TrainSteps: cfg.trainSt}),
+			factordb.WithMode(factordb.ModeServed),
+			factordb.WithChains(cfg.chains),
+			factordb.WithSteps(cfg.steps),
+			factordb.WithSeed(cfg.seed+42),
+			factordb.WithDataDir(dir),
+			factordb.WithFsync(factordb.FsyncAlways),
+		)
+	}
+	ctx := context.Background()
+
+	fmt.Fprintf(os.Stderr, "factorload: recovery scenario in %s (%d tokens, %d writes)\n",
+		dir, cfg.tokens, cfg.writes)
+	db, err := open()
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= cfg.writes; i++ {
+		if _, err := db.Exec(ctx, writeSQL(int64(i))); err != nil {
+			db.Close()
+			return fmt.Errorf("write %d: %w", i, err)
+		}
+	}
+	preEpoch := db.WriteEpoch()
+	pre, err := queryMarginals(ctx, db, readSQL, cfg.samples)
+	if err != nil {
+		db.Close()
+		return fmt.Errorf("pre-kill marginals: %w", err)
+	}
+	// The "kill": drop the engine. With fsync=always every committed
+	// record is already on stable storage, so a SIGKILL here would leave
+	// the same bytes; Close only stops the chains faster.
+	db.Close()
+
+	start := time.Now()
+	re, err := open()
+	if err != nil {
+		return fmt.Errorf("recovery open: %w", err)
+	}
+	defer re.Close()
+	d := re.Durability()
+	if d == nil {
+		return fmt.Errorf("recovered engine reports no durability state")
+	}
+	fmt.Fprintf(os.Stderr, "factorload: recovered epoch %d (%d records replayed) in %v\n",
+		d.RecoveredEpoch, d.ReplayedRecords, time.Since(start).Round(time.Millisecond))
+	if got := re.WriteEpoch(); got != preEpoch {
+		return fmt.Errorf("write epoch %d after recovery, want %d", got, preEpoch)
+	}
+	post, err := queryMarginals(ctx, re, readSQL, cfg.samples)
+	if err != nil {
+		return fmt.Errorf("post-restart marginals: %w", err)
+	}
+
+	maxDelta, meanDelta, n := compareMarginals(pre, post)
+	fmt.Fprintf(os.Stderr, "factorload: %d answer tuples compared, mean |Δp| %.4f, max |Δp| %.4f (tolerance %.2f)\n",
+		n, meanDelta, maxDelta, cfg.tolerance)
+	if n == 0 {
+		return fmt.Errorf("no answer tuples to compare")
+	}
+	if meanDelta > cfg.tolerance {
+		return fmt.Errorf("post-restart marginals drifted: mean |Δp| %.4f > tolerance %.2f", meanDelta, cfg.tolerance)
+	}
+	fmt.Println("factorload: recovery scenario passed")
+	return nil
+}
+
+// queryMarginals estimates the query's per-tuple marginals, keyed by the
+// rendered tuple values.
+func queryMarginals(ctx context.Context, db *factordb.DB, sql string, samples int) (map[string]float64, error) {
+	cctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	rows, err := db.Query(cctx, sql, factordb.Samples(samples), factordb.NoCache())
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	out := make(map[string]float64)
+	for rows.Next() {
+		vals, err := rows.Row()
+		if err != nil {
+			return nil, err
+		}
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = fmt.Sprint(v)
+		}
+		out[strings.Join(parts, "\x1f")] = rows.Prob()
+	}
+	return out, rows.Err()
+}
+
+// compareMarginals scores two estimates over the union of their answer
+// tuples; a tuple absent from one side counts as probability zero there.
+func compareMarginals(a, b map[string]float64) (maxDelta, meanDelta float64, n int) {
+	keys := make(map[string]struct{}, len(a)+len(b))
+	for k := range a {
+		keys[k] = struct{}{}
+	}
+	for k := range b {
+		keys[k] = struct{}{}
+	}
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+	var sum float64
+	for _, k := range ordered {
+		d := math.Abs(a[k] - b[k])
+		sum += d
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+	n = len(ordered)
+	if n > 0 {
+		meanDelta = sum / float64(n)
+	}
+	return maxDelta, meanDelta, n
+}

@@ -17,13 +17,19 @@ type inprocTarget struct {
 	db *factordb.DB
 }
 
-func newInprocTarget(tokens int, seed int64, chains, steps, trainSteps int) (*inprocTarget, error) {
-	db, err := factordb.Open(
-		factordb.NER(factordb.NERConfig{Tokens: tokens, Seed: seed, TrainSteps: trainSteps}),
+func newInprocTarget(tokens int, seed int64, chains, steps, trainSteps int, dataDir string) (*inprocTarget, error) {
+	opts := []factordb.Option{
 		factordb.WithMode(factordb.ModeServed),
 		factordb.WithChains(chains),
 		factordb.WithSteps(steps),
-		factordb.WithSeed(seed+42),
+		factordb.WithSeed(seed + 42),
+	}
+	if dataDir != "" {
+		opts = append(opts, factordb.WithDataDir(dataDir))
+	}
+	db, err := factordb.Open(
+		factordb.NER(factordb.NERConfig{Tokens: tokens, Seed: seed, TrainSteps: trainSteps}),
+		opts...,
 	)
 	if err != nil {
 		return nil, err

@@ -130,6 +130,40 @@
 // samples, and queries issued after Exec returns never observe
 // pre-write state.
 //
+// # Durability: snapshots, the WAL, and recovery
+//
+// WithDataDir(dir) makes the write path durable (cmd/factordbd:
+// -data-dir). The store persists exactly the evidence — the prototype
+// possible world and committed mutations — because everything else
+// (graph, weights, chains) is a deterministic function of the workload
+// config and is rebuilt on open. Two on-disk artifacts live in dir:
+//
+//   - snap-<epoch>.snap: a checkpoint of the world as of a data epoch.
+//     Format "snap1:": magic, big-endian epoch, gob world dump, CRC-32
+//     trailer; written to a temp file and atomically renamed.
+//   - wal.log: an append-only log of committed op batches. Format
+//     "wal1:": magic, then length-prefixed records (u32 length, u32
+//     CRC-32 (IEEE), payload of epoch + resolved row-level ops). Both
+//     prefixes are versioned; incompatible changes bump them, so an old
+//     binary refuses a new directory rather than misreading it.
+//
+// The commit rule: Exec appends the batch to the WAL (honoring the
+// fsync policy — FsyncAlways syncs per append, FsyncInterval (default)
+// syncs on a ~100ms background ticker, FsyncNever leaves it to the OS)
+// before any chain applies it. Recovery loads the newest valid snapshot
+// and replays only records with epoch greater than the snapshot epoch —
+// replay is idempotent by construction because ops are row-level
+// assignments keyed by epoch, never read-modify-write. The first
+// invalid record (torn frame, short payload, CRC mismatch) ends the
+// log: the tail beyond it is truncated, reported as torn_tail in
+// DurabilityStatus, and never replayed. Background checkpointing
+// (WithCheckpointEvery) rewrites the snapshot and drops the covered WAL
+// prefix. After recovery the restored write epoch is observable at
+// DB.WriteEpoch and /healthz write_epoch, and a served engine walks a
+// burn-in before answering so marginals re-equilibrate around the
+// recovered evidence. Coref materializes worlds per chain and has no
+// durable prototype world; WithDataDir on it fails with ErrRecovery.
+//
 // # Plan IR: canonical form and fingerprints
 //
 // Every query, whatever its entry path (DB.Query, database/sql, HTTP),
@@ -181,6 +215,7 @@
 //	internal/sqlparse  SQL front end lowering to ra plans
 //	internal/ivm       incremental view maintenance over Δ⁻/Δ⁺ deltas
 //	internal/world     change log, epochs, snapshot publication
+//	internal/store     durable storage: snapshots + WAL, crash recovery
 //	internal/core      query evaluators (naive and materialized) + estimator
 //	internal/metrics   loss traces and serving counters
 //	internal/exp       experiment harness regenerating the paper's figures

@@ -10,6 +10,7 @@ import (
 	"factordb/internal/ra"
 	"factordb/internal/serve"
 	"factordb/internal/sqlparse"
+	"factordb/internal/world"
 )
 
 // ErrReadOnly is returned by Exec when the opened workload cannot absorb
@@ -102,17 +103,44 @@ func (db *DB) Exec(ctx context.Context, sql string) (*ExecResult, error) {
 	// the prototype world under the read side, so they see either all of
 	// this mutation or none of it.
 	db.writeMu.Lock()
-	n, err := ex.Exec(mut)
+	var n int64
 	var epoch int64
-	if err == nil {
-		// Bump inside the critical section so the reported epoch matches
-		// apply order under concurrent writers.
+	var walErr error
+	if db.store != nil {
+		// Durable path: resolve, log the resolved batch, then apply —
+		// write-ahead order, same as the served engine. A WAL failure
+		// vetoes the write with the world untouched.
+		ox, isOps := db.sys.(worldOpsExecer)
+		if !isOps {
+			db.writeMu.Unlock()
+			return nil, fmt.Errorf("%w: the %s workload cannot log resolved writes", ErrRecovery, db.name)
+		}
+		var ops []world.Op
+		ops, err = ox.ResolveExec(mut)
 		epoch = db.writeEpoch.Load()
-		if n > 0 { // a no-match mutation commits nothing
-			epoch = db.writeEpoch.Add(1)
+		if err == nil && len(ops) > 0 {
+			if walErr = db.store.Append(epoch+1, ops); walErr == nil {
+				n, err = ox.ApplyExecOps(ops)
+				if err == nil {
+					epoch = db.writeEpoch.Add(1)
+				}
+			}
+		}
+	} else {
+		n, err = ex.Exec(mut)
+		if err == nil {
+			// Bump inside the critical section so the reported epoch matches
+			// apply order under concurrent writers.
+			epoch = db.writeEpoch.Load()
+			if n > 0 { // a no-match mutation commits nothing
+				epoch = db.writeEpoch.Add(1)
+			}
 		}
 	}
 	db.writeMu.Unlock()
+	if walErr != nil {
+		return nil, fmt.Errorf("%w: wal append: %v", ErrRecovery, walErr)
+	}
 	if err != nil {
 		db.countFailed()
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)

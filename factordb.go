@@ -10,6 +10,7 @@ import (
 	"factordb/internal/exp"
 	"factordb/internal/metrics"
 	"factordb/internal/serve"
+	"factordb/internal/store"
 )
 
 // The paper's evaluation queries (Section 5), ready to pass to DB.Query
@@ -94,6 +95,12 @@ type options struct {
 	maxConcurrent int
 	maxQueued     int
 	traceEvery    int
+
+	// Durability (see durable.go); empty dataDir disables it.
+	dataDir         string
+	fsync           FsyncPolicy
+	checkpointOps   int64
+	checkpointBytes int64
 }
 
 func defaultOptions() options {
@@ -168,6 +175,9 @@ type DB struct {
 
 	eng *serve.Engine // ModeServed only
 
+	// store is the durable snapshot+WAL backend (nil without WithDataDir).
+	store store.Storage
+
 	// Local-mode observability (the served engine keeps its own).
 	reg         *metrics.Registry
 	queries     *metrics.Counter
@@ -211,11 +221,32 @@ func Open(model Model, opts ...Option) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{opts: o, sys: sys, name: model.modelName(), start: time.Now()}
+
+	// Recovery happens before any chain is cloned: openDurability swaps
+	// the recovered world into the system, so the pool below is stocked
+	// from post-replay evidence.
+	st, err := openDurability(o, sys, db.name)
+	if err != nil {
+		return nil, err
+	}
+	db.store = st
+	var recoveredEpoch int64
+	if st != nil {
+		recoveredEpoch = st.Recovery().Epoch
+	}
+
 	if o.mode == ModeServed {
-		eng, err := serve.New(sys, serve.Config{
+		burnIn := o.burnIn
+		// A recovered world needs re-equilibration: the chains start from
+		// evidence the sampler never walked, so give them one sampling
+		// interval of burn-in unless the caller chose a budget explicitly.
+		if recoveredEpoch > 0 && burnIn == 0 {
+			burnIn = o.steps
+		}
+		cfg := serve.Config{
 			Chains:               o.chains,
 			StepsPerSample:       o.steps,
-			BurnIn:               o.burnIn,
+			BurnIn:               burnIn,
 			Seed:                 o.seed,
 			DefaultSamples:       o.samples,
 			MaxConcurrentQueries: o.maxConcurrent,
@@ -223,13 +254,25 @@ func Open(model Model, opts ...Option) (*DB, error) {
 			CacheSize:            o.cacheSize,
 			CacheTTL:             o.cacheTTL,
 			TraceEvery:           o.traceEvery,
-		})
+			InitialDataEpoch:     recoveredEpoch,
+		}
+		if st != nil {
+			cfg.WAL = st
+		}
+		eng, err := serve.New(sys, cfg)
 		if err != nil {
+			if st != nil {
+				st.Close()
+			}
 			return nil, err
 		}
 		db.eng = eng
+		if st != nil {
+			registerStoreMetrics(st, eng.Metrics())
+		}
 		return db, nil
 	}
+	db.writeEpoch.Store(recoveredEpoch)
 	db.reg = metrics.NewRegistry()
 	db.queries = db.reg.NewCounter("factordb_queries_total", "queries evaluated")
 	db.failed = db.reg.NewCounter("factordb_queries_failed_total", "queries that failed to compile or bind")
@@ -238,6 +281,9 @@ func Open(model Model, opts ...Option) (*DB, error) {
 	db.localTraces = newLocalTraceRing(64)
 	db.reg.NewGaugeFunc("factordb_write_epoch", "data epoch: committed DML mutations since open",
 		func() float64 { return float64(db.writeEpoch.Load()) })
+	if st != nil {
+		registerStoreMetrics(st, db.reg)
+	}
 	return db, nil
 }
 
@@ -277,8 +323,13 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.mu.Unlock()
+	// Engine first: stopping the chains ends the write stream, so the
+	// store's final flush below covers every committed record.
 	if db.eng != nil {
 		db.eng.Close()
+	}
+	if db.store != nil {
+		return db.store.Close()
 	}
 	return nil
 }

@@ -74,6 +74,8 @@ type healthResponse struct {
 	// pool-wide MH acceptance rate and the live shared-view count.
 	AcceptanceRate float64 `json:"acceptance_rate"`
 	SharedViews    int64   `json:"shared_views"`
+	// Durability reports the snapshot+WAL store; null without a data dir.
+	Durability *DurabilityStatus `json:"durability,omitempty"`
 }
 
 // MaxQueryTimeout caps the per-request timeout a client may ask for.
@@ -293,6 +295,7 @@ func (db *DB) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		UptimeS:        time.Since(db.start).Seconds(),
 		AcceptanceRate: acceptance,
 		SharedViews:    views,
+		Durability:     db.Durability(),
 	})
 }
 

@@ -193,13 +193,38 @@ func (s *NERSystem) NewChainTagger(_ int) (*world.ChangeLog, *ie.Tagger, error) 
 // variables; inserted rows carry their LABEL as fixed evidence (no
 // in-memory variable samples them).
 func (s *NERSystem) Exec(mut ra.Mutation) (int64, error) {
-	ops, err := world.ResolveMutation(s.protoDB, mut)
+	ops, err := s.ResolveExec(mut)
 	if err != nil {
 		return 0, err
 	}
-	// The change log is throwaway: the prototype world has no views to
-	// maintain, and chains clone the store, not the delta.
+	return s.ApplyExecOps(ops)
+}
+
+// ResolveExec resolves a DML mutation against the prototype world into
+// concrete row-level ops without applying them — the durable write path
+// logs the resolved batch between resolution and application.
+func (s *NERSystem) ResolveExec(mut ra.Mutation) ([]world.Op, error) {
+	return world.ResolveMutation(s.protoDB, mut)
+}
+
+// ApplyExecOps applies a previously resolved op batch to the prototype
+// world. The change log is throwaway: the prototype world has no views
+// to maintain, and chains clone the store, not the delta.
+func (s *NERSystem) ApplyExecOps(ops []world.Op) (int64, error) {
 	return world.NewChangeLog(s.protoDB).ApplyOps(ops)
+}
+
+// WorldDB exposes the prototype world — the evidence a durable store
+// snapshots. Callers must not mutate it; use Exec.
+func (s *NERSystem) WorldDB() *relstore.DB { return s.protoDB }
+
+// RestoreWorld replaces the prototype world with a recovered copy.
+// Row identities line up because system construction is deterministic
+// in its config (same corpus, same load order, same RowIDs), so the
+// tagger bindings built from s.rows remain valid — exactly the property
+// local-mode writes already rely on when cloning a mutated prototype.
+func (s *NERSystem) RestoreWorld(db *relstore.DB) {
+	s.protoDB = db
 }
 
 // GroundTruth estimates reference marginals with a long materialized run

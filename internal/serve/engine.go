@@ -41,6 +41,14 @@ type Source interface {
 	NewChainWorld(chain int) (*world.ChangeLog, mcmc.Proposer, error)
 }
 
+// WALSink receives every committed op batch before it is fanned out to
+// the chains — the write-ahead contract. Append must not return until
+// the record is durable to the sink's configured policy; an error vetoes
+// the write. The canonical implementation is store.DiskStore.
+type WALSink interface {
+	Append(epoch int64, ops []world.Op) error
+}
+
 // Config parameterizes an Engine. Zero values take the documented
 // defaults.
 type Config struct {
@@ -88,6 +96,14 @@ type Config struct {
 	// load. Zero (the default) disables engine-initiated tracing; client
 	// opt-in (QueryOptions.Trace) always works.
 	TraceEvery int
+
+	// WAL, when non-nil, durably logs every committed op batch before it
+	// is applied to any chain. An Append error fails the write.
+	WAL WALSink
+	// InitialDataEpoch seeds the data-epoch counter, so an engine built
+	// over a recovered world resumes the epoch sequence its WAL records
+	// — record epochs stay strictly increasing across restarts.
+	InitialDataEpoch int64
 }
 
 func (cfg Config) withDefaults() Config {
@@ -197,6 +213,7 @@ func New(src Source, cfg Config) (*Engine, error) {
 		tracer: &traceSampler{every: int64(cfg.TraceEvery)},
 		start:  time.Now(),
 	}
+	e.dataEpoch.Store(cfg.InitialDataEpoch)
 	// Each chain goroutine starts as soon as its world is cloned, so the
 	// error path below can always stopChains: every chain in e.chains has
 	// a running goroutine that will close its done channel.

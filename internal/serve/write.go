@@ -89,6 +89,19 @@ func (e *Engine) Exec(ctx context.Context, sql string) (*ExecResult, error) {
 		}, nil
 	}
 
+	// Write-ahead: the batch goes to the durable log before any chain
+	// sees it. An Append error vetoes the write with every world still
+	// untouched. The converse failure — Append succeeded but the fan-out
+	// below aborted on shutdown — leaves a record that recovery will
+	// replay, which is the standard WAL commit rule: durable means
+	// committed.
+	epoch := e.dataEpoch.Load() + 1
+	if e.cfg.WAL != nil {
+		if err := e.cfg.WAL.Append(epoch, ops); err != nil {
+			return nil, fmt.Errorf("serve: wal append: %w", err)
+		}
+	}
+
 	// Point of no return: every chain must apply the same ops. Fan out in
 	// parallel and wait for all of them; only engine shutdown aborts.
 	errs := make(chan error, len(e.chains))
@@ -105,7 +118,7 @@ func (e *Engine) Exec(ctx context.Context, sql string) (*ExecResult, error) {
 		return nil, failed
 	}
 
-	epoch := e.dataEpoch.Add(1)
+	e.dataEpoch.Store(epoch) // == Add(1): writeMu serializes committers
 	e.m.writes.Inc()
 	return &ExecResult{
 		SQL:          sql,

@@ -1,0 +1,183 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"factordb/internal/relstore"
+)
+
+// Snapshot files, version snap1. One file per checkpoint, named
+// snap-<epoch %016d>.snap so lexical order is epoch order, laid out as
+//
+//	"snap1:"  header
+//	uint64    data epoch the world includes (little endian)
+//	gob       the relstore world dump
+//	uint32    CRC-32 (IEEE) of everything above
+//
+// and written to a temp file, fsynced, then renamed into place — a
+// crash mid-checkpoint leaves the previous snapshot untouched. The CRC
+// trailer makes a half-written or bit-rotted snapshot detectable, in
+// which case recovery falls back to the next older file.
+
+var snapHeader = []byte("snap1:")
+
+const snapSuffix = ".snap"
+
+func snapshotName(epoch int64) string {
+	return fmt.Sprintf("snap-%016d%s", epoch, snapSuffix)
+}
+
+// snapshotEpoch parses the epoch out of a snapshot file name, reporting
+// ok=false for files that are not snapshots.
+func snapshotEpoch(name string) (int64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	e, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), snapSuffix), 10, 64)
+	if err != nil || e < 0 {
+		return 0, false
+	}
+	return e, true
+}
+
+// writeSnapshot atomically persists the world at the given epoch and
+// returns the file's basename.
+func writeSnapshot(dir string, epoch int64, db *relstore.DB) (string, error) {
+	var buf bytes.Buffer
+	buf.Write(snapHeader)
+	var eb [8]byte
+	binary.LittleEndian.PutUint64(eb[:], uint64(epoch))
+	buf.Write(eb[:])
+	if err := db.Dump(&buf); err != nil {
+		return "", fmt.Errorf("store: dumping world: %w", err)
+	}
+	var cb [4]byte
+	binary.LittleEndian.PutUint32(cb[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(cb[:])
+
+	name := snapshotName(epoch)
+	tmp, err := os.CreateTemp(dir, name+".tmp")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return "", err
+	}
+	return name, syncDir(dir)
+}
+
+// readSnapshot loads and verifies one snapshot file.
+func readSnapshot(path string) (*relstore.DB, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < len(snapHeader)+8+4 {
+		return nil, 0, fmt.Errorf("store: snapshot %s shorter than its framing", filepath.Base(path))
+	}
+	if !bytes.Equal(data[:len(snapHeader)], snapHeader) {
+		return nil, 0, fmt.Errorf("store: snapshot %s header is not %q", filepath.Base(path), snapHeader)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, 0, fmt.Errorf("store: snapshot %s failed its CRC", filepath.Base(path))
+	}
+	epoch := int64(binary.LittleEndian.Uint64(body[len(snapHeader):]))
+	db, err := relstore.ReadDB(bytes.NewReader(body[len(snapHeader)+8:]))
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: snapshot %s: %w", filepath.Base(path), err)
+	}
+	return db, epoch, nil
+}
+
+// latestSnapshot loads the newest readable snapshot in dir, trying
+// older files when the newest fails verification. ok=false means no
+// usable snapshot exists (fresh directory, or every candidate corrupt —
+// the error reports the newest failure in that case).
+func latestSnapshot(dir string) (db *relstore.DB, epoch int64, ok bool, err error) {
+	names, err := snapshotNames(dir)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	var firstErr error
+	for i := len(names) - 1; i >= 0; i-- {
+		db, epoch, rerr := readSnapshot(filepath.Join(dir, names[i]))
+		if rerr == nil {
+			return db, epoch, true, nil
+		}
+		if firstErr == nil {
+			firstErr = rerr
+		}
+	}
+	return nil, 0, false, firstErr
+}
+
+// snapshotNames lists snapshot basenames in ascending epoch order.
+func snapshotNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := snapshotEpoch(e.Name()); ok && !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// removeSnapshotsBefore deletes snapshots older than epoch, keeping the
+// newest older one as a fallback against a latest-snapshot corruption.
+func removeSnapshotsBefore(dir string, epoch int64) {
+	names, err := snapshotNames(dir)
+	if err != nil {
+		return
+	}
+	// names is ascending; drop everything below the newest-but-one
+	// pre-epoch snapshot.
+	older := names[:0]
+	for _, n := range names {
+		if e, _ := snapshotEpoch(n); e < epoch {
+			older = append(older, n)
+		}
+	}
+	for i := 0; i+1 < len(older); i++ {
+		os.Remove(filepath.Join(dir, older[i]))
+	}
+}
+
+// syncDir fsyncs a directory so a rename in it is durable. Best-effort
+// on platforms where directories cannot be opened for sync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return nil
+	}
+	return nil
+}

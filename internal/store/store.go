@@ -1,0 +1,150 @@
+// Package store is the durable-storage subsystem: it persists the
+// probabilistic database's evidence — the prototype possible world plus
+// the append-only log of every committed DML mutation — so that a
+// restart recovers the exact world a crash interrupted instead of
+// rebuilding from the corpus and losing all writes.
+//
+// The design follows the classical snapshot + write-ahead-log split. A
+// snapshot is a whole-world dump (relstore's gob encoding) stamped with
+// the data epoch it covers. The WAL appends one record per committed
+// write: the resolved row-level op batch of PR 5's mutation IR, which is
+// already world-independent (row identities fixed, predicates
+// pre-evaluated) and therefore replayable verbatim. Recovery loads the
+// newest valid snapshot and replays only the log tail — records whose
+// epoch exceeds the snapshot's — tolerating a torn final record, which
+// is truncated away so subsequent appends extend a clean log.
+//
+// Only evidence is persisted. The factor graph, trained weights and the
+// sampler's hidden state are deterministic functions of the workload
+// config (or re-equilibrated by post-recovery burn-in), so persisting
+// them would buy nothing and cost snapshot width.
+package store
+
+import (
+	"time"
+
+	"factordb/internal/relstore"
+	"factordb/internal/world"
+)
+
+// FsyncPolicy selects when WAL appends reach stable storage.
+type FsyncPolicy uint8
+
+const (
+	// FsyncInterval (the default) syncs the log on a background ticker:
+	// a crash loses at most one interval of committed writes, and the
+	// append path never waits on the disk.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways syncs after every append: no committed write is ever
+	// lost, at the cost of one fsync per Exec.
+	FsyncAlways
+	// FsyncNever leaves flushing to the OS page cache: fastest, and
+	// still crash-consistent (the CRC framing drops a torn tail), but an
+	// OS crash can lose recent writes.
+	FsyncNever
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncInterval:
+		return "interval"
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	}
+	return "unknown"
+}
+
+// Options parameterizes Open. Zero values take the documented defaults.
+type Options struct {
+	// Dir is the data directory; it is created if missing.
+	Dir string
+	// Fsync is the WAL sync policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// SyncEvery is the FsyncInterval ticker period (default 100ms).
+	SyncEvery time.Duration
+	// CheckpointOps triggers a background checkpoint once this many ops
+	// have been appended since the last one (default 4096; negative
+	// disables op-triggered checkpoints).
+	CheckpointOps int64
+	// CheckpointBytes triggers a background checkpoint once the WAL tail
+	// has grown past this many bytes (default 4 MiB; negative disables).
+	CheckpointBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.CheckpointOps == 0 {
+		o.CheckpointOps = 4096
+	}
+	if o.CheckpointBytes == 0 {
+		o.CheckpointBytes = 4 << 20
+	}
+	return o
+}
+
+// Recovery summarizes what Open found on disk.
+type Recovery struct {
+	// SnapshotEpoch is the data epoch the loaded snapshot covers (0 if
+	// none existed).
+	SnapshotEpoch int64
+	// Epoch is the recovered data epoch: the last replayed record's
+	// epoch, or SnapshotEpoch when the log held nothing newer.
+	Epoch int64
+	// ReplayedRecords / ReplayedOps count the log tail applied on top of
+	// the snapshot.
+	ReplayedRecords int64
+	ReplayedOps     int64
+	// TornTail reports that the log ended in an invalid record —
+	// truncated frame, CRC mismatch or trailing garbage — which was
+	// discarded and truncated away.
+	TornTail bool
+	// Fresh reports an empty store: no snapshot and no log records.
+	Fresh bool
+}
+
+// Stats is the introspection snapshot behind the /statusz and /healthz
+// durability blocks.
+type Stats struct {
+	Dir             string
+	Fsync           string
+	Epoch           int64
+	WALBytes        int64
+	WALRecords      int64
+	SnapshotEpoch   int64
+	Checkpoints     int64
+	LastCheckpointS float64 // seconds since the last checkpoint finished (0 if never)
+	LastError       string  // last background checkpoint/sync failure, if any
+}
+
+// Storage is the pluggable durability contract the engine writes
+// through. The default implementation is the on-disk DiskStore; an
+// embedded LSM backend (the janus-datalog/Badger idiom) or a remote log
+// can slot in behind the same interface.
+type Storage interface {
+	// Recovery reports what Open found on disk.
+	Recovery() Recovery
+	// WorldClone returns an independent copy of the recovered durable
+	// world, or nil when the store has no world yet (fresh store that
+	// was never seeded).
+	WorldClone() *relstore.DB
+	// Seed installs the initial world at the given epoch and writes the
+	// base snapshot. It is an error to seed a store that already holds a
+	// world.
+	Seed(db *relstore.DB, epoch int64) error
+	// Append durably logs one committed op batch stamped with the data
+	// epoch it produces. Append must be called in strictly increasing
+	// epoch order; an error means nothing was committed and the write
+	// must fail.
+	Append(epoch int64, ops []world.Op) error
+	// Checkpoint forces a snapshot of the current durable world and
+	// truncates the replayed log prefix.
+	Checkpoint() error
+	// Stats returns the current durability counters.
+	Stats() Stats
+	// Close flushes and releases the store. Further Appends fail.
+	Close() error
+}

@@ -1,0 +1,307 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"factordb/internal/relstore"
+	"factordb/internal/world"
+)
+
+// WAL framing, version wal1. The file opens with the 5-byte header
+// "wal1:"; every record after it is
+//
+//	uint32 payload length (little endian)
+//	uint32 CRC-32 (IEEE) of the payload
+//	payload
+//
+// and the payload is a versionless binary encoding of one committed op
+// batch: the data epoch the batch produced (uvarint), the op count
+// (uvarint), then each op as kind byte, relation name, row id, column
+// positions and values (strings and byte counts length-prefixed,
+// integers zig-zag uvarints, floats as IEEE 754 bits). The framing is
+// self-validating: a reader stops at the first record whose length runs
+// past EOF, whose CRC mismatches, or whose payload does not decode —
+// which is exactly the torn-tail recovery contract. Incompatible format
+// changes bump the header ("wal2:"), so an old reader refuses a new log
+// instead of misparsing it.
+
+var walHeader = []byte("wal1:")
+
+// maxRecordBytes rejects absurd length prefixes (trailing garbage that
+// happens to parse as a huge length) without attempting the read.
+const maxRecordBytes = 1 << 28
+
+// errTorn marks the first invalid record; scanning stops there.
+var errTorn = errors.New("store: torn or corrupt wal record")
+
+// ---- payload encoding ----
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendValue(dst []byte, v relstore.Value) []byte {
+	dst = append(dst, byte(v.Kind()))
+	switch v.Kind() {
+	case relstore.TInt:
+		dst = appendVarint(dst, v.AsInt())
+	case relstore.TFloat:
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.AsFloat()))
+	case relstore.TString:
+		dst = appendString(dst, v.AsString())
+	case relstore.TBool:
+		b := byte(0)
+		if v.AsBool() {
+			b = 1
+		}
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// encodePayload renders one committed batch as a wal1 record payload.
+func encodePayload(epoch int64, ops []world.Op) []byte {
+	dst := make([]byte, 0, 64+32*len(ops))
+	dst = appendUvarint(dst, uint64(epoch))
+	dst = appendUvarint(dst, uint64(len(ops)))
+	for _, op := range ops {
+		dst = append(dst, byte(op.Kind))
+		dst = appendString(dst, op.Rel)
+		dst = appendVarint(dst, int64(op.Row))
+		dst = appendUvarint(dst, uint64(len(op.Cols)))
+		for _, c := range op.Cols {
+			dst = appendVarint(dst, int64(c))
+		}
+		dst = appendUvarint(dst, uint64(len(op.Vals)))
+		for _, v := range op.Vals {
+			dst = appendValue(dst, v)
+		}
+	}
+	return dst
+}
+
+// payloadReader decodes a record payload; every read error is errTorn
+// because a half-written payload is indistinguishable from garbage.
+type payloadReader struct {
+	p []byte
+	i int
+}
+
+func (r *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.p[r.i:])
+	if n <= 0 {
+		return 0, errTorn
+	}
+	r.i += n
+	return v, nil
+}
+
+func (r *payloadReader) varint() (int64, error) {
+	v, n := binary.Varint(r.p[r.i:])
+	if n <= 0 {
+		return 0, errTorn
+	}
+	r.i += n
+	return v, nil
+}
+
+func (r *payloadReader) byte() (byte, error) {
+	if r.i >= len(r.p) {
+		return 0, errTorn
+	}
+	b := r.p[r.i]
+	r.i++
+	return b, nil
+}
+
+func (r *payloadReader) bytes(n uint64) ([]byte, error) {
+	if n > uint64(len(r.p)-r.i) {
+		return nil, errTorn
+	}
+	b := r.p[r.i : r.i+int(n)]
+	r.i += int(n)
+	return b, nil
+}
+
+func (r *payloadReader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(n)
+	return string(b), err
+}
+
+func (r *payloadReader) value() (relstore.Value, error) {
+	k, err := r.byte()
+	if err != nil {
+		return relstore.Value{}, err
+	}
+	switch relstore.Type(k) {
+	case relstore.TInt:
+		i, err := r.varint()
+		return relstore.Int(i), err
+	case relstore.TFloat:
+		b, err := r.bytes(8)
+		if err != nil {
+			return relstore.Value{}, err
+		}
+		return relstore.Float(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	case relstore.TString:
+		s, err := r.string()
+		return relstore.String(s), err
+	case relstore.TBool:
+		b, err := r.byte()
+		return relstore.Bool(b != 0), err
+	}
+	return relstore.Value{}, errTorn
+}
+
+// decodePayload parses one record payload back into its batch.
+func decodePayload(p []byte) (epoch int64, ops []world.Op, err error) {
+	r := &payloadReader{p: p}
+	e, err := r.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	nops, err := r.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	// Every op costs at least one payload byte, so a count beyond the
+	// payload length is garbage — reject before allocating for it.
+	if nops > uint64(len(p)) {
+		return 0, nil, errTorn
+	}
+	ops = make([]world.Op, 0, nops)
+	for n := uint64(0); n < nops; n++ {
+		var op world.Op
+		k, err := r.byte()
+		if err != nil {
+			return 0, nil, err
+		}
+		op.Kind = world.OpKind(k)
+		if op.Kind != world.OpInsert && op.Kind != world.OpUpdate && op.Kind != world.OpDelete {
+			return 0, nil, errTorn
+		}
+		if op.Rel, err = r.string(); err != nil {
+			return 0, nil, err
+		}
+		row, err := r.varint()
+		if err != nil {
+			return 0, nil, err
+		}
+		op.Row = relstore.RowID(row)
+		ncols, err := r.uvarint()
+		if err != nil {
+			return 0, nil, err
+		}
+		if ncols > uint64(len(p)) {
+			return 0, nil, errTorn
+		}
+		if ncols > 0 {
+			op.Cols = make([]int, ncols)
+			for i := range op.Cols {
+				c, err := r.varint()
+				if err != nil {
+					return 0, nil, err
+				}
+				op.Cols[i] = int(c)
+			}
+		}
+		nvals, err := r.uvarint()
+		if err != nil {
+			return 0, nil, err
+		}
+		if nvals > uint64(len(p)) {
+			return 0, nil, errTorn
+		}
+		if nvals > 0 {
+			op.Vals = make([]relstore.Value, nvals)
+			for i := range op.Vals {
+				if op.Vals[i], err = r.value(); err != nil {
+					return 0, nil, err
+				}
+			}
+		}
+		ops = append(ops, op)
+	}
+	if r.i != len(p) {
+		return 0, nil, errTorn // trailing bytes inside a framed payload
+	}
+	return int64(e), ops, nil
+}
+
+// ---- record framing ----
+
+// appendFrame wraps a payload in the wal1 length+CRC frame.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// walRecord is one scanned record plus its raw frame (reused verbatim
+// when the checkpoint rewrites the log tail).
+type walRecord struct {
+	epoch int64
+	ops   []world.Op
+	frame []byte
+}
+
+// scanWAL parses a whole WAL image. It returns the valid records, the
+// byte offset where the valid prefix ends, and whether anything after
+// that offset had to be discarded (a torn or corrupt tail). A missing
+// or wrong header is an error — that is not a torn tail but a file that
+// was never a wal1 log.
+func scanWAL(data []byte) (recs []walRecord, validEnd int64, torn bool, err error) {
+	if len(data) < len(walHeader) {
+		if len(data) == 0 {
+			return nil, 0, false, io.EOF
+		}
+		return nil, 0, false, fmt.Errorf("store: wal shorter than its header")
+	}
+	if string(data[:len(walHeader)]) != string(walHeader) {
+		return nil, 0, false, fmt.Errorf("store: wal header %q is not %q", data[:len(walHeader)], walHeader)
+	}
+	off := int64(len(walHeader))
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return recs, off, false, nil
+		}
+		if len(rest) < 8 {
+			return recs, off, true, nil // truncated frame header
+		}
+		length := binary.LittleEndian.Uint32(rest[:4])
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if length > maxRecordBytes || uint64(len(rest)-8) < uint64(length) {
+			return recs, off, true, nil // garbage length or truncated payload
+		}
+		payload := rest[8 : 8+length]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return recs, off, true, nil // bit rot or torn write
+		}
+		epoch, ops, derr := decodePayload(payload)
+		if derr != nil {
+			return recs, off, true, nil // framed garbage
+		}
+		frame := rest[:8+length]
+		recs = append(recs, walRecord{epoch: epoch, ops: ops, frame: frame})
+		off += int64(8 + length)
+	}
+}

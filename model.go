@@ -7,6 +7,7 @@ import (
 	"factordb/internal/ie"
 	"factordb/internal/mcmc"
 	"factordb/internal/ra"
+	"factordb/internal/relstore"
 	"factordb/internal/world"
 )
 
@@ -118,8 +119,17 @@ func (t *targetedNER) NewChainWorld(chain int) (*world.ChangeLog, mcmc.Proposer,
 }
 
 // Exec forwards local-mode writes to the underlying prototype world;
-// proposal targeting only shapes the walk, not the write path.
+// proposal targeting only shapes the walk, not the write path. The
+// resolve/apply split and the world accessors forward likewise, so a
+// targeted NER database is just as durable as a plain one.
 func (t *targetedNER) Exec(mut ra.Mutation) (int64, error) { return t.sys.Exec(mut) }
+
+func (t *targetedNER) ResolveExec(mut ra.Mutation) ([]world.Op, error) {
+	return t.sys.ResolveExec(mut)
+}
+func (t *targetedNER) ApplyExecOps(ops []world.Op) (int64, error) { return t.sys.ApplyExecOps(ops) }
+func (t *targetedNER) WorldDB() *relstore.DB                      { return t.sys.WorldDB() }
+func (t *targetedNER) RestoreWorld(db *relstore.DB)               { t.sys.RestoreWorld(db) }
 
 // CorefConfig parameterizes the entity-resolution workload: generated
 // mention strings clustered by MCMC over a pairwise-cohesion model, with

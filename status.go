@@ -22,6 +22,10 @@ type Status struct {
 	Cache CacheStatus   `json:"cache"`
 	Pool  []ChainStatus `json:"pool,omitempty"`
 	Views []ViewHealth  `json:"views,omitempty"`
+
+	// Durability is the snapshot+WAL store's state; null without
+	// WithDataDir.
+	Durability *DurabilityStatus `json:"durability,omitempty"`
 }
 
 // CacheStatus reports served-mode result-cache occupancy.
@@ -75,6 +79,7 @@ func (db *DB) Status() Status {
 		Chains:     db.Chains(),
 		WriteEpoch: db.WriteEpoch(),
 		UptimeS:    time.Since(db.start).Seconds(),
+		Durability: db.Durability(),
 	}
 	if db.eng == nil {
 		return st
