@@ -266,12 +266,14 @@ func BenchmarkGibbsVsMH(b *testing.B) {
 	}
 	b.Run("mh", func(b *testing.B) {
 		s := ch.Evaluator.Sampler()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			s.Step()
 		}
 	})
 	b.Run("gibbs", func(b *testing.B) {
 		rng := rand.New(rand.NewSource(5))
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			ch.Tagger.GibbsStep(rng)
 		}

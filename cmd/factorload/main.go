@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -127,9 +128,9 @@ func main() {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "factorload: %d requests (%d errors) in %.1fs → %.1f q/s, p50 %.1fms p99 %.1fms → %s\n",
+	fmt.Fprintf(os.Stderr, "factorload: %d requests (%d errors) in %.1fs → %.1f q/s, p50 %.1fms p99 %.1fms, %.0f KB/query → %s\n",
 		rep.Requests, rep.Errors, rep.DurationS, rep.ThroughputQPS,
-		rep.Latency.P50*1000, rep.Latency.P99*1000, path)
+		rep.Latency.P50*1000, rep.Latency.P99*1000, rep.Memory.AllocBytesPerQuery/1024, path)
 }
 
 // The workload statements: the paper's evaluation queries plus an
@@ -185,7 +186,24 @@ type report struct {
 	EarlyStopRate float64      `json:"early_stop_rate"`
 	CacheHitRate  float64      `json:"cache_hit_rate"`
 	PartialRate   float64      `json:"partial_rate"`
+	Memory        memJSON      `json:"memory"`
 	Views         []viewReport `json:"views"`
+}
+
+// memJSON is the run's heap profile, from runtime.MemStats deltas taken
+// around the load (after a settling GC). For an in-process target this is
+// the engine plus the harness; with -url it measures only the HTTP client
+// side, so cross-target comparisons are only valid within one mode. The
+// per-query figures are the allocation-regression signal: a streaming
+// executor that silently starts materializing shows up here first.
+type memJSON struct {
+	AllocBytesPerQuery float64 `json:"alloc_bytes_per_query"`
+	AllocsPerQuery     float64 `json:"allocs_per_query"`
+	TotalAllocBytes    uint64  `json:"total_alloc_bytes"`
+	Mallocs            uint64  `json:"mallocs"`
+	HeapAllocBytes     uint64  `json:"heap_alloc_bytes"` // live heap at end of run
+	HeapSysBytes       uint64  `json:"heap_sys_bytes"`   // heap reserved from the OS
+	NumGC              uint32  `json:"num_gc"`           // collections during the run
 }
 
 type configJSON struct {
@@ -283,6 +301,12 @@ func run(tgt target, cfg runConfig) (*report, error) {
 		}()
 	}
 
+	// Settle the heap before measuring so build-time garbage (corpus
+	// construction, training) does not pollute the per-query figures.
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.workers; w++ {
@@ -331,6 +355,9 @@ func run(tgt target, cfg runConfig) (*report, error) {
 	cancel()
 	<-scrapeDone
 
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+
 	n := requests.Load()
 	if n == 0 {
 		return nil, fmt.Errorf("factorload: no requests issued (duration too short?)")
@@ -365,7 +392,16 @@ func run(tgt target, cfg runConfig) (*report, error) {
 		EarlyStopRate: rate(earlyStops.Load()),
 		CacheHitRate:  rate(cacheHits.Load()),
 		PartialRate:   rate(partials.Load()),
-		Views:         make([]viewReport, 0, len(views)),
+		Memory: memJSON{
+			AllocBytesPerQuery: float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+			AllocsPerQuery:     float64(m1.Mallocs-m0.Mallocs) / float64(n),
+			TotalAllocBytes:    m1.TotalAlloc - m0.TotalAlloc,
+			Mallocs:            m1.Mallocs - m0.Mallocs,
+			HeapAllocBytes:     m1.HeapAlloc,
+			HeapSysBytes:       m1.HeapSys,
+			NumGC:              m1.NumGC - m0.NumGC,
+		},
+		Views: make([]viewReport, 0, len(views)),
 	}
 	viewMu.Lock()
 	for _, v := range views {
@@ -407,6 +443,11 @@ func checkReport(path string) error {
 	case rep.Errors > rep.Requests/2:
 		return fmt.Errorf("%s: more than half the requests failed (%d/%d)",
 			path, rep.Errors, rep.Requests)
+	case rep.Memory.HeapSysBytes == 0:
+		return fmt.Errorf("%s: missing memory section (report from an old factorload?)", path)
+	case rep.Memory.AllocBytesPerQuery < 0 || rep.Memory.TotalAllocBytes < rep.Memory.Mallocs:
+		return fmt.Errorf("%s: implausible memory stats: %.0f B/query, %d bytes over %d mallocs",
+			path, rep.Memory.AllocBytesPerQuery, rep.Memory.TotalAllocBytes, rep.Memory.Mallocs)
 	}
 	return nil
 }

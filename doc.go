@@ -201,6 +201,31 @@
 // internal/sqlparse/testdata/fingerprints.golden pins the fingerprints
 // of the paper's queries to enforce this.
 //
+// # Execution: the streaming iterator contract
+//
+// Bound plans execute through ra.Stream, which compiles the tree (after
+// non-mutating predicate pushdown) into a single re-runnable iterator:
+// a closure that pushes (tuple, count) pairs to a yield callback. The
+// contract every operator and consumer observes:
+//
+//   - Compile once, run many: invoking the iterator re-evaluates the
+//     plan against the current world. All per-run state lives inside
+//     the invocation, so one compiled pipeline serves every MCMC
+//     sample.
+//   - Ownership: Stream reports whether yielded tuples are owned
+//     (stable — safe to retain) or scratch buffers invalid after the
+//     yield returns. Retaining consumers must clone unowned tuples;
+//     they need to do so only on first insertion.
+//   - A yield may be called several times for one logical tuple
+//     (streams are bags, split emissions are legal); consumers fold
+//     counts. Returning false from yield stops the run early, and the
+//     iterator remains reusable afterwards.
+//
+// The incremental-maintenance layer (internal/ivm) uses the same shape
+// in push form — delta operators emit signed (tuple, count) pairs
+// downstream — and the same ownership rule, so eval and maintenance
+// share key encodings and allocation discipline.
+//
 // # Internals
 //
 // The internal packages layer from model to server:

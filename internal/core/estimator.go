@@ -27,35 +27,85 @@ type TupleProb struct {
 	P     float64
 }
 
+// tupleStat is the accumulated evidence for one distinct answer tuple: how
+// many samples contained it, and the index of the last sample that counted
+// it (the dedup stamp that lets a streamed answer mention the same tuple
+// several times without inflating its count).
+type tupleStat struct {
+	tuple relstore.Tuple
+	c     int64
+	seen  int64
+}
+
 // Estimator accumulates tuple presence counts across sampled worlds,
 // implementing the finite-sample estimate of Equation 5: a tuple's
 // marginal is the fraction of samples whose (multiset) answer contained
 // it with positive count.
 type Estimator struct {
-	counts map[string]int64
-	tuples map[string]relstore.Tuple
-	z      int64
+	stats map[string]*tupleStat
+	z     int64
+	kbuf  []byte
 }
 
 // NewEstimator returns an empty estimator.
 func NewEstimator() *Estimator {
-	return &Estimator{counts: make(map[string]int64), tuples: make(map[string]relstore.Tuple)}
+	return &Estimator{stats: make(map[string]*tupleStat)}
 }
 
-// AddSample counts every tuple present (count > 0) in the sampled answer.
-// The paper's multiset bookkeeping — "the condition is changed to
+// AddSample counts every tuple present (count > 0) in the sampled answer
+// and returns the answer's cardinality (its number of present distinct
+// tuples), saving callers that track answer sizes a second pass. The
+// paper's multiset bookkeeping — "the condition is changed to
 // count(mi) > 0" — is exactly the positive-count test here.
-func (e *Estimator) AddSample(answer *ra.Bag) {
+func (e *Estimator) AddSample(answer *ra.Bag) int64 {
 	e.z++
+	var card int64
 	answer.Each(func(k string, r *ra.BagRow) bool {
 		if r.N > 0 {
-			e.counts[k]++
-			if _, ok := e.tuples[k]; !ok {
-				e.tuples[k] = r.Tuple
+			st, ok := e.stats[k]
+			if !ok {
+				st = &tupleStat{tuple: r.Tuple}
+				e.stats[k] = st
 			}
+			st.seen = e.z
+			st.c++
+			card++
 		}
 		return true
 	})
+	return card
+}
+
+// AddSampleStream counts one sampled answer directly from a streaming
+// iterator (package ra), with no materialized bag in between: the naive
+// evaluator's per-sample path. A tuple emitted split across several yields
+// is counted once, via the per-sample seen stamp. When the stream is
+// unowned (tuples reused as scratch), the tuple is cloned the first time
+// it enters the estimator. Returns the answer's cardinality.
+func (e *Estimator) AddSampleStream(it ra.Iterator, owned bool) int64 {
+	e.z++
+	var card int64
+	it(func(t relstore.Tuple, n int64) bool {
+		if n <= 0 {
+			return true
+		}
+		e.kbuf = t.AppendKey(e.kbuf[:0])
+		st, ok := e.stats[string(e.kbuf)]
+		if !ok {
+			if !owned {
+				t = t.Clone()
+			}
+			st = &tupleStat{tuple: t}
+			e.stats[string(e.kbuf)] = st
+		}
+		if st.seen != e.z {
+			st.seen = e.z
+			st.c++
+			card++
+		}
+		return true
+	})
+	return card
 }
 
 // Samples returns the number of samples accumulated (the normalizer z).
@@ -64,12 +114,12 @@ func (e *Estimator) Samples() int64 { return e.z }
 // Marginals returns the estimated probability for every tuple ever seen,
 // keyed by tuple key.
 func (e *Estimator) Marginals() map[string]float64 {
-	out := make(map[string]float64, len(e.counts))
+	out := make(map[string]float64, len(e.stats))
 	if e.z == 0 {
 		return out
 	}
-	for k, c := range e.counts {
-		out[k] = float64(c) / float64(e.z)
+	for k, st := range e.stats {
+		out[k] = float64(st.c) / float64(e.z)
 	}
 	return out
 }
@@ -78,16 +128,16 @@ func (e *Estimator) Marginals() map[string]float64 {
 // descending probability then tuple key for determinism.
 func (e *Estimator) Results() []TupleProb {
 	type kv struct {
-		k string
-		c int64
+		k  string
+		st *tupleStat
 	}
-	items := make([]kv, 0, len(e.counts))
-	for k, c := range e.counts {
-		items = append(items, kv{k, c})
+	items := make([]kv, 0, len(e.stats))
+	for k, st := range e.stats {
+		items = append(items, kv{k, st})
 	}
 	sort.Slice(items, func(i, j int) bool {
-		if items[i].c != items[j].c {
-			return items[i].c > items[j].c
+		if items[i].st.c != items[j].st.c {
+			return items[i].st.c > items[j].st.c
 		}
 		return items[i].k < items[j].k
 	})
@@ -95,21 +145,24 @@ func (e *Estimator) Results() []TupleProb {
 	for i, it := range items {
 		p := 0.0
 		if e.z > 0 {
-			p = float64(it.c) / float64(e.z)
+			p = float64(it.st.c) / float64(e.z)
 		}
-		out[i] = TupleProb{Tuple: e.tuples[it.k], P: p}
+		out[i] = TupleProb{Tuple: it.st.tuple, P: p}
 	}
 	return out
 }
 
 // Merge adds the counts of another estimator (used to average parallel
 // chains, Section 5.4). Both estimators must target the same query.
+// Merging never resets dedup stamps: the normalizer only grows, so the
+// next sample index exceeds every stale stamp.
 func (e *Estimator) Merge(o *Estimator) {
 	e.z += o.z
-	for k, c := range o.counts {
-		e.counts[k] += c
-		if _, ok := e.tuples[k]; !ok {
-			e.tuples[k] = o.tuples[k]
+	for k, ost := range o.stats {
+		if st, ok := e.stats[k]; ok {
+			st.c += ost.c
+		} else {
+			e.stats[k] = &tupleStat{tuple: ost.tuple, c: ost.c}
 		}
 	}
 }

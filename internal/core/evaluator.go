@@ -39,6 +39,12 @@ type Evaluator struct {
 	view    *ivm.View // Materialized only
 	est     *Estimator
 
+	// Naive only: the streaming pipeline compiled once at construction and
+	// re-run over the current world for every sample, feeding the estimator
+	// without materializing an answer bag.
+	stream      ra.Iterator
+	streamOwned bool
+
 	// StepsPerSample is k of Algorithms 1 and 3: the thinning interval in
 	// MH walk-steps between consecutive query samples.
 	StepsPerSample int
@@ -72,6 +78,12 @@ func NewEvaluator(mode Mode, log *world.ChangeLog, proposer mcmc.Proposer, plan 
 			return nil, err
 		}
 		ev.view = view
+	} else {
+		it, owned, err := ra.Stream(bound)
+		if err != nil {
+			return nil, err
+		}
+		ev.stream, ev.streamOwned = it, owned
 	}
 	return ev, nil
 }
@@ -102,28 +114,20 @@ func (ev *Evaluator) Burn(n int) {
 // mode), and folds the answer into the marginal estimate.
 func (ev *Evaluator) CollectSample() error {
 	ev.sampler.Run(ev.StepsPerSample)
-	answer, err := ev.currentAnswer()
-	if err != nil {
-		return err
-	}
-	ev.est.AddSample(answer)
-	return nil
-}
-
-func (ev *Evaluator) currentAnswer() (*ra.Bag, error) {
-	switch ev.mode {
-	case Materialized:
+	if ev.mode == Materialized {
 		// Algorithm 1 line 5: apply Q'(w,Δ⁻) and Q'(w,Δ⁺) to the
 		// materialized answer; the auxiliary delta tables are then
 		// cleared for the next batch.
 		ev.view.Apply(ev.log.Drain())
-		return ev.view.Result(), nil
-	default:
-		// Algorithm 3 line 5: run the full query over the world. The
-		// delta log is discarded — the naive evaluator does not use it.
-		ev.log.Drain()
-		return ra.Eval(ev.bound)
+		ev.est.AddSample(ev.view.Result())
+		return nil
 	}
+	// Algorithm 3 line 5: run the full query over the world, streaming
+	// answer tuples straight into the estimator. The delta log is
+	// discarded — the naive evaluator does not use it.
+	ev.log.Drain()
+	ev.est.AddSampleStream(ev.stream, ev.streamOwned)
+	return nil
 }
 
 // Run collects n samples. If onSample is non-nil it is invoked after each

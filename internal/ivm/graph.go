@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"factordb/internal/ra"
+	"factordb/internal/relstore"
 )
 
 // Graph owns a set of shared delta operators keyed by bound-subtree
@@ -33,7 +34,11 @@ func NewGraph() *Graph {
 }
 
 // graphNode wraps one shared operator with per-round output memoization
-// and a reference count (direct parents plus views rooted here).
+// and a reference count (direct parents plus views rooted here). The memo
+// is a reusable row slice: the first consumer of a round records the
+// inner operator's emissions (cloning unowned tuples once) while
+// forwarding them; later consumers replay the recording. Recorded tuples
+// are therefore always stable and the node reports its emissions owned.
 type graphNode struct {
 	g     *Graph
 	fp    string
@@ -41,22 +46,41 @@ type graphNode struct {
 	kids  []*graphNode
 	refs  int
 	round uint64
-	memo  *ra.Bag
+	memo  []ra.BagRow
 }
 
-func (n *graphNode) init() (*ra.Bag, error) { return n.inner.init() }
+func (n *graphNode) owned() bool { return true }
 
-// apply computes the node's output delta once per round and serves the
-// memoized bag to every further consumer. Consumers treat operator
-// outputs as read-only throughout this package, so sharing the bag is
-// safe.
-func (n *graphNode) apply(d BaseDelta) *ra.Bag {
-	if n.round == n.g.round {
-		return n.memo
+func (n *graphNode) init(emit emitFn) error {
+	if n.inner.owned() {
+		return n.inner.init(emit)
 	}
-	n.memo = n.inner.apply(d)
+	return n.inner.init(func(t relstore.Tuple, c int64) {
+		emit(t.Clone(), c)
+	})
+}
+
+// apply computes the node's output delta once per round, recording it,
+// and replays the recording to every further consumer. Consumers treat
+// streamed tuples as read-only throughout this package, so sharing them
+// is safe.
+func (n *graphNode) apply(d BaseDelta, emit emitFn) {
+	if n.round == n.g.round {
+		for i := range n.memo {
+			emit(n.memo[i].Tuple, n.memo[i].N)
+		}
+		return
+	}
+	n.memo = n.memo[:0]
+	clone := !n.inner.owned()
+	n.inner.apply(d, func(t relstore.Tuple, c int64) {
+		if clone {
+			t = t.Clone()
+		}
+		n.memo = append(n.memo, ra.BagRow{Tuple: t, N: c})
+		emit(t, c)
+	})
 	n.round = n.g.round
-	return n.memo
 }
 
 // NextRound starts a new delta round. Every mounted view must see the
@@ -82,12 +106,12 @@ func (g *Graph) Mount(b *ra.Bound) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := root.init()
+	v, err := newViewFrom(root, b.Schema)
 	if err != nil {
 		g.release(root)
 		return nil, err
 	}
-	return &View{root: root, result: out}, nil
+	return v, nil
 }
 
 // Unmount releases a mounted view's hold on its operators; operators no

@@ -30,85 +30,85 @@ type groupState struct {
 }
 
 // groupAggOp maintains per-group aggregate state and emits −old/+new
-// output rows for groups touched by a delta.
+// output rows for groups touched by a delta. Emitted rows are freshly
+// built (or previously emitted) tuples, never scratch, so the operator
+// owns its output.
 type groupAggOp struct {
-	b      *ra.Bound
-	child  op
-	groups map[string]*groupState
-	global bool
+	b       *ra.Bound
+	child   op
+	groups  map[string]*groupState
+	global  bool
+	touched map[string]*groupState // reused across apply calls
+	kbuf    []byte
 }
 
 func newGroupAggOp(b *ra.Bound, child op) *groupAggOp {
 	return &groupAggOp{b: b, child: child, global: len(b.GroupIdx) == 0}
 }
 
-func (o *groupAggOp) init() (*ra.Bag, error) {
-	in, err := o.child.init()
-	if err != nil {
-		return nil, err
-	}
+func (o *groupAggOp) owned() bool { return true }
+
+func (o *groupAggOp) init(emit emitFn) error {
 	o.groups = make(map[string]*groupState)
-	in.Each(func(_ string, r *ra.BagRow) bool {
-		o.group(r.Tuple).fold(o.b, r.Tuple, r.N)
-		return true
+	o.touched = make(map[string]*groupState)
+	err := o.child.init(func(t relstore.Tuple, n int64) {
+		o.fold(o.group(t), t, n)
 	})
+	if err != nil {
+		return err
+	}
 	if o.global {
 		o.group(nil) // ensure the global group exists even over empty input
 	}
-	out := ra.NewBag(o.b.Schema)
 	for _, g := range o.groups {
 		if row := o.computeRow(g); row != nil {
 			g.lastRow = row
-			out.Add(row, 1)
+			emit(row, 1)
 		}
 	}
-	return out, nil
+	return nil
 }
 
-func (o *groupAggOp) apply(d BaseDelta) *ra.Bag {
-	din := o.child.apply(d)
-	touched := make(map[string]*groupState)
-	din.Each(func(_ string, r *ra.BagRow) bool {
-		gk := ra.KeyOf(r.Tuple, o.b.GroupIdx)
-		g, ok := o.groups[gk]
+func (o *groupAggOp) apply(d BaseDelta, emit emitFn) {
+	o.child.apply(d, func(t relstore.Tuple, n int64) {
+		o.kbuf = ra.AppendKeyOf(o.kbuf[:0], t, o.b.GroupIdx)
+		g, ok := o.groups[string(o.kbuf)]
 		if !ok {
-			g = o.newGroup(r.Tuple)
-			o.groups[gk] = g
+			g = o.newGroup(t)
+			o.groups[string(o.kbuf)] = g
 		}
-		touched[gk] = g
-		g.fold(o.b, r.Tuple, r.N)
-		return true
+		o.touched[string(o.kbuf)] = g
+		o.fold(g, t, n)
 	})
-	out := ra.NewBag(o.b.Schema)
-	for gk, g := range touched {
+	for gk, g := range o.touched {
+		delete(o.touched, gk) // drain the reused set as it is processed
 		oldRow := g.lastRow
 		var newRow relstore.Tuple
 		if g.total > 0 || o.global {
 			newRow = o.computeRow(g)
 		}
 		if oldRow != nil {
-			out.Add(oldRow, -1)
+			emit(oldRow, -1)
 		}
 		if newRow != nil {
-			out.Add(newRow, 1)
+			emit(newRow, 1)
 		}
 		g.lastRow = newRow
 		if g.total == 0 && !o.global {
 			delete(o.groups, gk)
 		}
 	}
-	return out
 }
 
 func (o *groupAggOp) group(input relstore.Tuple) *groupState {
-	gk := ""
+	o.kbuf = o.kbuf[:0]
 	if input != nil {
-		gk = ra.KeyOf(input, o.b.GroupIdx)
+		o.kbuf = ra.AppendKeyOf(o.kbuf, input, o.b.GroupIdx)
 	}
-	g, ok := o.groups[gk]
+	g, ok := o.groups[string(o.kbuf)]
 	if !ok {
 		g = o.newGroup(input)
-		o.groups[gk] = g
+		o.groups[string(o.kbuf)] = g
 	}
 	return g
 }
@@ -124,10 +124,12 @@ func (o *groupAggOp) newGroup(input relstore.Tuple) *groupState {
 }
 
 // fold merges n copies of input row t into the group's aggregate states.
-func (g *groupState) fold(b *ra.Bound, t relstore.Tuple, n int64) {
+// Values are copied into the state (relstore.Value is a value type), so
+// folding from an unowned stream is safe without cloning t.
+func (o *groupAggOp) fold(g *groupState, t relstore.Tuple, n int64) {
 	g.total += n
-	for i := range b.Aggs {
-		a := &b.Aggs[i]
+	for i := range o.b.Aggs {
+		a := &o.b.Aggs[i]
 		s := &g.aggs[i]
 		switch a.Fn {
 		case ra.FnCount:
@@ -151,14 +153,14 @@ func (g *groupState) fold(b *ra.Bound, t relstore.Tuple, n int64) {
 			if s.vals == nil {
 				s.vals = make(map[string]*valCount)
 			}
-			k := v.Key()
-			if vc, ok := s.vals[k]; ok {
+			o.kbuf = v.AppendKey(o.kbuf[:0])
+			if vc, ok := s.vals[string(o.kbuf)]; ok {
 				vc.n += n
 				if vc.n == 0 {
-					delete(s.vals, k)
+					delete(s.vals, string(o.kbuf))
 				}
 			} else {
-				s.vals[k] = &valCount{v: v, n: n}
+				s.vals[string(o.kbuf)] = &valCount{v: v, n: n}
 			}
 		}
 	}

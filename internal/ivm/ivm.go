@@ -16,6 +16,15 @@
 //
 // All operators run in time proportional to the delta (plus index probes),
 // never to the base relations.
+//
+// Deltas flow between operators as push streams: an operator hands each
+// changed (tuple, signed count) pair to its parent's emit callback the
+// moment it is produced, so a maintenance round allocates no intermediate
+// bags between operators — the same item may even arrive split across
+// several emissions and consumers fold signed counts. Mirroring the
+// streaming evaluator (package ra), each operator declares via owned
+// whether its emissions are stable or scratch; retaining consumers clone
+// only unowned tuples, and only when first storing them.
 package ivm
 
 import (
@@ -53,22 +62,33 @@ func (d BaseDelta) Empty() bool {
 	return true
 }
 
-// View is a materialized query answer kept consistent with the base
-// relations under a stream of deltas.
-type View struct {
-	root   op
-	result *ra.Bag
-}
+// emitFn receives one streamed (tuple, signed count) pair. The same
+// logical tuple may arrive split across several calls; receivers fold.
+// Unless the producing operator reports owned()==true the tuple is only
+// valid for the duration of the call.
+type emitFn func(t relstore.Tuple, n int64)
 
 // op is one stateful delta operator.
 type op interface {
 	// init fully evaluates the subtree, setting up internal state, and
-	// returns the current output bag. The returned bag is owned by the
-	// caller.
-	init() (*ra.Bag, error)
-	// apply pushes a base delta through the subtree and returns the
-	// signed output delta. The returned bag is owned by the caller.
-	apply(d BaseDelta) *ra.Bag
+	// streams the current output through emit.
+	init(emit emitFn) error
+	// apply pushes a base delta through the subtree, streaming the signed
+	// output delta through emit.
+	apply(d BaseDelta, emit emitFn)
+	// owned reports whether emitted tuples are stable beyond the emit
+	// call; operators that reuse an output buffer report false and
+	// retaining consumers clone.
+	owned() bool
+}
+
+// View is a materialized query answer kept consistent with the base
+// relations under a stream of deltas.
+type View struct {
+	root   op
+	schema *ra.RowSchema
+	result *ra.Bag
+	kbuf   []byte
 }
 
 // NewView compiles a bound plan into a delta-operator tree and initializes
@@ -79,11 +99,22 @@ func NewView(b *ra.Bound) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := root.init()
+	return newViewFrom(root, b.Schema)
+}
+
+// newViewFrom materializes the initial answer from the operator tree's
+// init stream.
+func newViewFrom(root op, schema *ra.RowSchema) (*View, error) {
+	v := &View{root: root, schema: schema, result: ra.NewBag(schema)}
+	clone := !root.owned()
+	err := root.init(func(t relstore.Tuple, n int64) {
+		v.kbuf = t.AppendKey(v.kbuf[:0])
+		v.result.AddKeyedBytes(v.kbuf, t, n, clone)
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &View{root: root, result: out}, nil
+	return v, nil
 }
 
 // Result returns the current materialized answer. The caller must treat it
@@ -91,10 +122,17 @@ func NewView(b *ra.Bound) (*View, error) {
 func (v *View) Result() *ra.Bag { return v.result }
 
 // Apply folds a base delta into the view and returns the signed change to
-// the query answer.
+// the query answer. The root's emissions stream directly into both the
+// maintained result and the returned delta; no intermediate bag exists
+// per operator.
 func (v *View) Apply(d BaseDelta) *ra.Bag {
-	out := v.root.apply(d)
-	v.result.AddBag(out, 1)
+	out := ra.NewBag(v.schema)
+	clone := !v.root.owned()
+	v.root.apply(d, func(t relstore.Tuple, n int64) {
+		v.kbuf = t.AppendKey(v.kbuf[:0])
+		out.AddKeyedBytes(v.kbuf, t, n, clone)
+		v.result.AddKeyedBytes(v.kbuf, t, n, clone)
+	})
 	return out
 }
 
@@ -172,26 +210,29 @@ func compileNode(b *ra.Bound, cc childCompiler) (op, error) {
 // ---- scan ----
 
 // scanOp forwards base deltas for its table. It keeps no state: consumers
-// that need current contents (joins) maintain their own.
+// that need current contents (joins) maintain their own. Relation rows and
+// delta-bag rows are both stable, so scans own their emissions.
 type scanOp struct {
 	b *ra.Bound
 }
 
-func (o *scanOp) init() (*ra.Bag, error) {
-	out := ra.NewBag(o.b.Schema)
+func (o *scanOp) owned() bool { return true }
+
+func (o *scanOp) init(emit emitFn) error {
 	o.b.Rel.Scan(func(_ relstore.RowID, t relstore.Tuple) bool {
-		out.Add(t, 1)
+		emit(t, 1)
 		return true
 	})
-	return out, nil
+	return nil
 }
 
-func (o *scanOp) apply(d BaseDelta) *ra.Bag {
-	out := ra.NewBag(o.b.Schema)
+func (o *scanOp) apply(d BaseDelta, emit emitFn) {
 	if base, ok := d[o.b.Table]; ok {
-		out.AddBag(base, 1)
+		base.Each(func(_ string, r *ra.BagRow) bool {
+			emit(r.Tuple, r.N)
+			return true
+		})
 	}
-	return out
 }
 
 // ---- select ----
@@ -201,53 +242,52 @@ type selectOp struct {
 	child op
 }
 
-func (o *selectOp) init() (*ra.Bag, error) {
-	in, err := o.child.init()
-	if err != nil {
-		return nil, err
-	}
-	return o.filter(in), nil
+func (o *selectOp) owned() bool { return o.child.owned() }
+
+func (o *selectOp) init(emit emitFn) error {
+	return o.child.init(o.filter(emit))
 }
 
-func (o *selectOp) apply(d BaseDelta) *ra.Bag {
-	return o.filter(o.child.apply(d))
+func (o *selectOp) apply(d BaseDelta, emit emitFn) {
+	o.child.apply(d, o.filter(emit))
 }
 
-func (o *selectOp) filter(in *ra.Bag) *ra.Bag {
-	out := ra.NewBag(o.b.Schema)
-	in.Each(func(k string, r *ra.BagRow) bool {
-		if o.b.Pred.Eval(r.Tuple).AsBool() {
-			out.AddKeyed(k, r.Tuple, r.N)
+func (o *selectOp) filter(emit emitFn) emitFn {
+	return func(t relstore.Tuple, n int64) {
+		if o.b.Pred.Eval(t).AsBool() {
+			emit(t, n)
 		}
-		return true
-	})
-	return out
+	}
 }
 
 // ---- project ----
 
+// projectOp rewrites rows through one reused scratch buffer, so its
+// emissions are never owned.
 type projectOp struct {
 	b     *ra.Bound
 	child op
+	buf   relstore.Tuple
 }
 
-func (o *projectOp) init() (*ra.Bag, error) {
-	in, err := o.child.init()
-	if err != nil {
-		return nil, err
+func (o *projectOp) owned() bool { return false }
+
+func (o *projectOp) init(emit emitFn) error {
+	return o.child.init(o.project(emit))
+}
+
+func (o *projectOp) apply(d BaseDelta, emit emitFn) {
+	o.child.apply(d, o.project(emit))
+}
+
+func (o *projectOp) project(emit emitFn) emitFn {
+	if o.buf == nil {
+		o.buf = make(relstore.Tuple, len(o.b.ProjIdx))
 	}
-	return o.project(in), nil
-}
-
-func (o *projectOp) apply(d BaseDelta) *ra.Bag {
-	return o.project(o.child.apply(d))
-}
-
-func (o *projectOp) project(in *ra.Bag) *ra.Bag {
-	out := ra.NewBag(o.b.Schema)
-	in.Each(func(_ string, r *ra.BagRow) bool {
-		out.Add(ra.ProjectTuple(r.Tuple, o.b.ProjIdx), r.N)
-		return true
-	})
-	return out
+	return func(t relstore.Tuple, n int64) {
+		for i, j := range o.b.ProjIdx {
+			o.buf[i] = t[j]
+		}
+		emit(o.buf, n)
+	}
 }

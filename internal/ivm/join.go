@@ -2,129 +2,115 @@ package ivm
 
 import (
 	"factordb/internal/ra"
+	"factordb/internal/relstore"
 )
 
 // sideState is the maintained contents of one join input, hashed on the
-// join-key columns so delta probes run in O(|matching rows|).
+// join-key columns so delta probes run in O(|matching rows|). Keys are
+// built in reused scratch buffers and converted to strings only when a
+// bucket or row is first created.
 type sideState struct {
-	keyIdx  []int
-	buckets map[string]map[string]*ra.BagRow // join key -> tuple key -> row
+	keyIdx     []int
+	buckets    map[string]map[string]*ra.BagRow // join key -> tuple key -> row
+	jbuf, tbuf []byte
 }
 
 func newSideState(keyIdx []int) *sideState {
 	return &sideState{keyIdx: keyIdx, buckets: make(map[string]map[string]*ra.BagRow)}
 }
 
-func (s *sideState) add(tupleKey string, r *ra.BagRow, n int64) {
-	jk := ra.KeyOf(r.Tuple, s.keyIdx)
-	bucket := s.buckets[jk]
+// add folds a signed multiplicity change of t into the side. The tuple is
+// cloned on first insert when clone is set (producer reuses its buffer).
+func (s *sideState) add(t relstore.Tuple, n int64, clone bool) {
+	s.jbuf = ra.AppendKeyOf(s.jbuf[:0], t, s.keyIdx)
+	s.tbuf = t.AppendKey(s.tbuf[:0])
+	bucket := s.buckets[string(s.jbuf)]
 	if bucket == nil {
 		bucket = make(map[string]*ra.BagRow)
-		s.buckets[jk] = bucket
+		s.buckets[string(s.jbuf)] = bucket
 	}
-	if cur, ok := bucket[tupleKey]; ok {
+	if cur, ok := bucket[string(s.tbuf)]; ok {
 		cur.N += n
 		if cur.N == 0 {
-			delete(bucket, tupleKey)
+			delete(bucket, string(s.tbuf))
 			if len(bucket) == 0 {
-				delete(s.buckets, jk)
+				delete(s.buckets, string(s.jbuf))
 			}
 		}
 		return
 	}
-	bucket[tupleKey] = &ra.BagRow{Tuple: r.Tuple, N: n}
-}
-
-func (s *sideState) loadFrom(bag *ra.Bag) {
-	bag.Each(func(k string, r *ra.BagRow) bool {
-		s.add(k, r, r.N)
-		return true
-	})
+	if clone {
+		t = t.Clone()
+	}
+	bucket[string(s.tbuf)] = &ra.BagRow{Tuple: t, N: n}
 }
 
 // joinOp maintains hash tables for both inputs and computes
 // δ(L⋈R) = δL⋈R_old + L_old⋈δR + δL⋈δR, applying the residual filter and
-// multiplying multiplicities.
+// multiplying multiplicities. The delta identity is realized without
+// buffering either input delta: the left phase probes the right state
+// before folding each item into the left state (δL⋈R_old), then the right
+// phase probes the already-updated left state (δR⋈L_new = L_old⋈δR +
+// δL⋈δR).
 type joinOp struct {
 	b           *ra.Bound
 	left, right op
 	ls, rs      *sideState
+	probeBuf    []byte
+	scratch     relstore.Tuple
 }
 
-func (o *joinOp) init() (*ra.Bag, error) {
-	lbag, err := o.left.init()
-	if err != nil {
-		return nil, err
-	}
-	rbag, err := o.right.init()
-	if err != nil {
-		return nil, err
-	}
-	o.ls = newSideState(o.b.LeftKey)
-	o.rs = newSideState(o.b.RightKey)
-	o.ls.loadFrom(lbag)
-	o.rs.loadFrom(rbag)
+func (o *joinOp) owned() bool { return false }
 
-	out := ra.NewBag(o.b.Schema)
-	lbag.Each(func(_ string, l *ra.BagRow) bool {
-		jk := ra.KeyOf(l.Tuple, o.b.LeftKey)
-		for _, r := range o.rs.buckets[jk] {
-			o.emit(out, l, r)
-		}
-		return true
-	})
-	return out, nil
-}
-
-func (o *joinOp) emit(out *ra.Bag, l, r *ra.BagRow) {
-	row := ra.ConcatTuples(l.Tuple, r.Tuple)
-	if o.b.Filter != nil && !o.b.Filter.Eval(row).AsBool() {
+// emitJoined streams the concatenation of l and every matching row of
+// side through the residual filter into emit, using one reused output row.
+func (o *joinOp) emitJoined(side *sideState, probeIdx []int, t relstore.Tuple, n int64, leftSide bool, emit emitFn) {
+	o.probeBuf = ra.AppendKeyOf(o.probeBuf[:0], t, probeIdx)
+	bucket := side.buckets[string(o.probeBuf)]
+	if bucket == nil {
 		return
 	}
-	out.Add(row, l.N*r.N)
+	for _, m := range bucket {
+		if leftSide {
+			o.scratch = append(append(o.scratch[:0], t...), m.Tuple...)
+		} else {
+			o.scratch = append(append(o.scratch[:0], m.Tuple...), t...)
+		}
+		if o.b.Filter != nil && !o.b.Filter.Eval(o.scratch).AsBool() {
+			continue
+		}
+		emit(o.scratch, n*m.N)
+	}
 }
 
-func (o *joinOp) apply(d BaseDelta) *ra.Bag {
-	dl := o.left.apply(d)
-	dr := o.right.apply(d)
-	out := ra.NewBag(o.b.Schema)
+func (o *joinOp) init(emit emitFn) error {
+	o.ls = newSideState(o.b.LeftKey)
+	o.rs = newSideState(o.b.RightKey)
+	o.scratch = make(relstore.Tuple, 0, o.b.Schema.Arity())
+	cloneL, cloneR := !o.left.owned(), !o.right.owned()
+	if err := o.left.init(func(t relstore.Tuple, n int64) {
+		o.ls.add(t, n, cloneL)
+	}); err != nil {
+		return err
+	}
+	// The right side streams through the fully loaded left state, emitting
+	// the initial join while building its own state.
+	return o.right.init(func(t relstore.Tuple, n int64) {
+		o.emitJoined(o.ls, o.b.RightKey, t, n, false, emit)
+		o.rs.add(t, n, cloneR)
+	})
+}
 
-	// δL ⋈ R_old.
-	dl.Each(func(_ string, l *ra.BagRow) bool {
-		jk := ra.KeyOf(l.Tuple, o.b.LeftKey)
-		for _, r := range o.rs.buckets[jk] {
-			o.emit(out, l, r)
-		}
-		return true
+func (o *joinOp) apply(d BaseDelta, emit emitFn) {
+	cloneL, cloneR := !o.left.owned(), !o.right.owned()
+	// δL ⋈ R_old, folding δL into the left state as it streams.
+	o.left.apply(d, func(t relstore.Tuple, n int64) {
+		o.emitJoined(o.rs, o.b.LeftKey, t, n, true, emit)
+		o.ls.add(t, n, cloneL)
 	})
-	// L_old ⋈ δR.
-	dr.Each(func(_ string, r *ra.BagRow) bool {
-		jk := ra.KeyOf(r.Tuple, o.b.RightKey)
-		for _, l := range o.ls.buckets[jk] {
-			o.emit(out, l, r)
-		}
-		return true
+	// δR ⋈ L_new = L_old⋈δR + δL⋈δR.
+	o.right.apply(d, func(t relstore.Tuple, n int64) {
+		o.emitJoined(o.ls, o.b.RightKey, t, n, false, emit)
+		o.rs.add(t, n, cloneR)
 	})
-	// δL ⋈ δR.
-	dl.Each(func(_ string, l *ra.BagRow) bool {
-		jk := ra.KeyOf(l.Tuple, o.b.LeftKey)
-		dr.Each(func(_ string, r *ra.BagRow) bool {
-			if ra.KeyOf(r.Tuple, o.b.RightKey) == jk {
-				o.emit(out, l, r)
-			}
-			return true
-		})
-		return true
-	})
-
-	// Fold the deltas into the maintained side states.
-	dl.Each(func(k string, r *ra.BagRow) bool {
-		o.ls.add(k, r, r.N)
-		return true
-	})
-	dr.Each(func(k string, r *ra.BagRow) bool {
-		o.rs.add(k, r, r.N)
-		return true
-	})
-	return out
 }

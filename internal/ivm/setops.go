@@ -2,64 +2,45 @@ package ivm
 
 import (
 	"factordb/internal/ra"
+	"factordb/internal/relstore"
 )
 
-// unionOp is stateless: δ(L ∪ R) = δL + δR under bag-union semantics.
+// unionOp is stateless: δ(L ∪ R) = δL + δR under bag-union semantics, so
+// both input streams pass straight through.
 type unionOp struct {
 	b           *ra.Bound
 	left, right op
 }
 
-func (o *unionOp) init() (*ra.Bag, error) {
-	l, err := o.left.init()
-	if err != nil {
-		return nil, err
+func (o *unionOp) owned() bool { return o.left.owned() && o.right.owned() }
+
+func (o *unionOp) init(emit emitFn) error {
+	if err := o.left.init(emit); err != nil {
+		return err
 	}
-	r, err := o.right.init()
-	if err != nil {
-		return nil, err
-	}
-	out := ra.NewBag(o.b.Schema)
-	out.AddBag(l, 1)
-	out.AddBag(r, 1)
-	return out, nil
+	return o.right.init(emit)
 }
 
-func (o *unionOp) apply(d BaseDelta) *ra.Bag {
-	out := ra.NewBag(o.b.Schema)
-	out.AddBag(o.left.apply(d), 1)
-	out.AddBag(o.right.apply(d), 1)
-	return out
+func (o *unionOp) apply(d BaseDelta, emit emitFn) {
+	o.left.apply(d, emit)
+	o.right.apply(d, emit)
 }
 
 // diffOp maintains both input bags because monus (max(0, l−r)) is not
 // linear: the output change at a key depends on the absolute input
-// multiplicities, not just their deltas.
+// multiplicities, not just their deltas. Each streamed input item is
+// applied to the maintained state immediately and the resulting output
+// change emitted; summed per key the per-item emissions telescope to the
+// exact batch difference, so no input buffering is needed even when one
+// key's changes arrive split across many emissions.
 type diffOp struct {
 	b           *ra.Bound
 	left, right op
 	ls, rs      *ra.Bag
+	kbuf        []byte
 }
 
-func (o *diffOp) init() (*ra.Bag, error) {
-	l, err := o.left.init()
-	if err != nil {
-		return nil, err
-	}
-	r, err := o.right.init()
-	if err != nil {
-		return nil, err
-	}
-	o.ls, o.rs = l, r
-	out := ra.NewBag(o.b.Schema)
-	l.Each(func(k string, row *ra.BagRow) bool {
-		if n := row.N - r.Count(k); n > 0 {
-			out.AddKeyed(k, row.Tuple, n)
-		}
-		return true
-	})
-	return out, nil
-}
+func (o *diffOp) owned() bool { return o.left.owned() && o.right.owned() }
 
 func monus(l, r int64) int64 {
 	if l > r {
@@ -68,73 +49,88 @@ func monus(l, r int64) int64 {
 	return 0
 }
 
-func (o *diffOp) apply(d BaseDelta) *ra.Bag {
-	dl := o.left.apply(d)
-	dr := o.right.apply(d)
-	out := ra.NewBag(o.b.Schema)
-	// Affected keys: anything in either delta.
-	emit := func(k string, row *ra.BagRow, dln, drn int64) {
-		oldN := monus(o.ls.Count(k), o.rs.Count(k))
-		newN := monus(o.ls.Count(k)+dln, o.rs.Count(k)+drn)
-		if diff := newN - oldN; diff != 0 {
-			out.AddKeyed(k, row.Tuple, diff)
-		}
+// change folds one signed input item into the maintained side states and
+// emits the induced output change.
+func (o *diffOp) change(t relstore.Tuple, dl, dr int64, clone bool, emit emitFn) {
+	o.kbuf = t.AppendKey(o.kbuf[:0])
+	l, r := o.ls.CountBytes(o.kbuf), o.rs.CountBytes(o.kbuf)
+	oldN := monus(l, r)
+	newN := monus(l+dl, r+dr)
+	if dl != 0 {
+		o.ls.AddKeyedBytes(o.kbuf, t, dl, clone)
 	}
-	seen := make(map[string]struct{})
-	dl.Each(func(k string, row *ra.BagRow) bool {
-		seen[k] = struct{}{}
-		emit(k, row, row.N, dr.Count(k))
-		return true
+	if dr != 0 {
+		o.rs.AddKeyedBytes(o.kbuf, t, dr, clone)
+	}
+	if diff := newN - oldN; diff != 0 {
+		emit(t, diff)
+	}
+}
+
+func (o *diffOp) init(emit emitFn) error {
+	o.ls, o.rs = ra.NewBag(o.b.Schema), ra.NewBag(o.b.Schema)
+	cloneL, cloneR := !o.left.owned(), !o.right.owned()
+	// Initialization is delta application against empty state: left items
+	// raise the output, right items emit corrections where they overlap.
+	if err := o.left.init(func(t relstore.Tuple, n int64) {
+		o.change(t, n, 0, cloneL, emit)
+	}); err != nil {
+		return err
+	}
+	return o.right.init(func(t relstore.Tuple, n int64) {
+		o.change(t, 0, n, cloneR, emit)
 	})
-	dr.Each(func(k string, row *ra.BagRow) bool {
-		if _, done := seen[k]; !done {
-			emit(k, row, 0, row.N)
-		}
-		return true
+}
+
+func (o *diffOp) apply(d BaseDelta, emit emitFn) {
+	cloneL, cloneR := !o.left.owned(), !o.right.owned()
+	o.left.apply(d, func(t relstore.Tuple, n int64) {
+		o.change(t, n, 0, cloneL, emit)
 	})
-	o.ls.AddBag(dl, 1)
-	o.rs.AddBag(dr, 1)
-	return out
+	o.right.apply(d, func(t relstore.Tuple, n int64) {
+		o.change(t, 0, n, cloneR, emit)
+	})
 }
 
 // distinctOp maintains its input bag; the output toggles between 0 and 1
-// as a key's input multiplicity crosses zero.
+// as a key's input multiplicity crosses zero. Toggles are computed per
+// streamed item, so opposite-signed split emissions cancel exactly.
 type distinctOp struct {
 	b     *ra.Bound
 	child op
 	state *ra.Bag
+	kbuf  []byte
 }
 
-func (o *distinctOp) init() (*ra.Bag, error) {
-	in, err := o.child.init()
-	if err != nil {
-		return nil, err
+func (o *distinctOp) owned() bool { return o.child.owned() }
+
+func (o *distinctOp) toggle(t relstore.Tuple, n int64, clone bool, emit emitFn) {
+	if n == 0 {
+		return
 	}
-	o.state = in
-	out := ra.NewBag(o.b.Schema)
-	in.Each(func(k string, row *ra.BagRow) bool {
-		if row.N > 0 {
-			out.AddKeyed(k, row.Tuple, 1)
-		}
-		return true
-	})
-	return out, nil
+	o.kbuf = t.AppendKey(o.kbuf[:0])
+	c := o.state.CountBytes(o.kbuf)
+	before, after := c > 0, c+n > 0
+	o.state.AddKeyedBytes(o.kbuf, t, n, clone)
+	switch {
+	case !before && after:
+		emit(t, 1)
+	case before && !after:
+		emit(t, -1)
+	}
 }
 
-func (o *distinctOp) apply(d BaseDelta) *ra.Bag {
-	din := o.child.apply(d)
-	out := ra.NewBag(o.b.Schema)
-	din.Each(func(k string, row *ra.BagRow) bool {
-		before := o.state.Count(k) > 0
-		after := o.state.Count(k)+row.N > 0
-		switch {
-		case !before && after:
-			out.AddKeyed(k, row.Tuple, 1)
-		case before && !after:
-			out.AddKeyed(k, row.Tuple, -1)
-		}
-		return true
+func (o *distinctOp) init(emit emitFn) error {
+	o.state = ra.NewBag(o.b.Schema)
+	clone := !o.child.owned()
+	return o.child.init(func(t relstore.Tuple, n int64) {
+		o.toggle(t, n, clone, emit)
 	})
-	o.state.AddBag(din, 1)
-	return out
+}
+
+func (o *distinctOp) apply(d BaseDelta, emit emitFn) {
+	clone := !o.child.owned()
+	o.child.apply(d, func(t relstore.Tuple, n int64) {
+		o.toggle(t, n, clone, emit)
+	})
 }

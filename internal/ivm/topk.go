@@ -24,21 +24,26 @@ type olEntry struct {
 //
 // State is the entry multiset (map by tuple key) plus a sorted slice of
 // the entries with positive count; the previously emitted top-k bag is
-// retained so apply can emit the signed difference −old +new.
+// retained so apply can emit the signed difference −old +new. Entry
+// tuples are cloned from unowned child streams, so emissions (which
+// reference entry or emitted-bag tuples) are always owned.
 type orderLimitOp struct {
 	b       *ra.Bound
 	child   op
 	entries map[string]*olEntry
 	sorted  []*olEntry // entries with n > 0, ascending in sort order
 	emitted *ra.Bag    // last emitted top-k output
+	kbuf    []byte
 }
 
 func newOrderLimitOp(b *ra.Bound, child op) *orderLimitOp {
 	return &orderLimitOp{b: b, child: child}
 }
 
+func (o *orderLimitOp) owned() bool { return true }
+
 // less orders entries by the sort keys with the injective tuple key as
-// final tie-break, matching evalOrderLimit exactly.
+// final tie-break, matching the streaming evaluator exactly.
 func (o *orderLimitOp) less(a, b *olEntry) bool {
 	if c := ra.CompareTuples(a.tuple, b.tuple, o.b.SortIdx, o.b.SortDesc); c != 0 {
 		return c < 0
@@ -46,49 +51,61 @@ func (o *orderLimitOp) less(a, b *olEntry) bool {
 	return a.key < b.key
 }
 
-func (o *orderLimitOp) init() (*ra.Bag, error) {
-	in, err := o.child.init()
-	if err != nil {
-		return nil, err
-	}
-	o.entries = make(map[string]*olEntry, in.Len())
+func (o *orderLimitOp) init(emit emitFn) error {
+	o.entries = make(map[string]*olEntry)
 	o.sorted = o.sorted[:0]
-	in.Each(func(k string, r *ra.BagRow) bool {
-		e := &olEntry{key: k, tuple: r.Tuple, n: r.N}
-		o.entries[k] = e
-		if e.n > 0 {
-			o.sorted = append(o.sorted, e)
+	clone := !o.child.owned()
+	err := o.child.init(func(t relstore.Tuple, n int64) {
+		o.upsert(t, n, clone)
+	})
+	if err != nil {
+		return err
+	}
+	o.emitted = o.topK()
+	o.emitted.Each(func(_ string, r *ra.BagRow) bool {
+		emit(r.Tuple, r.N)
+		return true
+	})
+	return nil
+}
+
+func (o *orderLimitOp) apply(d BaseDelta, emit emitFn) {
+	clone := !o.child.owned()
+	o.child.apply(d, func(t relstore.Tuple, n int64) {
+		o.upsert(t, n, clone)
+	})
+	newOut := o.topK()
+	newOut.Each(func(k string, r *ra.BagRow) bool {
+		if d := r.N - o.emitted.Count(k); d != 0 {
+			emit(r.Tuple, d)
 		}
 		return true
 	})
-	sort.Slice(o.sorted, func(i, j int) bool { return o.less(o.sorted[i], o.sorted[j]) })
-	o.emitted = o.topK()
-	return o.emitted.Clone(), nil
-}
-
-func (o *orderLimitOp) apply(d BaseDelta) *ra.Bag {
-	din := o.child.apply(d)
-	din.Each(func(k string, r *ra.BagRow) bool {
-		o.upsert(k, r.Tuple, r.N)
+	o.emitted.Each(func(k string, r *ra.BagRow) bool {
+		if newOut.Count(k) == 0 {
+			emit(r.Tuple, -r.N)
+		}
 		return true
 	})
-	newOut := o.topK()
-	diff := ra.NewBag(o.b.Schema)
-	diff.AddBag(newOut, 1)
-	diff.AddBag(o.emitted, -1)
 	o.emitted = newOut
-	return diff
 }
 
 // upsert folds a signed multiplicity change for one distinct row into the
 // multiset, keeping the ordered buffer in step. Entries whose net count
 // drops to or below zero leave the buffer (a transiently negative count
 // is retained in the map so a later matching insertion restores it).
-func (o *orderLimitOp) upsert(key string, t relstore.Tuple, dn int64) {
-	e, ok := o.entries[key]
+func (o *orderLimitOp) upsert(t relstore.Tuple, dn int64, clone bool) {
+	if dn == 0 {
+		return
+	}
+	o.kbuf = t.AppendKey(o.kbuf[:0])
+	e, ok := o.entries[string(o.kbuf)]
 	if !ok {
-		e = &olEntry{key: key, tuple: t, n: dn}
-		o.entries[key] = e
+		if clone {
+			t = t.Clone()
+		}
+		e = &olEntry{key: string(o.kbuf), tuple: t, n: dn}
+		o.entries[e.key] = e
 		if e.n > 0 {
 			o.insert(e)
 		}
@@ -98,7 +115,7 @@ func (o *orderLimitOp) upsert(key string, t relstore.Tuple, dn int64) {
 	e.n += dn
 	switch {
 	case e.n == 0:
-		delete(o.entries, key)
+		delete(o.entries, e.key)
 		if wasLive {
 			o.remove(e)
 		}
@@ -132,7 +149,8 @@ func (o *orderLimitOp) remove(e *olEntry) {
 
 // topK materializes the current bounded output: a prefix walk of the
 // ordered buffer accumulating multiplicities until the limit, with the
-// boundary row clipped — identical to evalOrderLimit over the same input.
+// boundary row clipped — identical to the full evaluator over the same
+// input.
 func (o *orderLimitOp) topK() *ra.Bag {
 	out := ra.NewBag(o.b.Schema)
 	remaining := o.b.Limit

@@ -44,6 +44,38 @@ func (b *Bag) AddKeyed(key string, t relstore.Tuple, n int64) {
 	b.addKeyed(key, t, n)
 }
 
+// AddKeyedBytes merges n copies of t under a key held in a reusable byte
+// buffer. The key bytes are only converted to a string when the row is
+// first inserted, so merging into an existing row is allocation-free —
+// this is the streaming executor's materialization primitive. When clone
+// is set the tuple is copied on first insert, for producers that reuse
+// their output buffer (unowned streams).
+func (b *Bag) AddKeyedBytes(key []byte, t relstore.Tuple, n int64, clone bool) {
+	if n == 0 {
+		return
+	}
+	if r, ok := b.rows[string(key)]; ok {
+		r.N += n
+		if r.N == 0 {
+			delete(b.rows, string(key))
+		}
+		return
+	}
+	if clone {
+		t = t.Clone()
+	}
+	b.rows[string(key)] = &BagRow{Tuple: t, N: n}
+}
+
+// CountBytes is Count for a key held in a byte buffer, without converting
+// it to a string.
+func (b *Bag) CountBytes(key []byte) int64 {
+	if r, ok := b.rows[string(key)]; ok {
+		return r.N
+	}
+	return 0
+}
+
 func (b *Bag) addKeyed(k string, t relstore.Tuple, n int64) {
 	if r, ok := b.rows[k]; ok {
 		r.N += n

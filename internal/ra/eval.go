@@ -1,65 +1,31 @@
 package ra
 
 import (
-	"fmt"
-
 	"factordb/internal/relstore"
 )
 
 // Eval fully evaluates a bound plan against the current database contents,
 // returning a materialized bag. This is the "run the whole query on the
 // sampled world" path of the paper's basic evaluator (Algorithm 3).
+//
+// Evaluation is a thin shell over the streaming executor: the plan is
+// compiled with Stream (predicates pushed into scans, operators fused
+// into one lazy pipeline) and only the final result is materialized.
+// Callers that consume rows one at a time — the sampling loop feeding an
+// estimator — should use Stream directly and skip this materialization.
 func Eval(b *Bound) (*Bag, error) {
-	switch b.Kind {
-	case KScan:
-		return evalScan(b), nil
-	case KSelect:
-		child, err := Eval(b.Children[0])
-		if err != nil {
-			return nil, err
-		}
-		out := NewBag(b.Schema)
-		child.Each(func(k string, r *BagRow) bool {
-			if b.Pred.Eval(r.Tuple).AsBool() {
-				out.AddKeyed(k, r.Tuple, r.N)
-			}
-			return true
-		})
-		return out, nil
-	case KProject:
-		child, err := Eval(b.Children[0])
-		if err != nil {
-			return nil, err
-		}
-		out := NewBag(b.Schema)
-		child.Each(func(_ string, r *BagRow) bool {
-			out.Add(ProjectTuple(r.Tuple, b.ProjIdx), r.N)
-			return true
-		})
-		return out, nil
-	case KJoin:
-		return evalJoin(b)
-	case KGroupAgg:
-		return evalGroupAgg(b)
-	case KUnion:
-		return evalUnion(b)
-	case KDiff:
-		return evalDiff(b)
-	case KDistinct:
-		return evalDistinct(b)
-	case KOrderLimit:
-		return evalOrderLimit(b)
+	it, owned, err := Stream(b)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("ra: eval of unknown bound kind %d", b.Kind)
-}
-
-func evalScan(b *Bound) *Bag {
 	out := NewBag(b.Schema)
-	b.Rel.Scan(func(_ relstore.RowID, t relstore.Tuple) bool {
-		out.Add(t, 1)
+	var kbuf []byte
+	it(func(t relstore.Tuple, n int64) bool {
+		kbuf = t.AppendKey(kbuf[:0])
+		out.AddKeyedBytes(kbuf, t, n, !owned)
 		return true
 	})
-	return out
+	return out, nil
 }
 
 // ProjectTuple extracts the indexed fields of t as a fresh tuple.
@@ -71,16 +37,6 @@ func ProjectTuple(t relstore.Tuple, idx []int) relstore.Tuple {
 	return out
 }
 
-// KeyOf computes the injective key of the indexed fields of t, used for
-// hash-join buckets and group identification.
-func KeyOf(t relstore.Tuple, idx []int) string {
-	var b []byte
-	for _, j := range idx {
-		b = append(b, t[j].Key()...)
-	}
-	return string(b)
-}
-
 // ConcatTuples concatenates l and r into a fresh tuple.
 func ConcatTuples(l, r relstore.Tuple) relstore.Tuple {
 	out := make(relstore.Tuple, 0, len(l)+len(r))
@@ -88,52 +44,7 @@ func ConcatTuples(l, r relstore.Tuple) relstore.Tuple {
 	return append(out, r...)
 }
 
-func evalJoin(b *Bound) (*Bag, error) {
-	left, err := Eval(b.Children[0])
-	if err != nil {
-		return nil, err
-	}
-	right, err := Eval(b.Children[1])
-	if err != nil {
-		return nil, err
-	}
-	out := NewBag(b.Schema)
-	emit := func(l, r *BagRow) {
-		row := ConcatTuples(l.Tuple, r.Tuple)
-		if b.Filter != nil && !b.Filter.Eval(row).AsBool() {
-			return
-		}
-		out.Add(row, l.N*r.N)
-	}
-	if len(b.LeftKey) == 0 {
-		// Cartesian product.
-		left.Each(func(_ string, l *BagRow) bool {
-			right.Each(func(_ string, r *BagRow) bool {
-				emit(l, r)
-				return true
-			})
-			return true
-		})
-		return out, nil
-	}
-	// Hash the right side on its key columns, probe with the left.
-	table := make(map[string][]*BagRow)
-	right.Each(func(_ string, r *BagRow) bool {
-		k := KeyOf(r.Tuple, b.RightKey)
-		table[k] = append(table[k], r)
-		return true
-	})
-	left.Each(func(_ string, l *BagRow) bool {
-		k := KeyOf(l.Tuple, b.LeftKey)
-		for _, r := range table[k] {
-			emit(l, r)
-		}
-		return true
-	})
-	return out, nil
-}
-
-// aggAccum accumulates one aggregate over a group during full evaluation.
+// aggAccum accumulates one aggregate over a group during evaluation.
 type aggAccum struct {
 	n     int64   // COUNT / COUNT_IF
 	sumI  int64   // SUM over ints
@@ -141,64 +52,6 @@ type aggAccum struct {
 	cnt   int64   // AVG denominator / MIN-MAX presence
 	first bool
 	best  relstore.Value // MIN / MAX
-}
-
-func evalGroupAgg(b *Bound) (*Bag, error) {
-	child, err := Eval(b.Children[0])
-	if err != nil {
-		return nil, err
-	}
-	type group struct {
-		key    relstore.Tuple
-		accums []aggAccum
-	}
-	groups := make(map[string]*group)
-	child.Each(func(_ string, r *BagRow) bool {
-		gk := KeyOf(r.Tuple, b.GroupIdx)
-		g, ok := groups[gk]
-		if !ok {
-			g = &group{key: ProjectTuple(r.Tuple, b.GroupIdx), accums: make([]aggAccum, len(b.Aggs))}
-			groups[gk] = g
-		}
-		for i := range b.Aggs {
-			accumulate(&g.accums[i], &b.Aggs[i], r.Tuple, r.N)
-		}
-		return true
-	})
-	// SQL semantics: an ungrouped aggregate always yields one row, with
-	// counting aggregates reading 0 over empty input. Rows with MIN/MAX/
-	// AVG are undefined over empty input and are suppressed (no NULLs in
-	// this engine); counts-only global rows are emitted.
-	if len(b.GroupIdx) == 0 && len(groups) == 0 {
-		countsOnly := true
-		for _, a := range b.Aggs {
-			if a.Fn != FnCount && a.Fn != FnCountIf && a.Fn != FnSum {
-				countsOnly = false
-				break
-			}
-		}
-		if countsOnly {
-			groups[""] = &group{key: relstore.Tuple{}, accums: make([]aggAccum, len(b.Aggs))}
-		}
-	}
-	out := NewBag(b.Schema)
-	for _, g := range groups {
-		row := make(relstore.Tuple, 0, len(g.key)+len(b.Aggs))
-		row = append(row, g.key...)
-		ok := true
-		for i := range b.Aggs {
-			v, valid := finishAgg(&g.accums[i], &b.Aggs[i])
-			if !valid {
-				ok = false
-				break
-			}
-			row = append(row, v)
-		}
-		if ok {
-			out.Add(row, 1)
-		}
-	}
-	return out, nil
 }
 
 func accumulate(acc *aggAccum, a *BoundAgg, t relstore.Tuple, n int64) {

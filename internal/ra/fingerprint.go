@@ -5,6 +5,9 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"strconv"
+
+	"factordb/internal/relstore"
 )
 
 // Fingerprint returns a stable structural content hash of the bound
@@ -70,6 +73,40 @@ func (b *Bound) writeFP(w io.Writer) {
 	}
 }
 
+// appendValueFP encodes a literal with the frozen bfp1 value layout: the
+// exact bytes relstore.Value.Key produced when the fingerprint format was
+// introduced (kind tag; 8-byte big-endian two's complement for ints and
+// booleans; strconv 'b'-format plus NUL for floats; decimal length, ':',
+// raw bytes for strings). The runtime key encoding is free to evolve for
+// speed — this copy is pinned, because changing it would silently re-key
+// every persisted "bfp1:" fingerprint (see the stability contract on
+// Fingerprint and the golden file in internal/sqlparse/testdata).
+func appendValueFP(dst []byte, v relstore.Value) []byte {
+	dst = append(dst, byte(v.Kind()))
+	switch v.Kind() {
+	case relstore.TInt, relstore.TBool:
+		var i int64
+		if v.Kind() == relstore.TInt {
+			i = v.AsInt()
+		} else if v.AsBool() {
+			i = 1
+		}
+		u := uint64(i)
+		for s := 56; s >= 0; s -= 8 {
+			dst = append(dst, byte(u>>uint(s)))
+		}
+	case relstore.TFloat:
+		dst = strconv.AppendFloat(dst, v.AsFloat(), 'b', -1, 64)
+		dst = append(dst, 0)
+	case relstore.TString:
+		s := v.AsString()
+		dst = strconv.AppendInt(dst, int64(len(s)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
 // writeBExprFP encodes a bound expression injectively: column positions,
 // literal values via their injective key encoding, and operator structure.
 func writeBExprFP(w io.Writer, e BExpr) {
@@ -78,7 +115,7 @@ func writeBExprFP(w io.Writer, e BExpr) {
 		fmt.Fprintf(w, "c%d", x.idx)
 	case boundConst:
 		io.WriteString(w, "k")
-		io.WriteString(w, x.v.Key())
+		w.Write(appendValueFP(nil, x.v))
 	case boundCmp:
 		fmt.Fprintf(w, "(%d ", x.op)
 		writeBExprFP(w, x.l)

@@ -2,7 +2,6 @@ package ra
 
 import (
 	"fmt"
-	"sort"
 
 	"factordb/internal/relstore"
 )
@@ -129,43 +128,4 @@ func bindOrderLimit(db *relstore.DB, n *OrderLimit) (*Bound, error) {
 		b.SortDesc = append(b.SortDesc, k.Desc)
 	}
 	return b, nil
-}
-
-// evalOrderLimit fully evaluates the child, orders its distinct rows, and
-// keeps rows until the cumulative multiplicity reaches the limit; the row
-// straddling the boundary is clipped so exactly Limit copies survive.
-func evalOrderLimit(b *Bound) (*Bag, error) {
-	child, err := Eval(b.Children[0])
-	if err != nil {
-		return nil, err
-	}
-	type keyed struct {
-		key string
-		row *BagRow
-	}
-	rows := make([]keyed, 0, child.Len())
-	child.Each(func(k string, r *BagRow) bool {
-		rows = append(rows, keyed{key: k, row: r})
-		return true
-	})
-	sort.Slice(rows, func(i, j int) bool {
-		if c := CompareTuples(rows[i].row.Tuple, rows[j].row.Tuple, b.SortIdx, b.SortDesc); c != 0 {
-			return c < 0
-		}
-		return rows[i].key < rows[j].key
-	})
-	out := NewBag(b.Schema)
-	remaining := b.Limit
-	for _, kr := range rows {
-		if remaining <= 0 {
-			break
-		}
-		n := kr.row.N
-		if n > remaining {
-			n = remaining
-		}
-		out.AddKeyed(kr.key, kr.row.Tuple, n)
-		remaining -= n
-	}
-	return out, nil
 }

@@ -91,52 +91,3 @@ func bindDistinct(db *relstore.DB, n *Distinct) (*Bound, error) {
 	}
 	return &Bound{Kind: KDistinct, Schema: child.Schema, Source: n, Children: []*Bound{child}}, nil
 }
-
-func evalUnion(b *Bound) (*Bag, error) {
-	left, err := Eval(b.Children[0])
-	if err != nil {
-		return nil, err
-	}
-	right, err := Eval(b.Children[1])
-	if err != nil {
-		return nil, err
-	}
-	out := NewBag(b.Schema)
-	out.AddBag(left, 1)
-	out.AddBag(right, 1)
-	return out, nil
-}
-
-func evalDiff(b *Bound) (*Bag, error) {
-	left, err := Eval(b.Children[0])
-	if err != nil {
-		return nil, err
-	}
-	right, err := Eval(b.Children[1])
-	if err != nil {
-		return nil, err
-	}
-	out := NewBag(b.Schema)
-	left.Each(func(k string, r *BagRow) bool {
-		if n := r.N - right.Count(k); n > 0 {
-			out.AddKeyed(k, r.Tuple, n)
-		}
-		return true
-	})
-	return out, nil
-}
-
-func evalDistinct(b *Bound) (*Bag, error) {
-	child, err := Eval(b.Children[0])
-	if err != nil {
-		return nil, err
-	}
-	out := NewBag(b.Schema)
-	child.Each(func(k string, r *BagRow) bool {
-		if r.N > 0 {
-			out.AddKeyed(k, r.Tuple, 1)
-		}
-		return true
-	})
-	return out, nil
-}

@@ -157,6 +157,19 @@ func (r *Relation) Scan(fn func(id RowID, t Tuple) bool) {
 	}
 }
 
+// ScanWhere is Scan with the predicate applied inside the storage layer:
+// fn is called only for rows satisfying keep, so rejected tuples never
+// surface to the caller. This is the sink for the streaming executor's
+// pushed-down scan filters. Iteration order is unspecified; fn returning
+// false stops the scan.
+func (r *Relation) ScanWhere(keep func(t Tuple) bool, fn func(id RowID, t Tuple) bool) {
+	for id, t := range r.rows {
+		if keep(t) && !fn(id, t) {
+			return
+		}
+	}
+}
+
 // ScanSorted is Scan in ascending RowID order, for deterministic output.
 func (r *Relation) ScanSorted(fn func(id RowID, t Tuple) bool) {
 	ids := make([]RowID, 0, len(r.rows))

@@ -81,15 +81,20 @@ func (t Tuple) Clone() Tuple {
 	return c
 }
 
+// AppendKey appends the tuple's injective key encoding — the
+// concatenation of its values' self-delimiting encodings — to dst and
+// returns the extended slice. Callers on hot paths reuse dst as a scratch
+// buffer so key construction is allocation-free.
+func (t Tuple) AppendKey(dst []byte) []byte {
+	for _, v := range t {
+		dst = v.appendKey(dst)
+	}
+	return dst
+}
+
 // Key returns an injective string encoding of the whole tuple, usable as a
 // map key for multiset semantics.
-func (t Tuple) Key() string {
-	var b []byte
-	for _, v := range t {
-		b = v.appendKey(b)
-	}
-	return string(b)
-}
+func (t Tuple) Key() string { return string(t.AppendKey(nil)) }
 
 // Equal reports element-wise equality with o.
 func (t Tuple) Equal(o Tuple) bool {

@@ -10,7 +10,9 @@
 package relstore
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"strconv"
 )
 
@@ -146,25 +148,33 @@ func (v Value) String() string {
 }
 
 // appendKey appends a self-delimiting binary encoding of the value to dst.
-// The encoding is injective so it can be used as a hash-map key component.
+// The encoding is injective so it can be used as a hash-map key component:
+// a kind tag, then a fixed 8-byte big-endian payload for numerics and
+// booleans, or a uvarint length prefix followed by the raw bytes for
+// strings. Float payloads are the IEEE 754 bits, so -0 and 0 (which
+// compare Equal) key differently, exactly as they always have.
+//
+// This is the runtime encoding only; the bound-plan fingerprint format
+// ("bfp1:", package ra) pins its own frozen copy of the original layout,
+// so this one is free to evolve for speed.
 func (v Value) appendKey(dst []byte) []byte {
 	dst = append(dst, byte(v.kind))
 	switch v.kind {
 	case TInt, TBool:
-		u := uint64(v.i)
-		for s := 56; s >= 0; s -= 8 {
-			dst = append(dst, byte(u>>uint(s)))
-		}
+		dst = binary.BigEndian.AppendUint64(dst, uint64(v.i))
 	case TFloat:
-		dst = strconv.AppendFloat(dst, v.f, 'b', -1, 64)
-		dst = append(dst, 0)
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.f))
 	case TString:
-		dst = strconv.AppendInt(dst, int64(len(v.s)), 10)
-		dst = append(dst, ':')
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
 		dst = append(dst, v.s...)
 	}
 	return dst
 }
+
+// AppendKey appends the value's injective key encoding to dst and returns
+// the extended slice, for callers that amortize key construction over a
+// reused scratch buffer.
+func (v Value) AppendKey(dst []byte) []byte { return v.appendKey(dst) }
 
 // Key returns an injective string encoding of the value, suitable for use
 // as a map key (for example in hash indexes and multiset counters).

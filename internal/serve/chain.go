@@ -175,12 +175,12 @@ func (c *chain) epoch() {
 	c.reg.graph.NextRound()
 	for _, pv := range c.reg.byFP {
 		pv.view.Apply(d)
-		result := pv.view.Result()
-		pv.est.AddSample(result)
 		// One health observation per batch: the sampled answer's
-		// cardinality — a per-sample scalar the cross-chain R̂/ESS
-		// diagnostics can be computed over.
-		c.reg.noteSample(pv, float64(answerCardinality(result)))
+		// cardinality, which AddSample reports as it counts — a
+		// per-sample scalar the cross-chain R̂/ESS diagnostics can be
+		// computed over without a second pass over the answer.
+		card := pv.est.AddSample(pv.view.Result())
+		c.reg.noteSample(pv, float64(card))
 		// Every subscriber receives this sample; the walk and the view
 		// maintenance were paid once.
 		c.m.samples.Add(int64(len(pv.subs)))
@@ -198,19 +198,6 @@ func (c *chain) epoch() {
 			}
 		}
 	}
-}
-
-// answerCardinality counts the tuples present (count > 0) in one sampled
-// answer — the scalar chain statistic behind the convergence gauges.
-func answerCardinality(bag *ra.Bag) int64 {
-	var n int64
-	bag.Each(func(_ string, r *ra.BagRow) bool {
-		if r.N > 0 {
-			n++
-		}
-		return true
-	})
-	return n
 }
 
 // walk runs n MH steps and feeds the global and per-chain

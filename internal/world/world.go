@@ -61,8 +61,11 @@ func (l *ChangeLog) SetField(ref FieldRef, v relstore.Value) error {
 		return err
 	}
 	now, _ := rel.Get(ref.Row)
+	// Both tuples go into the delta as-is: the relation replaces rows on
+	// update (never mutates them in place), so old and now stay stable for
+	// the life of the delta without defensive copies.
 	l.delta.Add(ref.Rel, old, -1)
-	l.delta.Add(ref.Rel, now.Clone(), 1)
+	l.delta.Add(ref.Rel, now, 1)
 	l.updates++
 	return nil
 }
