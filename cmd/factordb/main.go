@@ -92,6 +92,24 @@ func main() {
 			*exec, res.RowsAffected, res.Epoch, res.Elapsed.Round(time.Millisecond))
 	}
 
+	// EXPLAIN prints the diagnostic lines and exits: there is no sampling
+	// run and no probability column worth showing.
+	if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(sql)), "EXPLAIN") {
+		rows, err := db.Query(context.Background(), sql)
+		if err != nil {
+			fatal(err)
+		}
+		defer rows.Close()
+		for rows.Next() {
+			var line string
+			if err := rows.Scan(&line); err != nil {
+				fatal(err)
+			}
+			fmt.Println(line)
+		}
+		return
+	}
+
 	fmt.Printf("query: %s\nmode: %s, %d samples x %d steps\n", sql, m, *samples, *thin)
 	rows, err := db.Query(context.Background(), sql, factordb.Samples(*samples))
 	if err != nil {

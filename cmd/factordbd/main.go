@@ -61,6 +61,7 @@ func main() {
 		maxQ    = flag.Int("max-queued", 64, "queries queued before shedding with 503")
 		cacheN  = flag.Int("cache-size", 128, "result cache entries (negative disables)")
 		cacheT  = flag.Duration("cache-ttl", time.Minute, "result cache freshness bound")
+		planN   = flag.Int("plan-cache", 0, "raw-SQL plan cache entries (0 = default 256)")
 		noSkip  = flag.Bool("no-skip", false, "disable skip-chain factors (plain linear chain)")
 		dbgAddr = flag.String("debug-addr", "",
 			"listen address for the debug endpoints (pprof, /debug/traces); empty disables them")
@@ -93,6 +94,7 @@ func main() {
 		factordb.WithSamples(*samples),
 		factordb.WithQueryLimits(*maxConc, *maxQ),
 		factordb.WithCache(*cacheN, *cacheT),
+		factordb.WithPlanCache(*planN),
 		factordb.WithTraceSampling(*traceN),
 	}
 	if *dataDir != "" {

@@ -35,6 +35,7 @@ import (
 
 	"factordb"
 	"factordb/internal/metrics"
+	"factordb/internal/sqlparse"
 )
 
 func main() {
@@ -42,6 +43,8 @@ func main() {
 		name    = flag.String("name", "load", "benchmark name (output defaults to BENCH_<name>.json)")
 		out     = flag.String("out", "", "output path (default BENCH_<name>.json)")
 		check   = flag.String("check", "", "validate an existing BENCH report and exit")
+		parseBm = flag.Bool("parse", false,
+			"benchmark the SQL front end only (no engine, no load) and write a kind \"factorparse\" report")
 		url     = flag.String("url", "", "target factordbd base URL (empty = open an in-process engine)")
 		dur     = flag.Duration("duration", 10*time.Second, "load duration")
 		workers = flag.Int("workers", 4, "concurrent client workers")
@@ -94,6 +97,23 @@ func main() {
 		path = "BENCH_" + *name + ".json"
 	}
 
+	if *parseBm {
+		rep := parseBench(*name)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		for _, s := range rep.Statements {
+			fmt.Fprintf(os.Stderr, "factorload: %-6s parse %.0fns, compile cold %.0fns / hit %.0fns (%.0fx) → %s\n",
+				s.Name, s.ParseNs, s.CompileColdNs, s.CompileHitNs, s.HitSpeedup, path)
+		}
+		return
+	}
+
 	var tgt target
 	var err error
 	if *url != "" {
@@ -144,6 +164,99 @@ func writeSQL(i int64) string {
 	return fmt.Sprintf("UPDATE TOKEN SET STRING = 'load-%d' WHERE TOK_ID = %d", i%7, i%50)
 }
 
+// stmtParse is the front-end cost of one workload statement: parse time,
+// a cold compile (parse + plan + canonicalize, plan cache missing) and a
+// warm compile (plan-cache hit, which is a map lookup on the raw SQL).
+type stmtParse struct {
+	Name          string  `json:"name"`
+	SQL           string  `json:"sql"`
+	ParseNs       float64 `json:"parse_ns"`
+	CompileColdNs float64 `json:"compile_cold_ns"`
+	CompileHitNs  float64 `json:"compile_hit_ns"`
+	HitSpeedup    float64 `json:"hit_speedup"`
+}
+
+// parseReport is the BENCH_parse.json schema (kind "factorparse"),
+// written by -parse: front-end-only figures that need no engine build,
+// so CI can track compile-path regressions in milliseconds.
+type parseReport struct {
+	Name       string      `json:"name"`
+	Kind       string      `json:"kind"` // always "factorparse"
+	Statements []stmtParse `json:"statements"`
+}
+
+// benchNs times f: one warm-up call, then repeated calls for at least
+// 20ms, returning mean wall time per call in nanoseconds.
+func benchNs(f func()) float64 {
+	f()
+	const minDur = 20 * time.Millisecond
+	n := 0
+	start := time.Now()
+	for time.Since(start) < minDur {
+		f()
+		n++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+// measureStatement produces one stmtParse row. DML statements go through
+// the mutation compiler, everything else through the query planner; the
+// hot figure always comes from a pre-warmed plan cache.
+func measureStatement(name, sql string) stmtParse {
+	s := stmtParse{Name: name, SQL: sql}
+	s.ParseNs = benchNs(func() {
+		if _, err := sqlparse.ParseStatement(sql); err != nil {
+			fatal(err)
+		}
+	})
+	stmt, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		fatal(err)
+	}
+	warm := sqlparse.NewPlanCache(sqlparse.DefaultPlanCacheSize)
+	if stmt.Select == nil {
+		s.CompileColdNs = benchNs(func() {
+			if _, err := sqlparse.CompileExec(sql); err != nil {
+				fatal(err)
+			}
+		})
+		s.CompileHitNs = benchNs(func() {
+			if _, _, err := warm.CompileMutation(sql); err != nil {
+				fatal(err)
+			}
+		})
+	} else {
+		s.CompileColdNs = benchNs(func() {
+			if _, _, err := sqlparse.Compile(sql); err != nil {
+				fatal(err)
+			}
+		})
+		s.CompileHitNs = benchNs(func() {
+			if _, _, err := warm.CompileQuery(sql); err != nil {
+				fatal(err)
+			}
+		})
+	}
+	if s.CompileHitNs > 0 {
+		s.HitSpeedup = s.CompileColdNs / s.CompileHitNs
+	}
+	return s
+}
+
+// workloadStatements is the statement set both -parse and the load
+// report measure: the two read queries plus one representative write.
+func workloadStatements() []stmtParse {
+	return []stmtParse{
+		measureStatement("read", readSQL),
+		measureStatement("ranked", rankedSQL),
+		measureStatement("write", writeSQL(1)),
+	}
+}
+
+func parseBench(name string) *parseReport {
+	return &parseReport{Name: name, Kind: "factorparse", Statements: workloadStatements()}
+}
+
 // qstats is what one request contributes to the trajectory.
 type qstats struct {
 	earlyStop bool
@@ -187,6 +300,7 @@ type report struct {
 	CacheHitRate  float64      `json:"cache_hit_rate"`
 	PartialRate   float64      `json:"partial_rate"`
 	Memory        memJSON      `json:"memory"`
+	Parse         []stmtParse  `json:"parse,omitempty"`
 	Views         []viewReport `json:"views"`
 }
 
@@ -401,6 +515,7 @@ func run(tgt target, cfg runConfig) (*report, error) {
 			HeapSysBytes:       m1.HeapSys,
 			NumGC:              m1.NumGC - m0.NumGC,
 		},
+		Parse: workloadStatements(),
 		Views: make([]viewReport, 0, len(views)),
 	}
 	viewMu.Lock()
@@ -417,6 +532,15 @@ func checkReport(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("%s: invalid BENCH JSON: %v", path, err)
+	}
+	if probe.Kind == "factorparse" {
+		return checkParseReport(path, data)
 	}
 	var rep report
 	dec := json.NewDecoder(strings.NewReader(string(data)))
@@ -448,6 +572,37 @@ func checkReport(path string) error {
 	case rep.Memory.AllocBytesPerQuery < 0 || rep.Memory.TotalAllocBytes < rep.Memory.Mallocs:
 		return fmt.Errorf("%s: implausible memory stats: %.0f B/query, %d bytes over %d mallocs",
 			path, rep.Memory.AllocBytesPerQuery, rep.Memory.TotalAllocBytes, rep.Memory.Mallocs)
+	}
+	return nil
+}
+
+// checkParseReport validates a kind "factorparse" report written by
+// -parse. The speedup floor is deliberately loose (the Go benchmark gate
+// enforces the real 10x bound under controlled conditions) — here it only
+// has to catch a plan cache that stopped hitting entirely.
+func checkParseReport(path string, data []byte) error {
+	var rep parseReport
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("%s: invalid BENCH JSON: %v", path, err)
+	}
+	if rep.Name == "" {
+		return fmt.Errorf("%s: missing name", path)
+	}
+	if len(rep.Statements) == 0 {
+		return fmt.Errorf("%s: no statements measured", path)
+	}
+	for _, s := range rep.Statements {
+		switch {
+		case s.Name == "" || s.SQL == "":
+			return fmt.Errorf("%s: statement missing name or sql", path)
+		case s.ParseNs <= 0 || s.CompileColdNs <= 0 || s.CompileHitNs <= 0:
+			return fmt.Errorf("%s: %s: non-positive timing", path, s.Name)
+		case s.HitSpeedup < 2:
+			return fmt.Errorf("%s: %s: plan-cache hit only %.1fx faster than a cold compile (want >= 2x)",
+				path, s.Name, s.HitSpeedup)
+		}
 	}
 	return nil
 }

@@ -38,11 +38,13 @@
 // estimates the same answer distribution.
 //
 // The SQL dialect covers the paper's evaluation queries and ranked
-// retrieval: SELECT [DISTINCT] with comparisons, joins and correlated
-// COUNT(*)-subquery equalities in WHERE; COUNT/SUM/AVG/MIN/MAX with
-// GROUP BY and HAVING; and ORDER BY / LIMIT. The pseudo-column P names
-// a tuple's estimated marginal probability, so MystiQ-style top-k is
-// first-class SQL:
+// retrieval: SELECT [DISTINCT] with comparisons, joins (comma or
+// JOIN ... ON — pure syntax, both lower to the same plan), IN lists,
+// IN/EXISTS subquery predicates and correlated COUNT(*)-subquery
+// equalities in WHERE; COUNT/SUM/AVG/MIN/MAX with GROUP BY and HAVING;
+// ORDER BY / LIMIT; INSERT/UPDATE/DELETE; ? placeholders; and EXPLAIN.
+// The pseudo-column P names a tuple's estimated marginal probability,
+// so MystiQ-style top-k is first-class SQL:
 //
 //	rows, err := db.Query(ctx, factordb.Query4Ranked) // ... ORDER BY P DESC LIMIT 10
 //
@@ -124,7 +126,30 @@
 // fingerprint, result spec, samples, confidence). A cached answer
 // therefore can never survive a write — whatever spelling of the query
 // produced it — while spelling variants keep sharing entries within an
-// epoch. Chains absorb a write at an epoch boundary, walk a configurable
+// epoch.
+//
+// Below the result cache sits the raw-SQL plan cache: Compile results
+// keyed on the exact statement bytes. The keying rule is deliberate —
+// no normalization of any kind, so two spellings that differ by one
+// whitespace byte occupy two entries, and a repeated spelling skips
+// lexing, parsing and planning outright. Plans are immutable and hold
+// no data references, so the plan cache needs no epoch invalidation:
+// entries are evicted FIFO (WithPlanCache sizes the cache), and
+// statements that fail to compile are never cached. Prepare keeps a
+// parsed AST instead: Stmt.Query/Exec bind ? arguments as literals
+// into a fresh copy and re-plan, which re-runs canonicalization, so a
+// bound statement fingerprints — and caches — identically to the same
+// statement with its literals spelled inline.
+//
+// # EXPLAIN
+//
+// EXPLAIN <stmt> compiles its target through the shared plan cache
+// exactly as if the statement had been issued directly (an EXPLAIN
+// warms the cache for the real query) and answers without sampling.
+// The contract, identical through the facade, database/sql, POST
+// /query and the CLI: a single PLAN column of strings, one plan line
+// per row — the rendered operator tree, the plan fingerprint, the
+// result spec, and whether the plan cache already held the entry. Chains absorb a write at an epoch boundary, walk a configurable
 // burn-in, and reset the estimators of live views; a query in flight
 // across a write re-collects rather than blend pre- and post-write
 // samples, and queries issued after Exec returns never observe

@@ -9,7 +9,6 @@ import (
 
 	"factordb/internal/ra"
 	"factordb/internal/serve"
-	"factordb/internal/sqlparse"
 	"factordb/internal/world"
 )
 
@@ -88,12 +87,21 @@ func (db *DB) Exec(ctx context.Context, sql string) (*ExecResult, error) {
 		}, nil
 	}
 
-	start := time.Now()
-	mut, err := sqlparse.CompileExec(sql)
+	mut, hit, err := db.plans.CompileMutation(sql)
 	if err != nil {
 		db.countFailed()
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
+	if hit {
+		db.planHits.Inc()
+	}
+	return db.execLocal(mut)
+}
+
+// execLocal applies an already compiled mutation to the local prototype
+// world — the tail of Exec, shared with the prepared-statement path.
+func (db *DB) execLocal(mut ra.Mutation) (*ExecResult, error) {
+	start := time.Now()
 	ex, ok := db.sys.(worldExecer)
 	if !ok {
 		return nil, fmt.Errorf("%w: the %s workload has no durable local world (open it with WithMode(ModeServed))",
@@ -103,6 +111,7 @@ func (db *DB) Exec(ctx context.Context, sql string) (*ExecResult, error) {
 	// the prototype world under the read side, so they see either all of
 	// this mutation or none of it.
 	db.writeMu.Lock()
+	var err error
 	var n int64
 	var epoch int64
 	var walErr error

@@ -1,0 +1,158 @@
+package factordb
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"factordb/internal/core"
+	"factordb/internal/ra"
+	"factordb/internal/relstore"
+	"factordb/internal/sqlparse"
+)
+
+// explain answers an EXPLAIN <stmt> without sampling: it compiles the
+// target through the shared plan cache (so an EXPLAIN warms the cache
+// for the real query) and returns the diagnostic as ordinary Rows with
+// a single PLAN column, one line per row — so EXPLAIN flows unchanged
+// through the facade, the database/sql driver, and HTTP.
+//
+// For a SELECT the output is the canonical plan tree, both fingerprints
+// (the canonical plan's and the schema-bound plan's), the result spec,
+// the view-sharing decision, and whether the plan came from the cache.
+// For DML it is the resolved mutation and the cache line.
+func (db *DB) explain(ctx context.Context, sql string) (*Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	stmt, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		db.countFailed()
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	if stmt.Explain == nil {
+		// Unreachable: the caller routed here because IsExplain(sql).
+		return nil, fmt.Errorf("%w: not an EXPLAIN statement", ErrBadQuery)
+	}
+	target := sqlparse.ExplainTarget(sql)
+	var lines []string
+	if stmt.Explain.Select != nil {
+		lines, err = db.explainQuery(target)
+	} else {
+		lines, err = db.explainMutation(target)
+	}
+	if err != nil {
+		db.countFailed()
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	cis := make([]core.TupleCI, len(lines))
+	for i, line := range lines {
+		cis[i] = core.TupleCI{
+			Tuple: relstore.Tuple{relstore.String(line)},
+			P:     1, Lo: 1, Hi: 1,
+		}
+	}
+	return &Rows{
+		cols:       []string{"PLAN"},
+		cis:        cis,
+		i:          -1,
+		chains:     db.Chains(),
+		epoch:      db.WriteEpoch(),
+		confidence: db.opts.confidence,
+		elapsed:    time.Since(start),
+	}, nil
+}
+
+func (db *DB) explainQuery(target string) ([]string, error) {
+	comp, hit, err := db.plans.CompileQuery(target)
+	if err != nil {
+		return nil, err
+	}
+	if hit && db.eng == nil {
+		db.planHits.Inc()
+	}
+	lines := ra.Render(comp.Plan)
+	lines = append(lines, "plan fingerprint: "+comp.Fingerprint)
+
+	// The bound fingerprint keys the engine's shared-view registries. It
+	// needs a schema to bind against; a fresh chain-world clone of the
+	// prototype gives exactly the schema every chain binds with. The read
+	// lock excludes a concurrent local-mode Exec mid-mutation (in served
+	// mode the prototype is immutable after startup).
+	db.writeMu.RLock()
+	wl, _, werr := db.sys.NewChainWorld(0)
+	db.writeMu.RUnlock()
+	if werr != nil {
+		lines = append(lines, "bound fingerprint: n/a ("+werr.Error()+")")
+	} else if bound, berr := ra.Bind(wl.DB(), comp.Plan); berr != nil {
+		lines = append(lines, "bound fingerprint: n/a ("+berr.Error()+")")
+	} else {
+		bfp := bound.Fingerprint()
+		lines = append(lines, "bound fingerprint: "+bfp)
+		if db.eng != nil {
+			live, total := db.eng.LiveViewChains(bfp)
+			if live > 0 {
+				lines = append(lines, fmt.Sprintf(
+					"view sharing: reuse — a view with this fingerprint is live on %d/%d chains", live, total))
+			} else {
+				lines = append(lines, fmt.Sprintf(
+					"view sharing: fresh — no live view with this fingerprint on any of %d chains", total))
+			}
+		} else {
+			lines = append(lines, "view sharing: n/a (local mode: each query samples a private view)")
+		}
+	}
+	lines = append(lines, "result spec: "+specString(comp.Spec))
+	lines = append(lines, "plan cache: "+hitMiss(hit))
+	return lines, nil
+}
+
+func (db *DB) explainMutation(target string) ([]string, error) {
+	mut, hit, err := db.plans.CompileMutation(target)
+	if err != nil {
+		return nil, err
+	}
+	if hit && db.eng == nil {
+		db.planHits.Inc()
+	}
+	return []string{mut.String(), "plan cache: " + hitMiss(hit)}, nil
+}
+
+func hitMiss(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// specString renders the result-level ordering and truncation — the
+// clauses applied to the merged probabilistic answer rather than inside
+// the per-world plan.
+func specString(spec ra.ResultSpec) string {
+	if spec.IsDefault() {
+		return "default (sort by P desc)"
+	}
+	var sb strings.Builder
+	sb.WriteString("order by ")
+	for i, o := range spec.Order {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if o.ByProb {
+			sb.WriteString("P")
+		} else {
+			fmt.Fprintf(&sb, "column %d", o.Index)
+		}
+		if o.Desc {
+			sb.WriteString(" desc")
+		} else {
+			sb.WriteString(" asc")
+		}
+	}
+	if spec.Limit > 0 {
+		fmt.Fprintf(&sb, "; limit %d", spec.Limit)
+	}
+	return sb.String()
+}

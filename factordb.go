@@ -10,6 +10,7 @@ import (
 	"factordb/internal/exp"
 	"factordb/internal/metrics"
 	"factordb/internal/serve"
+	"factordb/internal/sqlparse"
 	"factordb/internal/store"
 )
 
@@ -95,6 +96,7 @@ type options struct {
 	maxConcurrent int
 	maxQueued     int
 	traceEvery    int
+	planCacheSize int
 
 	// Durability (see durable.go); empty dataDir disables it.
 	dataDir         string
@@ -163,6 +165,13 @@ func WithQueryLimits(maxConcurrent, maxQueued int) Option {
 // local modes.
 func WithTraceSampling(every int) Option { return func(o *options) { o.traceEvery = every } }
 
+// WithPlanCache sizes the raw-SQL→compiled-plan cache shared by every
+// entry point of this DB — Query, Exec, Prepare, EXPLAIN, and in served
+// mode the engine itself (default 256 entries). The cache keys on the
+// exact SQL byte string and holds plans only — never data — so it needs
+// no invalidation on writes.
+func WithPlanCache(entries int) Option { return func(o *options) { o.planCacheSize = entries } }
+
 // DB is a probabilistic database: one workload model opened under one
 // evaluation strategy, answering SQL queries with per-tuple marginal
 // probabilities and confidence intervals. It is safe for concurrent use.
@@ -175,6 +184,12 @@ type DB struct {
 
 	eng *serve.Engine // ModeServed only
 
+	// plans memoizes compiled statements by their exact SQL byte string.
+	// One instance serves every entry point: the facade's Query/Exec/
+	// Prepare/EXPLAIN paths and (in served mode) the engine's own compile
+	// sites, so a statement warmed anywhere hits everywhere.
+	plans *sqlparse.PlanCache
+
 	// store is the durable snapshot+WAL backend (nil without WithDataDir).
 	store store.Storage
 
@@ -183,6 +198,7 @@ type DB struct {
 	queries     *metrics.Counter
 	failed      *metrics.Counter
 	writes      *metrics.Counter
+	planHits    *metrics.Counter
 	latency     *metrics.Histogram
 	localTraces *localTraceRing
 	traceID     atomic.Int64
@@ -221,6 +237,7 @@ func Open(model Model, opts ...Option) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{opts: o, sys: sys, name: model.modelName(), start: time.Now()}
+	db.plans = sqlparse.NewPlanCache(o.planCacheSize)
 
 	// Recovery happens before any chain is cloned: openDurability swaps
 	// the recovered world into the system, so the pool below is stocked
@@ -254,6 +271,7 @@ func Open(model Model, opts ...Option) (*DB, error) {
 			CacheSize:            o.cacheSize,
 			CacheTTL:             o.cacheTTL,
 			TraceEvery:           o.traceEvery,
+			Plans:                db.plans,
 			InitialDataEpoch:     recoveredEpoch,
 		}
 		if st != nil {
@@ -277,6 +295,8 @@ func Open(model Model, opts ...Option) (*DB, error) {
 	db.queries = db.reg.NewCounter("factordb_queries_total", "queries evaluated")
 	db.failed = db.reg.NewCounter("factordb_queries_failed_total", "queries that failed to compile or bind")
 	db.writes = db.reg.NewCounter("factordb_writes_total", "DML mutations applied to the prototype world")
+	db.planHits = db.reg.NewCounter("factordb_plan_cache_hits_total",
+		"statements whose compiled plan was served from the raw-SQL plan cache")
 	db.latency = db.reg.NewHistogram("factordb_query_seconds", "per-query latency in seconds", nil)
 	db.localTraces = newLocalTraceRing(64)
 	db.reg.NewGaugeFunc("factordb_write_epoch", "data epoch: committed DML mutations since open",

@@ -10,9 +10,12 @@ import (
 	"time"
 )
 
-// queryRequest is the POST /query body.
+// queryRequest is the POST /query body. Args are positional values for
+// the statement's ? placeholders (strings and JSON numbers; integral
+// numbers bind as integers, fractional ones as floats).
 type queryRequest struct {
 	SQL        string  `json:"sql"`
+	Args       []any   `json:"args,omitempty"`
 	Samples    int     `json:"samples,omitempty"`
 	TimeoutMS  int     `json:"timeout_ms,omitempty"`
 	Confidence float64 `json:"confidence,omitempty"`
@@ -44,9 +47,11 @@ type queryResponse struct {
 	Trace      *QueryTrace `json:"trace,omitempty"`
 }
 
-// execRequest is the POST /exec body.
+// execRequest is the POST /exec body. Args bind ? placeholders, as in
+// queryRequest.
 type execRequest struct {
 	SQL       string `json:"sql"`
+	Args      []any  `json:"args,omitempty"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
 }
 
@@ -142,6 +147,10 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, MaxQueryBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
+	// Placeholder args decode into interface{} slots; UseNumber keeps
+	// them as json.Number so integers survive undamaged (a float64
+	// round-trip would corrupt large int64 keys).
+	dec.UseNumber()
 	if err := dec.Decode(dst); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
 		return false
@@ -151,6 +160,32 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 		return false
 	}
 	return true
+}
+
+// bindableArgs converts decoded JSON placeholder arguments into the
+// types the binder accepts: json.Number becomes int64 when integral,
+// float64 otherwise; strings pass through. Anything else (bool, null,
+// nested values) is left as-is for the binder to reject with a
+// positioned error.
+func bindableArgs(args []any) []any {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]any, len(args))
+	for i, a := range args {
+		if n, ok := a.(json.Number); ok {
+			if v, err := n.Int64(); err == nil {
+				out[i] = v
+				continue
+			}
+			if v, err := n.Float64(); err == nil {
+				out[i] = v
+				continue
+			}
+		}
+		out[i] = a
+	}
+	return out
 }
 
 // requestTimeout clamps the client's timeout request onto [default, max].
@@ -176,7 +211,7 @@ func (db *DB) handleExec(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), requestTimeout(req.TimeoutMS))
 	defer cancel()
-	res, err := db.Exec(ctx, req.SQL)
+	res, err := db.execArgs(ctx, req.SQL, bindableArgs(req.Args))
 	if err != nil {
 		writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
 		return
@@ -221,7 +256,7 @@ func (db *DB) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Trace {
 		opts = append(opts, Trace())
 	}
-	rows, err := db.Query(ctx, req.SQL, opts...)
+	rows, err := db.queryArgs(ctx, req.SQL, bindableArgs(req.Args), opts...)
 	if err != nil {
 		writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
 		return

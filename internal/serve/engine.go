@@ -31,6 +31,7 @@ import (
 
 	"factordb/internal/mcmc"
 	"factordb/internal/metrics"
+	"factordb/internal/sqlparse"
 	"factordb/internal/world"
 )
 
@@ -97,6 +98,13 @@ type Config struct {
 	// opt-in (QueryOptions.Trace) always works.
 	TraceEvery int
 
+	// Plans is the raw-SQL→compiled-plan cache shared by Query and Exec
+	// (and, when the engine sits behind the factordb facade, by the
+	// facade's own compile sites). Keys are exact SQL byte strings;
+	// entries are plan-only and never need data invalidation. Nil gets a
+	// fresh cache of sqlparse.DefaultPlanCacheSize entries.
+	Plans *sqlparse.PlanCache
+
 	// WAL, when non-nil, durably logs every committed op batch before it
 	// is applied to any chain. An Append error fails the write.
 	WAL WALSink
@@ -140,6 +148,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.TraceRing <= 0 {
 		cfg.TraceRing = 64
 	}
+	if cfg.Plans == nil {
+		cfg.Plans = sqlparse.NewPlanCache(0)
+	}
 	return cfg
 }
 
@@ -163,6 +174,7 @@ type engineMetrics struct {
 	rejected  *metrics.Counter
 	failed    *metrics.Counter
 	hits      *metrics.Counter
+	planHits  *metrics.Counter
 	viewHits  *metrics.Counter
 	topkStops *metrics.Counter
 	writes    *metrics.Counter
@@ -242,6 +254,8 @@ func newEngineMetrics() *engineMetrics {
 		rejected: reg.NewCounter("factordb_queries_rejected_total", "queries rejected by admission control"),
 		failed:   reg.NewCounter("factordb_queries_failed_total", "queries that failed to compile or bind"),
 		hits:     reg.NewCounter("factordb_cache_hits_total", "queries answered from the result cache"),
+		planHits: reg.NewCounter("factordb_plan_cache_hits_total",
+			"statements whose compiled plan was served from the raw-SQL plan cache"),
 		viewHits: reg.NewCounter("factordb_view_cache_hits_total",
 			"view registrations that reused an existing shared view (per chain)"),
 		topkStops: reg.NewCounter("factordb_topk_early_stops_total",
@@ -388,6 +402,23 @@ func (e *Engine) AcceptanceRate() float64 {
 
 // SharedViews reports the live physical-view count across the pool.
 func (e *Engine) SharedViews() int64 { return e.sharedViews() }
+
+// LiveViewChains reports on how many chains of the pool a materialized
+// view with the given bound-plan fingerprint is currently live, plus the
+// pool size — the EXPLAIN view-sharing decision: a query arriving now
+// with that fingerprint would subscribe to those existing views instead
+// of mounting fresh ones.
+func (e *Engine) LiveViewChains(fp string) (live, total int) {
+	for _, c := range e.chains {
+		for _, f := range c.reg.liveFingerprints() {
+			if f == fp {
+				live++
+				break
+			}
+		}
+	}
+	return live, len(e.chains)
+}
 
 // Epoch returns the highest epoch any chain has completed — a liveness
 // signal for health checks. Individual chains may lag while parked idle.

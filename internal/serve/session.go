@@ -46,6 +46,7 @@ type TupleResult struct {
 // Result is a completed (or deadline-truncated) query answer.
 type Result struct {
 	SQL        string        `json:"sql"`
+	Columns    []string      `json:"columns,omitempty"`
 	Tuples     []TupleResult `json:"tuples"`
 	Samples    int64         `json:"samples"`
 	Chains     int           `json:"chains"`
@@ -141,15 +142,9 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if opts.Samples <= 0 {
-		opts.Samples = e.cfg.DefaultSamples
-	}
-	if opts.Confidence == 0 {
-		opts.Confidence = 0.95
-	}
-	if opts.Confidence <= 0 || opts.Confidence >= 1 {
-		e.m.failed.Inc()
-		return nil, fmt.Errorf("%w: confidence %v outside (0,1)", ErrBadQuery, opts.Confidence)
+	opts, err := e.fillOpts(opts)
+	if err != nil {
+		return nil, err
 	}
 
 	// Tracing is strictly opt-in (per query, or the engine's sampler):
@@ -160,18 +155,78 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 		tr = newTrace(e.nextID.Add(1), sql, time.Now())
 	}
 
-	// Compile before the cache probe: the cache keys on the canonical
-	// plan's fingerprint rather than the SQL text, so whitespace, keyword
-	// case, alias spelling, and predicate-order variants of one query are
-	// one entry. Compilation is microseconds against a sampling run.
+	// Compile through the plan cache, keyed on the exact SQL byte string:
+	// a repeated spelling skips lexing, parsing and canonicalization and
+	// jumps straight to the fingerprint. The result cache below still
+	// keys on the canonical plan's fingerprint rather than the SQL text,
+	// so whitespace, keyword case, alias spelling, and predicate-order
+	// variants of one query remain one result entry either way.
 	tr.span("compile")
-	plan, spec, err := sqlparse.Compile(sql)
+	comp, cached, err := e.cfg.Plans.CompileQuery(sql)
 	if err != nil {
 		e.m.failed.Inc()
 		e.traces.add(tr.finish("error"))
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
-	fp := ra.CanonicalFingerprint(plan)
+	if cached {
+		e.m.planHits.Inc()
+		tr.attr("plan_cache", "hit")
+	} else {
+		tr.attr("plan_cache", "miss")
+	}
+	return e.queryCompiled(ctx, sql, comp, opts, tr)
+}
+
+// QueryPlan evaluates an already compiled plan — the prepared-statement
+// path, where the facade binds placeholder arguments into a retained AST
+// and re-plans without ever touching SQL text again. Semantics match
+// Query exactly: same admission, caching, tracing and merge behavior.
+func (e *Engine) QueryPlan(ctx context.Context, sql string, plan ra.Plan, spec ra.ResultSpec, opts QueryOptions) (*Result, error) {
+	if e.isClosed() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts, err := e.fillOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	var tr *qtrace
+	if opts.Trace || e.tracer.hit() {
+		tr = newTrace(e.nextID.Add(1), sql, time.Now())
+	}
+	tr.span("compile")
+	tr.attr("plan_cache", "prebound")
+	comp := &sqlparse.Compiled{
+		Plan:        plan,
+		Spec:        spec,
+		Cols:        ra.OutputColumns(plan),
+		Fingerprint: ra.CanonicalFingerprint(plan),
+	}
+	return e.queryCompiled(ctx, sql, comp, opts, tr)
+}
+
+// fillOpts applies engine defaults and validates the per-query options.
+func (e *Engine) fillOpts(opts QueryOptions) (QueryOptions, error) {
+	if opts.Samples <= 0 {
+		opts.Samples = e.cfg.DefaultSamples
+	}
+	if opts.Confidence == 0 {
+		opts.Confidence = 0.95
+	}
+	if opts.Confidence <= 0 || opts.Confidence >= 1 {
+		e.m.failed.Inc()
+		return opts, fmt.Errorf("%w: confidence %v outside (0,1)", ErrBadQuery, opts.Confidence)
+	}
+	return opts, nil
+}
+
+// queryCompiled is the shared evaluation core behind Query and
+// QueryPlan: result-cache probe, admission, write-consistent collection
+// over the chain pool, merge, rank, and cache fill.
+func (e *Engine) queryCompiled(ctx context.Context, sql string, comp *sqlparse.Compiled, opts QueryOptions, tr *qtrace) (*Result, error) {
+	plan, spec, fp := comp.Plan, comp.Spec, comp.Fingerprint
 	tr.setPlan(fp)
 	// The key adds the result-level spec (ORDER BY P / LIMIT shape the
 	// cached presentation) and the per-query options that scale the
@@ -282,6 +337,7 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 	}
 	res := &Result{
 		SQL:        sql,
+		Columns:    comp.Cols,
 		Tuples:     tuples,
 		Samples:    merged.Samples(),
 		Chains:     len(e.chains),

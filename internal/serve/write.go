@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"factordb/internal/ra"
-	"factordb/internal/sqlparse"
 	"factordb/internal/world"
 )
 
@@ -48,13 +47,25 @@ func (e *Engine) Exec(ctx context.Context, sql string) (*ExecResult, error) {
 	if e.isClosed() {
 		return nil, ErrClosed
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	mut, err := sqlparse.CompileExec(sql)
+	mut, cached, err := e.cfg.Plans.CompileMutation(sql)
 	if err != nil {
 		e.m.failed.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	if cached {
+		e.m.planHits.Inc()
+	}
+	return e.ExecMutation(ctx, sql, mut)
+}
+
+// ExecMutation applies an already compiled mutation — the prepared-
+// statement path. Semantics match Exec exactly.
+func (e *Engine) ExecMutation(ctx context.Context, sql string, mut ra.Mutation) (*ExecResult, error) {
+	if e.isClosed() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if err := e.admit.acquire(ctx); err != nil {
 		if errors.Is(err, ErrOverloaded) {

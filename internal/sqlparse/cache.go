@@ -1,0 +1,127 @@
+package sqlparse
+
+import (
+	"sync"
+
+	"factordb/internal/ra"
+)
+
+// Compiled is a cached front-end result for one exact SQL byte string:
+// either a query plan (Plan != nil) or a mutation (Mutation != nil).
+// Entries are immutable once published and are shared freely across
+// goroutines — plans are read-only after canonicalization.
+type Compiled struct {
+	Plan        ra.Plan
+	Spec        ra.ResultSpec
+	Cols        []string
+	Fingerprint string // canonical plan fingerprint (qfp1:...)
+	Mutation    ra.Mutation
+}
+
+// PlanCache memoizes Compile / CompileExec keyed on the raw SQL string,
+// so a repeated spelling skips lexing, parsing and canonicalization
+// entirely. Keys are exact byte strings: "SELECT  *" and "select *" are
+// distinct entries even though they canonicalize to the same plan.
+//
+// Entries are plan-only — they hold no data, no bound statistics and no
+// results — so they never need invalidating when the database mutates.
+// Data-epoch invalidation of *result* caches is a separate, unchanged
+// mechanism downstream.
+//
+// Eviction is FIFO with a fixed capacity. A nil *PlanCache is valid and
+// simply compiles every call (no caching).
+type PlanCache struct {
+	mu      sync.Mutex
+	entries map[string]*Compiled
+	order   []string // insertion order, for FIFO eviction
+	cap     int
+}
+
+// DefaultPlanCacheSize is the entry capacity used when a PlanCache is
+// constructed with a non-positive size.
+const DefaultPlanCacheSize = 256
+
+// NewPlanCache returns a cache holding up to capacity compiled
+// statements (DefaultPlanCacheSize if capacity <= 0).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &PlanCache{entries: make(map[string]*Compiled, capacity), cap: capacity}
+}
+
+// Len reports the number of cached statements.
+func (pc *PlanCache) Len() int {
+	if pc == nil {
+		return 0
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.entries)
+}
+
+func (pc *PlanCache) get(sql string) *Compiled {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.entries[sql]
+}
+
+func (pc *PlanCache) put(sql string, c *Compiled) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if _, ok := pc.entries[sql]; ok {
+		pc.entries[sql] = c // refresh in place; keep original queue slot
+		return
+	}
+	for len(pc.entries) >= pc.cap && len(pc.order) > 0 {
+		victim := pc.order[0]
+		pc.order = pc.order[1:]
+		delete(pc.entries, victim)
+	}
+	pc.entries[sql] = c
+	pc.order = append(pc.order, sql)
+}
+
+// CompileQuery returns the compiled form of a SELECT, consulting the
+// cache first. The second result reports whether the call was a cache
+// hit. Only successful compiles are cached; error results are
+// recomputed each time (they are not the hot path).
+func (pc *PlanCache) CompileQuery(sql string) (*Compiled, bool, error) {
+	if pc != nil {
+		if c := pc.get(sql); c != nil && c.Plan != nil {
+			return c, true, nil
+		}
+	}
+	plan, spec, err := Compile(sql)
+	if err != nil {
+		return nil, false, err
+	}
+	c := &Compiled{
+		Plan:        plan,
+		Spec:        spec,
+		Cols:        ra.OutputColumns(plan),
+		Fingerprint: ra.CanonicalFingerprint(plan),
+	}
+	if pc != nil {
+		pc.put(sql, c)
+	}
+	return c, false, nil
+}
+
+// CompileMutation returns the compiled form of a DML statement,
+// consulting the cache first; the second result reports a hit.
+func (pc *PlanCache) CompileMutation(sql string) (ra.Mutation, bool, error) {
+	if pc != nil {
+		if c := pc.get(sql); c != nil && c.Mutation != nil {
+			return c.Mutation, true, nil
+		}
+	}
+	mut, err := CompileExec(sql)
+	if err != nil {
+		return nil, false, err
+	}
+	if pc != nil {
+		pc.put(sql, &Compiled{Mutation: mut})
+	}
+	return mut, false, nil
+}

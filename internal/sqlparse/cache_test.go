@@ -1,0 +1,134 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestPlanCacheHitMiss(t *testing.T) {
+	pc := NewPlanCache(4)
+	c1, hit, err := pc.CompileQuery(query1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first compile reported a hit")
+	}
+	if c1.Plan == nil || c1.Fingerprint == "" || len(c1.Cols) != 1 || c1.Cols[0] != "STRING" {
+		t.Fatalf("Compiled = %+v, want plan, fingerprint and [STRING] columns", c1)
+	}
+	c2, hit, err := pc.CompileQuery(query1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second compile of identical bytes missed")
+	}
+	if c2 != c1 {
+		t.Error("hit returned a different Compiled pointer")
+	}
+	// The cache keys on exact bytes, before canonicalization: any textual
+	// difference is a miss even when the plan is identical.
+	if _, hit, _ := pc.CompileQuery(query1 + " "); hit {
+		t.Error("trailing-space variant hit the cache")
+	}
+}
+
+func TestPlanCacheMutationEntries(t *testing.T) {
+	pc := NewPlanCache(4)
+	const dml = `UPDATE TOKEN SET STRING='x' WHERE TOK_ID=1`
+	if _, hit, err := pc.CompileMutation(dml); err != nil || hit {
+		t.Fatalf("first CompileMutation: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := pc.CompileMutation(dml); err != nil || !hit {
+		t.Fatalf("second CompileMutation: hit=%v err=%v", hit, err)
+	}
+	// A SELECT asked for as a mutation must fail, not poison the cache.
+	if _, _, err := pc.CompileMutation(query1); err == nil {
+		t.Fatal("CompileMutation accepted a SELECT")
+	}
+	if _, hit, err := pc.CompileQuery(query1); err != nil || hit {
+		t.Fatalf("query compile after failed mutation compile: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	pc := NewPlanCache(2)
+	sqls := []string{
+		`SELECT STRING FROM TOKEN WHERE TOK_ID=1`,
+		`SELECT STRING FROM TOKEN WHERE TOK_ID=2`,
+		`SELECT STRING FROM TOKEN WHERE TOK_ID=3`,
+	}
+	for _, s := range sqls {
+		if _, _, err := pc.CompileQuery(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pc.Len() != 2 {
+		t.Fatalf("Len = %d, want capacity 2", pc.Len())
+	}
+	// FIFO: the first entry was evicted, the last two are resident.
+	if _, hit, _ := pc.CompileQuery(sqls[0]); hit {
+		t.Error("oldest entry survived past capacity")
+	}
+	if _, hit, _ := pc.CompileQuery(sqls[2]); !hit {
+		t.Error("newest entry was evicted")
+	}
+}
+
+func TestPlanCacheErrorsNotCached(t *testing.T) {
+	pc := NewPlanCache(4)
+	const bad = `SELECT FROM`
+	if _, _, err := pc.CompileQuery(bad); err == nil {
+		t.Fatal("bad SQL compiled")
+	}
+	if pc.Len() != 0 {
+		t.Fatalf("failed compile left %d cache entries", pc.Len())
+	}
+}
+
+func TestPlanCacheNilReceiver(t *testing.T) {
+	var pc *PlanCache
+	c, hit, err := pc.CompileQuery(query1)
+	if err != nil || hit || c == nil || c.Plan == nil {
+		t.Fatalf("nil cache CompileQuery = (%v, %v, %v), want uncached success", c, hit, err)
+	}
+	if _, hit, err := pc.CompileMutation(`DELETE FROM TOKEN WHERE TOK_ID=1`); err != nil || hit {
+		t.Fatalf("nil cache CompileMutation: hit=%v err=%v", hit, err)
+	}
+	if pc.Len() != 0 {
+		t.Error("nil cache has a length")
+	}
+}
+
+func TestPlanCacheUnboundPlaceholderError(t *testing.T) {
+	pc := NewPlanCache(4)
+	_, _, err := pc.CompileQuery(`SELECT STRING FROM TOKEN WHERE LABEL=?`)
+	if err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Fatalf("unbound placeholder through the cache = %v", err)
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	pc := NewPlanCache(8)
+	done := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func(g int) {
+			var err error
+			for i := 0; i < 200 && err == nil; i++ {
+				sql := fmt.Sprintf("SELECT STRING FROM TOKEN WHERE TOK_ID=%d", i%12)
+				_, _, err = pc.CompileQuery(sql)
+			}
+			done <- err
+		}(g)
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pc.Len() > 8 {
+		t.Fatalf("cache grew past capacity: %d", pc.Len())
+	}
+}

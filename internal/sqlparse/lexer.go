@@ -1,10 +1,20 @@
 // Package sqlparse implements a hand-rolled SQL front-end for the query
 // dialect used in the paper's evaluation (Queries 1-4): single- and
-// multi-table SELECT with conjunctive WHERE clauses, COUNT(*) aggregates,
-// GROUP BY with HAVING, ORDER BY / LIMIT (including the marginal
-// pseudo-column P for ranked answers), and the correlated
-// COUNT(*)-subquery equality pattern of Query 3, which the planner
-// lowers to a single incrementally maintainable group-aggregate join.
+// multi-table SELECT with conjunctive WHERE clauses (comma joins and
+// JOIN ... ON), COUNT(*) aggregates, GROUP BY with HAVING, ORDER BY /
+// LIMIT (including the marginal pseudo-column P for ranked answers),
+// IN lists, IN/EXISTS subquery predicates, the correlated
+// COUNT(*)-subquery equality pattern of Query 3 (which the planner
+// lowers to a single incrementally maintainable group-aggregate join),
+// INSERT/UPDATE/DELETE mutations, ? placeholders, and EXPLAIN.
+//
+// The front end is built for the serving hot path: the lexer is a
+// byte-scan state machine over [256]bool character-class tables that
+// batch-tokenizes a statement into a reusable arena-backed slice of
+// source sub-slices (tokenizing allocates nothing on a warm arena), the
+// parser builds its AST out of a pooled per-parse arena, and
+// Compile/CompileExec sit behind PlanCache so a repeated SQL spelling
+// skips the front end entirely.
 package sqlparse
 
 import (
@@ -25,19 +35,199 @@ const (
 )
 
 type token struct {
-	kind tokKind
 	text string // keywords upper-cased, symbols canonical
-	pos  int
+	pos  int32  // byte offset in the source (int32 keeps the struct at 24 bytes)
+	kind tokKind
 }
 
-var keywords = map[string]bool{
-	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
-	"COUNT": true, "AS": true, "GROUP": true, "BY": true,
-	"SUM": true, "AVG": true, "MIN": true, "MAX": true,
-	"DISTINCT": true, "HAVING": true, "ORDER": true, "LIMIT": true,
-	"ASC": true, "DESC": true,
-	"INSERT": true, "INTO": true, "VALUES": true,
-	"UPDATE": true, "SET": true, "DELETE": true,
+// Character-class tables, indexed by raw byte. They are filled from the
+// unicode predicates the previous rune-based lexer applied to each byte
+// (note: byte, not decoded rune — bytes ≥ 0x80 classify as their
+// Latin-1 code points, exactly as before), so classification is a table
+// load instead of a function call but admits the identical language.
+var (
+	isSpaceB  [256]bool
+	isDigitB  [256]bool
+	isLetterB [256]bool
+	classB    [256]uint8  // bit flags below; the only table the hot loop touches
+	symText   [256]string // canonical constant spelling of single-byte symbols
+)
+
+// classB bit flags. Folding every class into one 256-byte table keeps
+// the whole classifier in four cache lines and lets one load serve both
+// the whitespace skip and the token dispatch.
+const (
+	cIdent   uint8 = 1 << iota // letter, digit, or '_': identifier continuation
+	cFold                      // strings.ToUpper might rewrite this byte
+	cStart                     // letter or '_': identifier start
+	cSpace                     // whitespace
+	cDigit                     // decimal digit: number start
+	cNumCont                   // digit or '.': number continuation
+	cSym                       // single-byte symbol with a canonical spelling in symText
+)
+
+func init() {
+	for b := 0; b < 256; b++ {
+		r := rune(b)
+		isSpaceB[b] = unicode.IsSpace(r)
+		isDigitB[b] = unicode.IsDigit(r)
+		isLetterB[b] = unicode.IsLetter(r)
+		if isLetterB[b] || isDigitB[b] || b == '_' {
+			classB[b] |= cIdent
+		}
+		if isLetterB[b] || b == '_' {
+			classB[b] |= cStart
+		}
+		// ASCII lowercase folds; bytes >= 0x80 may be part of a multi-byte
+		// rune whose upper case differs, so they conservatively fold too.
+		if ('a' <= b && b <= 'z') || b >= 0x80 {
+			classB[b] |= cFold
+		}
+		if isSpaceB[b] {
+			classB[b] |= cSpace
+		}
+		if isDigitB[b] {
+			classB[b] |= cDigit
+		}
+		if isDigitB[b] || b == '.' {
+			classB[b] |= cNumCont
+		}
+	}
+	for _, c := range []byte{',', '.', '(', ')', '=', '*', '?', '<', '>'} {
+		symText[c] = string([]byte{c})
+	}
+	// '<' and '>' are excluded from cSym: they need a lookahead for the
+	// two-byte <=, <>, >= spellings.
+	for _, c := range []byte{',', '.', '(', ')', '=', '*', '?'} {
+		classB[c] |= cSym
+	}
+}
+
+// keywordsByLen buckets the reserved words by length so a candidate
+// identifier that needs case folding is compared against at most a
+// handful of same-length strings without upper-casing it first. A hit
+// returns the canonical (constant) spelling, so keyword tokens never
+// allocate regardless of the input's case.
+var keywordsByLen = [9][]string{
+	2: {"AS", "BY", "IN", "ON"},
+	3: {"AND", "SUM", "AVG", "MIN", "MAX", "SET", "ASC", "NOT"},
+	4: {"FROM", "DESC", "INTO", "JOIN"},
+	5: {"WHERE", "COUNT", "GROUP", "ORDER", "LIMIT", "INNER"},
+	6: {"SELECT", "HAVING", "INSERT", "VALUES", "UPDATE", "DELETE", "EXISTS"},
+	7: {"EXPLAIN"},
+	8: {"DISTINCT"},
+}
+
+// isKeywordUpper reports whether the already-uppercase word s is a
+// reserved word. Length then first-byte dispatch rejects almost every
+// identifier without a single string comparison, and a real keyword
+// pays at most two short memequals — on the hot path (canonical SQL is
+// upper-cased) this is the only keyword check that runs.
+func isKeywordUpper(s string) bool {
+	switch len(s) {
+	case 2:
+		switch s[0] {
+		case 'A':
+			return s == "AS"
+		case 'B':
+			return s == "BY"
+		case 'I':
+			return s == "IN"
+		case 'O':
+			return s == "ON"
+		}
+	case 3:
+		switch s[0] {
+		case 'A':
+			return s == "AND" || s == "AVG" || s == "ASC"
+		case 'S':
+			return s == "SUM" || s == "SET"
+		case 'M':
+			return s == "MIN" || s == "MAX"
+		case 'N':
+			return s == "NOT"
+		}
+	case 4:
+		switch s[0] {
+		case 'F':
+			return s == "FROM"
+		case 'D':
+			return s == "DESC"
+		case 'I':
+			return s == "INTO"
+		case 'J':
+			return s == "JOIN"
+		}
+	case 5:
+		switch s[0] {
+		case 'W':
+			return s == "WHERE"
+		case 'C':
+			return s == "COUNT"
+		case 'G':
+			return s == "GROUP"
+		case 'O':
+			return s == "ORDER"
+		case 'L':
+			return s == "LIMIT"
+		case 'I':
+			return s == "INNER"
+		}
+	case 6:
+		switch s[0] {
+		case 'S':
+			return s == "SELECT"
+		case 'H':
+			return s == "HAVING"
+		case 'I':
+			return s == "INSERT"
+		case 'V':
+			return s == "VALUES"
+		case 'U':
+			return s == "UPDATE"
+		case 'D':
+			return s == "DELETE"
+		case 'E':
+			return s == "EXISTS"
+		}
+	case 7:
+		return s == "EXPLAIN"
+	case 8:
+		return s == "DISTINCT"
+	}
+	return false
+}
+
+// keywordOf returns the canonical spelling of s if it is a reserved
+// word (matched ASCII-case-insensitively), or "". Only words that
+// contain foldable bytes come here; all-uppercase words take the
+// isKeywordUpper fast path instead.
+func keywordOf(s string) string {
+	if len(s) >= len(keywordsByLen) {
+		return ""
+	}
+	for _, kw := range keywordsByLen[len(s)] {
+		if foldEqUpper(s, kw) {
+			return kw
+		}
+	}
+	return ""
+}
+
+// foldEqUpper reports whether s equals the all-uppercase ASCII string
+// upper under ASCII case folding. len(s) == len(upper) is the caller's
+// invariant (same length bucket).
+func foldEqUpper(s, upper string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != upper[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // lineCol converts a byte offset into 1-based line and column numbers,
@@ -66,100 +256,239 @@ func posErrf(input string, off int, format string, args ...any) error {
 	return fmt.Errorf("sqlparse: line %d column %d: %s", line, col, fmt.Sprintf(format, args...))
 }
 
-// lex splits the input into tokens.
-func lex(input string) ([]token, error) {
-	var toks []token
+// tokenize batch-scans src into dst (reusing its capacity) and returns
+// the token stream terminated by an EOF sentinel. Token text is a
+// sub-slice of src (or a canonical constant), so scanning a statement
+// allocates nothing beyond dst's growth; the two exceptions are string
+// literals containing the ” escape and identifiers containing
+// lowercase letters. On a lex error the tokens scanned so far are
+// returned (still EOF-terminated) together with the error positioned at
+// the offending byte; the parser then treats the stream as truncated
+// and reports the lex error first, exactly as if the whole statement
+// had been lexed before parsing began.
+func tokenize(src string, dst []token) ([]token, error) {
+	// Worst case is one token per source byte plus the EOF sentinel, so
+	// after this single capacity check every emit below is an indexed
+	// store with no per-token append bookkeeping. The arena (and the
+	// benchmarks) hand the returned slice back in, so the buffer is
+	// paid for once per connection, not per statement.
+	if cap(dst) < len(src)+1 {
+		dst = make([]token, 0, len(src)+1)
+	}
+	buf := dst[:cap(dst)]
+	n := 0
 	i := 0
-	for i < len(input) {
-		c := rune(input[i])
+	var flags uint8
+	// The scan is a small goto machine so that a class byte is loaded
+	// exactly once per source byte: the ident and number loops hand the
+	// class of their terminating byte straight to the next dispatch
+	// (goto classified) instead of letting the top of the loop reload it.
+scan:
+	if i >= len(src) {
+		buf[n] = token{"", int32(len(src)), tkEOF}
+		return buf[:n+1], nil
+	}
+	flags = classB[src[i]]
+classified:
+	if flags&cSpace != 0 {
+		i++
+		goto scan
+	}
+	// Identifier/keyword start is the most common class in SQL text,
+	// so it is tested first.
+	if flags&cStart != 0 {
+		wf := flags
+		j := i + 1
+		var cl uint8
+		for j < len(src) {
+			cl = classB[src[j]]
+			if cl&cIdent == 0 {
+				break
+			}
+			wf |= cl
+			j++
+		}
+		word := src[i:j]
 		switch {
-		case unicode.IsSpace(c):
-			i++
-		case c == '\'':
-			// Standard SQL string literal: '' inside the quotes is an
-			// escaped single quote ('O''Brien' is the value O'Brien).
-			var sb strings.Builder
-			j := i + 1
-			closed := false
-			for j < len(input) {
-				if input[j] == '\'' {
-					if j+1 < len(input) && input[j+1] == '\'' {
-						sb.WriteByte('\'')
-						j += 2
-						continue
-					}
-					closed = true
-					break
-				}
-				sb.WriteByte(input[j])
-				j++
-			}
-			if !closed {
-				return nil, posErrf(input, i, "unterminated string literal")
-			}
-			toks = append(toks, token{tkString, sb.String(), i})
-			i = j + 1
-		case unicode.IsDigit(c):
-			j := i
-			dots := 0
-			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
-				if input[j] == '.' {
-					dots++
-				}
-				j++
-			}
-			if dots > 1 {
-				return nil, posErrf(input, i, "malformed number %q", input[i:j])
-			}
-			toks = append(toks, token{tkNumber, input[i:j], i})
-			i = j
-		case unicode.IsLetter(c) || c == '_':
-			j := i
-			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
-				j++
-			}
-			// Unquoted identifiers fold to upper case, as in standard SQL;
-			// schema names in the engine are canonically upper-cased.
-			up := strings.ToUpper(input[i:j])
-			if keywords[up] {
-				toks = append(toks, token{tkKeyword, up, i})
+		case wf&cFold == 0:
+			// Already canonically upper-cased: keywords and
+			// identifiers alike are returned as sub-slices.
+			if isKeywordUpper(word) {
+				buf[n] = token{word, int32(i), tkKeyword}
 			} else {
-				toks = append(toks, token{tkIdent, up, i})
+				buf[n] = token{word, int32(i), tkIdent}
 			}
-			i = j
 		default:
-			switch c {
-			case ',', '.', '(', ')', '=', '*':
-				toks = append(toks, token{tkSymbol, string(c), i})
-				i++
-			case '<':
-				if i+1 < len(input) && (input[i+1] == '=' || input[i+1] == '>') {
-					toks = append(toks, token{tkSymbol, input[i : i+2], i})
-					i += 2
-				} else {
-					toks = append(toks, token{tkSymbol, "<", i})
-					i++
-				}
-			case '>':
-				if i+1 < len(input) && input[i+1] == '=' {
-					toks = append(toks, token{tkSymbol, ">=", i})
-					i += 2
-				} else {
-					toks = append(toks, token{tkSymbol, ">", i})
-					i++
-				}
-			case '!':
-				if i+1 < len(input) && input[i+1] == '=' {
-					toks = append(toks, token{tkSymbol, "!=", i})
-					i += 2
-				} else {
-					return nil, posErrf(input, i, "unexpected '!'")
-				}
-			default:
-				return nil, posErrf(input, i, "unexpected character %q", c)
+			if kw := keywordOf(word); kw != "" {
+				buf[n] = token{kw, int32(i), tkKeyword}
+			} else {
+				// Unquoted identifiers fold to upper case, as in
+				// standard SQL; schema names in the engine are
+				// canonically upper-cased.
+				buf[n] = token{strings.ToUpper(word), int32(i), tkIdent}
 			}
 		}
+		n++
+		i = j
+		if j < len(src) {
+			flags = cl
+			goto classified
+		}
+		buf[n] = token{"", int32(len(src)), tkEOF}
+		return buf[:n+1], nil
 	}
-	toks = append(toks, token{tkEOF, "", len(input)})
-	return toks, nil
+	c := src[i]
+	switch {
+	case flags&cSym != 0:
+		buf[n] = token{symText[c], int32(i), tkSymbol}
+		n++
+		i++
+		goto scan
+	case c == '\'':
+		// Inline scan to the closing quote; literals with the ''
+		// escape (or no terminator) drop to the cold helper.
+		j := i + 1
+		for j < len(src) && src[j] != '\'' {
+			j++
+		}
+		if j >= len(src) || (j+1 < len(src) && src[j+1] == '\'') {
+			tok, k, err := lexString(src, i)
+			if err != nil {
+				buf[n] = token{"", int32(len(src)), tkEOF}
+				return buf[:n+1], err
+			}
+			buf[n] = tok
+			n++
+			i = k
+			goto scan
+		}
+		buf[n] = token{src[i+1 : j], int32(i), tkString}
+		n++
+		i = j + 1
+		goto scan
+	case flags&cDigit != 0:
+		j := i + 1
+		dots := 0
+		var cl uint8
+		for j < len(src) {
+			cl = classB[src[j]]
+			if cl&cNumCont == 0 {
+				break
+			}
+			if src[j] == '.' {
+				dots++
+			}
+			j++
+		}
+		if dots > 1 {
+			buf[n] = token{"", int32(len(src)), tkEOF}
+			return buf[:n+1], posErrf(src, i, "malformed number %q", src[i:j])
+		}
+		buf[n] = token{src[i:j], int32(i), tkNumber}
+		n++
+		i = j
+		if j < len(src) {
+			flags = cl
+			goto classified
+		}
+		buf[n] = token{"", int32(len(src)), tkEOF}
+		return buf[:n+1], nil
+	}
+	switch c {
+	case '<':
+		if i+1 < len(src) && (src[i+1] == '=' || src[i+1] == '>') {
+			buf[n] = token{src[i : i+2], int32(i), tkSymbol}
+			n++
+			i += 2
+		} else {
+			buf[n] = token{"<", int32(i), tkSymbol}
+			n++
+			i++
+		}
+	case '>':
+		if i+1 < len(src) && src[i+1] == '=' {
+			buf[n] = token{">=", int32(i), tkSymbol}
+			n++
+			i += 2
+		} else {
+			buf[n] = token{">", int32(i), tkSymbol}
+			n++
+			i++
+		}
+	case '!':
+		if i+1 < len(src) && src[i+1] == '=' {
+			buf[n] = token{"!=", int32(i), tkSymbol}
+			n++
+			i += 2
+		} else {
+			buf[n] = token{"", int32(len(src)), tkEOF}
+			return buf[:n+1], posErrf(src, i, "unexpected '!'")
+		}
+	default:
+		buf[n] = token{"", int32(len(src)), tkEOF}
+		return buf[:n+1], posErrf(src, i, "unexpected character %q", rune(c))
+	}
+	goto scan
+}
+
+// lexString scans a standard SQL string literal starting at the opening
+// quote: ” inside the quotes is an escaped single quote ('O”Brien' is
+// the value O'Brien). Literals without the escape — the overwhelmingly
+// common case — are returned as sub-slices of the source. The second
+// return value is the offset just past the closing quote.
+func lexString(src string, i int) (token, int, error) {
+	j := i + 1
+	for j < len(src) {
+		if src[j] == '\'' {
+			if j+1 < len(src) && src[j+1] == '\'' {
+				return lexEscapedString(src, i, j)
+			}
+			return token{src[i+1 : j], int32(i), tkString}, j + 1, nil
+		}
+		j++
+	}
+	return token{}, 0, posErrf(src, i, "unterminated string literal")
+}
+
+// lexEscapedString resumes a string literal scan at its first ” escape
+// (offset j names the escape's first quote) and unescapes into a fresh
+// buffer — the cold path.
+func lexEscapedString(src string, i, j int) (token, int, error) {
+	var sb strings.Builder
+	sb.WriteString(src[i+1 : j])
+	for j < len(src) {
+		if src[j] == '\'' {
+			if j+1 < len(src) && src[j+1] == '\'' {
+				sb.WriteByte('\'')
+				j += 2
+				continue
+			}
+			return token{sb.String(), int32(i), tkString}, j + 1, nil
+		}
+		sb.WriteByte(src[j])
+		j++
+	}
+	return token{}, 0, posErrf(src, i, "unterminated string literal")
+}
+
+// leadingKeyword returns the canonical keyword spelling of src's first
+// word ("" if it is not a reserved word or src does not start with one)
+// and the offset just past it.
+func leadingKeyword(src string) (kw string, end int) {
+	i := 0
+	for i < len(src) && isSpaceB[src[i]] {
+		i++
+	}
+	j := i
+	for j < len(src) && classB[src[j]]&cIdent != 0 {
+		j++
+	}
+	word := src[i:j]
+	if word == "" {
+		return "", j
+	}
+	if isKeywordUpper(word) {
+		return word, j
+	}
+	return keywordOf(word), j
 }

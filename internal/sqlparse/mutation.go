@@ -11,10 +11,25 @@ import (
 // lowers it to the typed mutation IR. A SELECT is rejected with a pointer
 // at the read API, mirroring Compile's rejection of DML.
 func CompileExec(sql string) (ra.Mutation, error) {
-	stmt, err := ParseStatement(sql)
+	p := parserPool.Get().(*parser)
+	p.reset(sql)
+	stmt, err := p.parseInput()
 	if err != nil {
+		parserPool.Put(p)
 		return nil, err
 	}
+	mut, err := lowerStatement(sql, stmt)
+	parserPool.Put(p)
+	return mut, err
+}
+
+// LowerMutation lowers an already parsed DML statement (the prepared-
+// statement path, where the AST outlives the parse).
+func LowerMutation(sql string, stmt *Statement) (ra.Mutation, error) {
+	return lowerStatement(sql, stmt)
+}
+
+func lowerStatement(sql string, stmt *Statement) (ra.Mutation, error) {
 	switch {
 	case stmt.Insert != nil:
 		return lowerInsert(stmt.Insert)
@@ -22,6 +37,8 @@ func CompileExec(sql string) (ra.Mutation, error) {
 		return lowerUpdate(stmt.Update)
 	case stmt.Delete != nil:
 		return lowerDelete(stmt.Delete)
+	case stmt.Explain != nil:
+		return nil, posErrf(sql, 0, "EXPLAIN is a diagnostic statement (issue it through the factordb query API)")
 	}
 	return nil, posErrf(sql, 0, "SELECT is a query, not a DML statement (use Query)")
 }
@@ -31,7 +48,11 @@ func lowerInsert(st *InsertStmt) (ra.Mutation, error) {
 	for _, row := range st.Rows {
 		vals := make([]relstore.Value, len(row))
 		for i, op := range row {
-			vals[i] = operandValue(op)
+			v, err := operandConst(op)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
 		}
 		m.Rows = append(m.Rows, vals)
 	}
@@ -41,7 +62,11 @@ func lowerInsert(st *InsertStmt) (ra.Mutation, error) {
 func lowerUpdate(st *UpdateStmt) (ra.Mutation, error) {
 	m := &ra.Update{TableName: st.Table.Name, Alias: st.Table.Alias}
 	for _, a := range st.Set {
-		m.Set = append(m.Set, ra.SetClause{Col: a.Col, Val: operandValue(a.Val)})
+		v, err := operandConst(a.Val)
+		if err != nil {
+			return nil, err
+		}
+		m.Set = append(m.Set, ra.SetClause{Col: a.Col, Val: v})
 	}
 	where, err := lowerDMLWhere(st.Where, st.Table.Alias)
 	if err != nil {
@@ -74,11 +99,19 @@ func lowerDMLWhere(conds []Cond, alias string) (ra.Expr, error) {
 	}
 	exprs := make([]ra.Expr, len(conds))
 	for i, c := range conds {
-		op, err := cmpOpOf(c.Op)
+		l, err := ref(c.Left)
 		if err != nil {
 			return nil, err
 		}
-		l, err := ref(c.Left)
+		if c.In != nil {
+			expr, err := inListExpr(l, c.In)
+			if err != nil {
+				return nil, err
+			}
+			exprs[i] = expr
+			continue
+		}
+		op, err := cmpOpOf(c.Op)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +123,11 @@ func lowerDMLWhere(conds []Cond, alias string) (ra.Expr, error) {
 			}
 			rhs = ra.Col(r)
 		} else {
-			rhs = ra.Const(operandValue(c.Right))
+			v, err := operandConst(c.Right)
+			if err != nil {
+				return nil, err
+			}
+			rhs = ra.Const(v)
 		}
 		exprs[i] = ra.Cmp(op, ra.Col(l), rhs)
 	}

@@ -34,7 +34,8 @@ type TableRef struct {
 	Alias string
 }
 
-// Operand is the right-hand side of a comparison.
+// Operand is the right-hand side of a comparison: a column, a literal,
+// or a ? placeholder awaiting a prepared-statement argument.
 type Operand struct {
 	IsCol bool
 	Col   ColName
@@ -43,19 +44,42 @@ type Operand struct {
 	IsInt bool
 	Int   int64
 	Float float64
+
+	IsParam bool
+	Param   int // 0-based placeholder position within the statement
 }
 
-// Cond is one conjunct of the WHERE clause: either a simple comparison or
-// an equality between two scalar COUNT(*) subqueries (Query 3's pattern).
+// Cond is one conjunct of the WHERE clause: a simple comparison, an
+// equality between two scalar COUNT(*) subqueries (Query 3's pattern),
+// an IN predicate, or an EXISTS predicate.
 type Cond struct {
 	Left  ColName
 	Op    string
 	Right Operand
 
-	SubEq *SubEq
+	SubEq  *SubEq
+	In     *InPred   // Left IN (...) — Op and Right unused
+	Exists *SubQuery // EXISTS (SELECT * FROM t WHERE ...) — Left, Op, Right unused
 }
 
-// SubQuery is a correlated scalar subquery SELECT COUNT(*) FROM t a WHERE ...
+// InPred is the tail of an IN predicate: either a literal list or an
+// uncorrelated-column subquery (exactly one of Values/Sub is set).
+type InPred struct {
+	Not    bool // NOT IN — literal lists only
+	Values []Operand
+	Sub    *InSub
+}
+
+// InSub is col IN (SELECT c FROM t [alias] [WHERE local-predicates]).
+type InSub struct {
+	Col   ColName // the inner select's column, optionally alias-qualified
+	Table TableRef
+	Conds []Cond
+}
+
+// SubQuery is a correlated subquery body: SELECT COUNT(*) FROM t a
+// WHERE ... in subquery-equality position, SELECT * FROM t a WHERE ...
+// under EXISTS.
 type SubQuery struct {
 	Table TableRef
 	Conds []Cond
@@ -97,7 +121,8 @@ type Query struct {
 }
 
 // Assign is one SET assignment of an UPDATE statement. Values are
-// literals: the dialect has no expressions on the write path.
+// literals or placeholders: the dialect has no expressions on the write
+// path.
 type Assign struct {
 	Col string
 	Val Operand
@@ -127,11 +152,16 @@ type DeleteStmt struct {
 }
 
 // Statement is one parsed SQL statement: exactly one field is non-nil.
+// Params counts the ? placeholders in the statement; a statement with
+// Params > 0 cannot be planned until BindArgs substitutes arguments.
 type Statement struct {
-	Select *Query
-	Insert *InsertStmt
-	Update *UpdateStmt
-	Delete *DeleteStmt
+	Select  *Query
+	Insert  *InsertStmt
+	Update  *UpdateStmt
+	Delete  *DeleteStmt
+	Explain *Statement // EXPLAIN <stmt>: the wrapped statement
+
+	Params int
 }
 
 // Kind returns the statement's leading keyword, for diagnostics.
@@ -145,71 +175,106 @@ func (s *Statement) Kind() string {
 		return "UPDATE"
 	case s.Delete != nil:
 		return "DELETE"
+	case s.Explain != nil:
+		return "EXPLAIN"
 	}
 	return "empty"
 }
 
+// arena holds the backing arrays for every AST slice a parse produces.
+// Lists are carved out of these arrays as value sub-slices (capped, so
+// later growth cannot clobber them); a pooled parser resets the lengths
+// to zero and reuses the same arrays on its next parse. Lists that can
+// be under construction at the same time use distinct arrays: outer
+// WHERE/ON conjuncts accumulate in conds while any subquery's conjuncts
+// — which always complete before the outer list resumes — carve from
+// subConds.
+type arena struct {
+	toks     []token // batch-tokenized statement, EOF-terminated
+	conds    []Cond
+	subConds []Cond
+	items    []SelectItem
+	from     []TableRef
+	group    []ColName
+	having   []HavingCond
+	order    []OrderItem
+	assigns  []Assign
+	operands []Operand
+	rows     [][]Operand
+	strs     []string
+}
+
+func (a *arena) reset() {
+	a.conds = a.conds[:0]
+	a.subConds = a.subConds[:0]
+	a.items = a.items[:0]
+	a.from = a.from[:0]
+	a.group = a.group[:0]
+	a.having = a.having[:0]
+	a.order = a.order[:0]
+	a.assigns = a.assigns[:0]
+	a.operands = a.operands[:0]
+	a.rows = a.rows[:0]
+	a.strs = a.strs[:0]
+}
+
+// parser walks the batch-tokenized statement by index, with arbitrary
+// lookahead over the arena-backed token slice (the grammar needs two
+// tokens: cur plus peek). The stream always ends in an EOF sentinel; on
+// a lex error the stream is truncated at the offending byte and the
+// error parks in lexErr, which takes precedence over any parse error at
+// the statement boundary — the statement is fully lexed before parsing
+// begins, so lexer errors surface first.
 type parser struct {
-	src  string // original query text, for line/column error positions
-	toks []token
-	i    int
+	src    string // original query text, for line/column error positions
+	lexErr error
+	toks   []token // EOF-terminated, owned by the arena
+	ti     int
+	params int
+	a      arena
 }
 
-// Parse parses one SELECT statement of the supported dialect. DML
-// statements are parsed by ParseStatement; passing one here reports the
-// read/write API split rather than a token-level error.
-func Parse(input string) (*Query, error) {
-	stmt, err := ParseStatement(input)
-	if err != nil {
-		return nil, err
-	}
-	if stmt.Select == nil {
-		return nil, posErrf(input, 0, "%s is a DML statement, not a query (use Exec)", stmt.Kind())
-	}
-	return stmt.Select, nil
+func (p *parser) reset(input string) {
+	p.src = input
+	p.a.reset()
+	p.toks, p.lexErr = tokenize(input, p.a.toks[:0])
+	p.a.toks = p.toks
+	p.ti = 0
+	p.params = 0
 }
 
-// ParseStatement parses one statement of the supported dialect: a SELECT
-// query or an INSERT/UPDATE/DELETE mutation.
-func ParseStatement(input string) (*Statement, error) {
-	toks, err := lex(input)
-	if err != nil {
-		return nil, err
-	}
-	p := &parser{src: input, toks: toks}
-	stmt := &Statement{}
-	switch {
-	case p.at(tkKeyword, "SELECT"):
-		stmt.Select, err = p.parseQuery(false)
-	case p.at(tkKeyword, "INSERT"):
-		stmt.Insert, err = p.parseInsert()
-	case p.at(tkKeyword, "UPDATE"):
-		stmt.Update, err = p.parseUpdate()
-	case p.at(tkKeyword, "DELETE"):
-		stmt.Delete, err = p.parseDelete()
-	default:
-		return nil, p.errf("expected SELECT, INSERT, UPDATE or DELETE, found %q", p.cur().text)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if !p.at(tkEOF, "") {
-		return nil, p.errf("trailing input starting at %q", p.cur().text)
-	}
-	return stmt, nil
+func (p *parser) cur() token {
+	return p.toks[p.ti]
 }
 
-func (p *parser) cur() token  { return p.toks[p.i] }
-func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) peek() token {
+	if p.ti+1 < len(p.toks) {
+		return p.toks[p.ti+1]
+	}
+	return p.toks[len(p.toks)-1] // the EOF sentinel
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.ti]
+	if t.kind != tkEOF {
+		p.ti++
+	}
+	return t
+}
 
 func (p *parser) at(kind tokKind, text string) bool {
 	t := p.cur()
 	return t.kind == kind && (text == "" || t.text == text)
 }
 
+func (p *parser) peekAt(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
 func (p *parser) accept(kind tokKind, text string) bool {
 	if p.at(kind, text) {
-		p.i++
+		p.next()
 		return true
 	}
 	return false
@@ -229,7 +294,88 @@ func (p *parser) expect(kind tokKind, text string) (token, error) {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return posErrf(p.src, p.cur().pos, format, args...)
+	return posErrf(p.src, int(p.cur().pos), format, args...)
+}
+
+// Parse parses one SELECT statement of the supported dialect. DML
+// statements are parsed by ParseStatement; passing one here reports the
+// read/write API split rather than a token-level error.
+func Parse(input string) (*Query, error) {
+	stmt, err := ParseStatement(input)
+	if err != nil {
+		return nil, err
+	}
+	return selectOf(input, stmt)
+}
+
+func selectOf(input string, stmt *Statement) (*Query, error) {
+	if stmt.Explain != nil {
+		return nil, posErrf(input, 0, "EXPLAIN is a diagnostic statement (issue it through the factordb query API)")
+	}
+	if stmt.Select == nil {
+		return nil, posErrf(input, 0, "%s is a DML statement, not a query (use Exec)", stmt.Kind())
+	}
+	return stmt.Select, nil
+}
+
+// ParseStatement parses one statement of the supported dialect: a SELECT
+// query, an INSERT/UPDATE/DELETE mutation, or EXPLAIN wrapping either.
+// The returned AST is freshly allocated and safe to retain (prepared
+// statements do); the pooled-arena fast path is reserved for the
+// Compile/CompileExec entry points, whose ASTs never escape.
+func ParseStatement(input string) (*Statement, error) {
+	p := &parser{}
+	p.reset(input)
+	return p.parseInput()
+}
+
+func (p *parser) parseInput() (*Statement, error) {
+	stmt, err := p.parseTop()
+	if err == nil && !p.at(tkEOF, "") {
+		err = p.errf("trailing input starting at %q", p.cur().text)
+	}
+	// A lexer error always outranks a parse error: the old lexer ran to
+	// completion before parsing began, so its errors surfaced first.
+	if p.lexErr != nil {
+		return nil, p.lexErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	stmt.Params = p.params
+	return stmt, nil
+}
+
+func (p *parser) parseTop() (*Statement, error) {
+	if p.accept(tkKeyword, "EXPLAIN") {
+		inner, err := p.parseOne()
+		if err != nil {
+			return nil, err
+		}
+		return &Statement{Explain: inner}, nil
+	}
+	return p.parseOne()
+}
+
+func (p *parser) parseOne() (*Statement, error) {
+	stmt := &Statement{}
+	var err error
+	switch {
+	case p.at(tkKeyword, "SELECT"):
+		stmt.Select, err = p.parseQuery(false)
+	case p.at(tkKeyword, "INSERT"):
+		stmt.Insert, err = p.parseInsert()
+	case p.at(tkKeyword, "UPDATE"):
+		stmt.Update, err = p.parseUpdate()
+	case p.at(tkKeyword, "DELETE"):
+		stmt.Delete, err = p.parseDelete()
+	default:
+		return nil, p.errf("expected SELECT, INSERT, UPDATE or DELETE, found %q", p.cur().text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return stmt, nil
 }
 
 // parseQuery parses SELECT ... FROM ... [WHERE ...] [GROUP BY ...]
@@ -244,16 +390,18 @@ func (p *parser) parseQuery(sub bool) (*Query, error) {
 	if p.accept(tkKeyword, "DISTINCT") {
 		q.Distinct = true
 	}
+	itemStart := len(p.a.items)
 	for {
 		item, err := p.parseSelectItem()
 		if err != nil {
 			return nil, err
 		}
-		q.Items = append(q.Items, item)
+		p.a.items = append(p.a.items, item)
 		if !p.accept(tkSymbol, ",") {
 			break
 		}
 	}
+	q.Items = p.a.items[itemStart:len(p.a.items):len(p.a.items)]
 	if sub {
 		if len(q.Items) != 1 || q.Items[0].Agg != "COUNT" || !q.Items[0].Star {
 			return nil, p.errf("subqueries must be SELECT COUNT(*)")
@@ -262,16 +410,66 @@ func (p *parser) parseQuery(sub bool) (*Query, error) {
 	if _, err := p.expect(tkKeyword, "FROM"); err != nil {
 		return nil, err
 	}
-	for {
-		tr, err := p.parseTableRef()
-		if err != nil {
-			return nil, err
-		}
-		q.From = append(q.From, tr)
-		if !p.accept(tkSymbol, ",") {
-			break
-		}
+	// Outer WHERE conjuncts and JOIN ... ON conjuncts share one carve
+	// region: ON conjuncts are sugar for WHERE conjuncts (the planner's
+	// classifier routes both to join keys or pushed filters), so they
+	// accumulate first and the WHERE clause extends the same list.
+	// Subquery conjunct lists carve from their own array (subConds), so
+	// a subquery parsed mid-clause never splits this region.
+	condBuf := &p.a.conds
+	if sub {
+		condBuf = &p.a.subConds
 	}
+	condStart := len(*condBuf)
+	fromStart := len(p.a.from)
+	tr, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	p.a.from = append(p.a.from, tr)
+	for {
+		if p.accept(tkSymbol, ",") {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			p.a.from = append(p.a.from, tr)
+			continue
+		}
+		if p.at(tkKeyword, "JOIN") || p.at(tkKeyword, "INNER") {
+			if sub {
+				return nil, p.errf("JOIN is not supported in subqueries")
+			}
+			if p.accept(tkKeyword, "INNER") {
+				if _, err := p.expect(tkKeyword, "JOIN"); err != nil {
+					return nil, err
+				}
+			} else {
+				p.next()
+			}
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			p.a.from = append(p.a.from, tr)
+			if _, err := p.expect(tkKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			for {
+				c, err := p.parseCond(sub)
+				if err != nil {
+					return nil, err
+				}
+				*condBuf = append(*condBuf, c)
+				if !p.accept(tkKeyword, "AND") {
+					break
+				}
+			}
+			continue
+		}
+		break
+	}
+	q.From = p.a.from[fromStart:len(p.a.from):len(p.a.from)]
 	if sub && len(q.From) != 1 {
 		return nil, p.errf("subqueries must reference exactly one table")
 	}
@@ -281,43 +479,51 @@ func (p *parser) parseQuery(sub bool) (*Query, error) {
 			if err != nil {
 				return nil, err
 			}
-			q.Where = append(q.Where, c)
+			*condBuf = append(*condBuf, c)
 			if !p.accept(tkKeyword, "AND") {
 				break
 			}
 		}
+	}
+	if len(*condBuf) > condStart {
+		q.Where = (*condBuf)[condStart:len(*condBuf):len(*condBuf)]
 	}
 	if !sub && p.accept(tkKeyword, "GROUP") {
 		if _, err := p.expect(tkKeyword, "BY"); err != nil {
 			return nil, err
 		}
+		start := len(p.a.group)
 		for {
 			col, err := p.parseColName()
 			if err != nil {
 				return nil, err
 			}
-			q.GroupBy = append(q.GroupBy, col)
+			p.a.group = append(p.a.group, col)
 			if !p.accept(tkSymbol, ",") {
 				break
 			}
 		}
+		q.GroupBy = p.a.group[start:len(p.a.group):len(p.a.group)]
 	}
 	if !sub && p.accept(tkKeyword, "HAVING") {
+		start := len(p.a.having)
 		for {
 			hc, err := p.parseHavingCond()
 			if err != nil {
 				return nil, err
 			}
-			q.Having = append(q.Having, hc)
+			p.a.having = append(p.a.having, hc)
 			if !p.accept(tkKeyword, "AND") {
 				break
 			}
 		}
+		q.Having = p.a.having[start:len(p.a.having):len(p.a.having)]
 	}
 	if !sub && p.accept(tkKeyword, "ORDER") {
 		if _, err := p.expect(tkKeyword, "BY"); err != nil {
 			return nil, err
 		}
+		start := len(p.a.order)
 		for {
 			col, err := p.parseColName()
 			if err != nil {
@@ -329,11 +535,12 @@ func (p *parser) parseQuery(sub bool) (*Query, error) {
 			} else {
 				p.accept(tkKeyword, "ASC")
 			}
-			q.OrderBy = append(q.OrderBy, item)
+			p.a.order = append(p.a.order, item)
 			if !p.accept(tkSymbol, ",") {
 				break
 			}
 		}
+		q.OrderBy = p.a.order[start:len(p.a.order):len(p.a.order)]
 	}
 	if !sub && p.accept(tkKeyword, "LIMIT") {
 		t := p.cur()
@@ -506,10 +713,21 @@ func (p *parser) parseCond(sub bool) (Cond, error) {
 		}
 		return Cond{SubEq: &SubEq{A: a, B: b}}, nil
 	}
+	if !sub && p.at(tkKeyword, "EXISTS") {
+		return p.parseExists()
+	}
+	if p.at(tkKeyword, "NOT") && p.peekAt(tkKeyword, "EXISTS") {
+		return Cond{}, p.errf("NOT EXISTS is not supported (rewrite it as a positive EXISTS on the complementary predicate)")
+	}
 
 	left, err := p.parseColName()
 	if err != nil {
 		return Cond{}, err
+	}
+	if p.at(tkKeyword, "IN") || (p.at(tkKeyword, "NOT") && p.peekAt(tkKeyword, "IN")) {
+		not := p.accept(tkKeyword, "NOT")
+		p.next() // IN
+		return p.parseInTail(left, not, sub)
 	}
 	op := p.cur()
 	if op.kind != tkSymbol || !cmpOps[op.text] {
@@ -524,6 +742,124 @@ func (p *parser) parseCond(sub bool) (Cond, error) {
 		return Cond{}, err
 	}
 	return Cond{Left: left, Op: op.text, Right: rhs}, nil
+}
+
+// parseInTail parses what follows "col IN" / "col NOT IN": a
+// parenthesized literal list, or (in outer WHERE position only) a
+// single-column subquery.
+func (p *parser) parseInTail(left ColName, not, sub bool) (Cond, error) {
+	if _, err := p.expect(tkSymbol, "("); err != nil {
+		return Cond{}, err
+	}
+	if p.at(tkKeyword, "SELECT") {
+		if sub {
+			return Cond{}, p.errf("IN subqueries are not supported in this context")
+		}
+		if not {
+			return Cond{}, p.errf("NOT IN with a subquery is not supported (only literal lists can be negated)")
+		}
+		isub, err := p.parseInSubquery()
+		if err != nil {
+			return Cond{}, err
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return Cond{}, err
+		}
+		return Cond{Left: left, In: &InPred{Sub: isub}}, nil
+	}
+	start := len(p.a.operands)
+	for {
+		v, err := p.parseLiteral()
+		if err != nil {
+			return Cond{}, err
+		}
+		p.a.operands = append(p.a.operands, v)
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tkSymbol, ")"); err != nil {
+		return Cond{}, err
+	}
+	vals := p.a.operands[start:len(p.a.operands):len(p.a.operands)]
+	return Cond{Left: left, In: &InPred{Not: not, Values: vals}}, nil
+}
+
+// parseInSubquery parses the body of col IN (SELECT c FROM t [alias]
+// [WHERE ...]); the opening parenthesis and SELECT keyword are still
+// pending on entry (SELECT detected by lookahead).
+func (p *parser) parseInSubquery() (*InSub, error) {
+	if _, err := p.expect(tkKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	col, err := p.parseColName()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	tr, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	conds, err := p.parseSubWhere()
+	if err != nil {
+		return nil, err
+	}
+	return &InSub{Col: col, Table: tr, Conds: conds}, nil
+}
+
+// parseExists parses EXISTS ( SELECT * FROM t [alias] [WHERE ...] ).
+// Exactly one WHERE conjunct must correlate with the outer query — the
+// planner checks that when it lowers the predicate to a group-aggregate
+// semi-join.
+func (p *parser) parseExists() (Cond, error) {
+	p.next() // EXISTS
+	if _, err := p.expect(tkSymbol, "("); err != nil {
+		return Cond{}, err
+	}
+	if _, err := p.expect(tkKeyword, "SELECT"); err != nil {
+		return Cond{}, err
+	}
+	if _, err := p.expect(tkSymbol, "*"); err != nil {
+		return Cond{}, err
+	}
+	if _, err := p.expect(tkKeyword, "FROM"); err != nil {
+		return Cond{}, err
+	}
+	tr, err := p.parseTableRef()
+	if err != nil {
+		return Cond{}, err
+	}
+	conds, err := p.parseSubWhere()
+	if err != nil {
+		return Cond{}, err
+	}
+	if _, err := p.expect(tkSymbol, ")"); err != nil {
+		return Cond{}, err
+	}
+	return Cond{Exists: &SubQuery{Table: tr, Conds: conds}}, nil
+}
+
+// parseSubWhere parses the optional WHERE conjunction of a subquery
+// body into the subquery cond arena.
+func (p *parser) parseSubWhere() ([]Cond, error) {
+	if !p.accept(tkKeyword, "WHERE") {
+		return nil, nil
+	}
+	start := len(p.a.subConds)
+	for {
+		c, err := p.parseCond(true)
+		if err != nil {
+			return nil, err
+		}
+		p.a.subConds = append(p.a.subConds, c)
+		if !p.accept(tkKeyword, "AND") {
+			break
+		}
+	}
+	return p.a.subConds[start:len(p.a.subConds):len(p.a.subConds)], nil
 }
 
 func (p *parser) parseOperand() (Operand, error) {
@@ -552,6 +888,13 @@ func (p *parser) parseOperand() (Operand, error) {
 			return Operand{}, err
 		}
 		return Operand{IsCol: true, Col: col}, nil
+	case tkSymbol:
+		if t.text == "?" {
+			p.next()
+			idx := p.params
+			p.params++
+			return Operand{IsParam: true, Param: idx}, nil
+		}
 	}
 	return Operand{}, p.errf("expected value or column, found %q", t.text)
 }
@@ -570,12 +913,13 @@ func (p *parser) parseInsert() (*InsertStmt, error) {
 	}
 	st := &InsertStmt{Table: name.text}
 	if p.accept(tkSymbol, "(") {
+		start := len(p.a.strs)
 		for {
 			col, err := p.expect(tkIdent, "")
 			if err != nil {
 				return nil, err
 			}
-			st.Columns = append(st.Columns, col.text)
+			p.a.strs = append(p.a.strs, col.text)
 			if !p.accept(tkSymbol, ",") {
 				break
 			}
@@ -583,21 +927,23 @@ func (p *parser) parseInsert() (*InsertStmt, error) {
 		if _, err := p.expect(tkSymbol, ")"); err != nil {
 			return nil, err
 		}
+		st.Columns = p.a.strs[start:len(p.a.strs):len(p.a.strs)]
 	}
 	if _, err := p.expect(tkKeyword, "VALUES"); err != nil {
 		return nil, err
 	}
+	rowStart := len(p.a.rows)
 	for {
 		if _, err := p.expect(tkSymbol, "("); err != nil {
 			return nil, err
 		}
-		var row []Operand
+		start := len(p.a.operands)
 		for {
 			v, err := p.parseLiteral()
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, v)
+			p.a.operands = append(p.a.operands, v)
 			if !p.accept(tkSymbol, ",") {
 				break
 			}
@@ -605,14 +951,16 @@ func (p *parser) parseInsert() (*InsertStmt, error) {
 		if _, err := p.expect(tkSymbol, ")"); err != nil {
 			return nil, err
 		}
+		row := p.a.operands[start:len(p.a.operands):len(p.a.operands)]
 		if len(st.Columns) > 0 && len(row) != len(st.Columns) {
 			return nil, p.errf("VALUES row has %d values, column list has %d", len(row), len(st.Columns))
 		}
-		st.Rows = append(st.Rows, row)
+		p.a.rows = append(p.a.rows, row)
 		if !p.accept(tkSymbol, ",") {
 			break
 		}
 	}
+	st.Rows = p.a.rows[rowStart:len(p.a.rows):len(p.a.rows)]
 	return st, nil
 }
 
@@ -629,6 +977,7 @@ func (p *parser) parseUpdate() (*UpdateStmt, error) {
 	if _, err := p.expect(tkKeyword, "SET"); err != nil {
 		return nil, err
 	}
+	start := len(p.a.assigns)
 	for {
 		col, err := p.expect(tkIdent, "")
 		if err != nil {
@@ -641,11 +990,12 @@ func (p *parser) parseUpdate() (*UpdateStmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		st.Set = append(st.Set, Assign{Col: col.text, Val: val})
+		p.a.assigns = append(p.a.assigns, Assign{Col: col.text, Val: val})
 		if !p.accept(tkSymbol, ",") {
 			break
 		}
 	}
+	st.Set = p.a.assigns[start:len(p.a.assigns):len(p.a.assigns)]
 	st.Where, err = p.parseOptWhere()
 	return st, err
 }
@@ -668,32 +1018,35 @@ func (p *parser) parseDelete() (*DeleteStmt, error) {
 }
 
 // parseOptWhere parses the optional WHERE clause of a DML statement: a
-// conjunction of simple comparisons (no subquery equalities on the write
-// path).
+// conjunction of simple comparisons and IN lists (no subqueries on the
+// write path).
 func (p *parser) parseOptWhere() ([]Cond, error) {
 	if !p.accept(tkKeyword, "WHERE") {
 		return nil, nil
 	}
-	var conds []Cond
+	start := len(p.a.conds)
 	for {
 		c, err := p.parseCond(true)
 		if err != nil {
 			return nil, err
 		}
-		conds = append(conds, c)
+		p.a.conds = append(p.a.conds, c)
 		if !p.accept(tkKeyword, "AND") {
 			break
 		}
 	}
-	return conds, nil
+	return p.a.conds[start:len(p.a.conds):len(p.a.conds)], nil
 }
 
-// parseLiteral parses a string or number literal (the only values the
-// write path accepts — no expressions, no column references).
+// parseLiteral parses a string or number literal, or a ? placeholder
+// (the only values the write path and IN lists accept — no expressions,
+// no column references).
 func (p *parser) parseLiteral() (Operand, error) {
 	t := p.cur()
-	switch t.kind {
-	case tkString, tkNumber:
+	switch {
+	case t.kind == tkString || t.kind == tkNumber:
+		return p.parseOperand()
+	case t.kind == tkSymbol && t.text == "?":
 		return p.parseOperand()
 	}
 	return Operand{}, p.errf("expected literal value, found %q", t.text)

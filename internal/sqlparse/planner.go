@@ -2,20 +2,37 @@ package sqlparse
 
 import (
 	"fmt"
+	"sync"
 
 	"factordb/internal/ra"
 	"factordb/internal/relstore"
 )
 
+// parserPool recycles parsers — and with them the arena arrays backing
+// every AST slice — across Compile/CompileExec calls. Only those entry
+// points may use it: they lower the AST to an independent plan before
+// releasing the parser, whereas Parse/ParseStatement hand the AST to the
+// caller (prepared statements retain it), so they allocate fresh.
+var parserPool = sync.Pool{New: func() any { return new(parser) }}
+
 // Compile parses the SQL text and lowers it to a relational-algebra plan
 // plus the result-level ordering spec (ORDER BY / LIMIT clauses that act
 // on the final probabilistic answer rather than inside each world).
 func Compile(sql string) (ra.Plan, ra.ResultSpec, error) {
-	q, err := Parse(sql)
+	p := parserPool.Get().(*parser)
+	p.reset(sql)
+	stmt, err := p.parseInput()
+	var q *Query
+	if err == nil {
+		q, err = selectOf(sql, stmt)
+	}
 	if err != nil {
+		parserPool.Put(p)
 		return nil, ra.ResultSpec{}, err
 	}
-	return PlanQuery(q)
+	plan, spec, err := PlanQuery(q)
+	parserPool.Put(p)
+	return plan, spec, err
 }
 
 // PlanQuery lowers a parsed query to a relational-algebra plan:
@@ -53,27 +70,41 @@ func PlanQuery(q *Query) (ra.Plan, ra.ResultSpec, error) {
 		singleTable = q.From[0].Alias
 	}
 
-	// Partition WHERE conjuncts.
+	// Partition WHERE conjuncts. Subquery-shaped predicates (COUNT(*)
+	// equalities, EXISTS, IN-subqueries) lower to auxiliary group-
+	// aggregate plans joined in on their correlation column; everything
+	// else classifies as a pushed filter, a join key, or a top filter.
 	perAlias := make(map[string][]ra.Expr)
 	var joinConds []ra.EquiCond
 	var topFilters []ra.Expr
 	subEqIndex := 0
-	type groupPlan struct {
-		plan     ra.Plan
-		alias    string
-		joinCond ra.EquiCond
-		filter   ra.Expr
-	}
 	var groupPlans []groupPlan
 
 	for _, c := range q.Where {
-		if c.SubEq != nil {
+		switch {
+		case c.SubEq != nil:
 			gp, err := lowerSubEq(c.SubEq, aliases, subEqIndex)
 			if err != nil {
 				return nil, spec, err
 			}
 			subEqIndex++
-			groupPlans = append(groupPlans, groupPlan(*gp))
+			groupPlans = append(groupPlans, *gp)
+			continue
+		case c.Exists != nil:
+			gp, err := lowerExists(c.Exists, aliases, subEqIndex)
+			if err != nil {
+				return nil, spec, err
+			}
+			subEqIndex++
+			groupPlans = append(groupPlans, *gp)
+			continue
+		case c.In != nil && c.In.Sub != nil:
+			gp, err := lowerInSub(c.Left, c.In.Sub, aliases, subEqIndex)
+			if err != nil {
+				return nil, spec, err
+			}
+			subEqIndex++
+			groupPlans = append(groupPlans, *gp)
 			continue
 		}
 		owner, expr, isJoin, jc, err := classifyCond(c, aliases, singleTable)
@@ -267,13 +298,24 @@ func classifyCond(c Cond, aliases map[string]bool, singleTable string) (owner st
 	if err != nil {
 		return "", nil, false, ra.EquiCond{}, err
 	}
+	lref := ra.C(c.Left.Qual, c.Left.Name)
+	if c.In != nil {
+		expr, err := inListExpr(lref, c.In)
+		if err != nil {
+			return "", nil, false, ra.EquiCond{}, err
+		}
+		return lq, expr, false, ra.EquiCond{}, nil
+	}
 	op, err := cmpOpOf(c.Op)
 	if err != nil {
 		return "", nil, false, ra.EquiCond{}, err
 	}
-	lref := ra.C(c.Left.Qual, c.Left.Name)
 	if !c.Right.IsCol {
-		return lq, ra.Cmp(op, ra.Col(lref), ra.Const(operandValue(c.Right))), false, ra.EquiCond{}, nil
+		v, err := operandConst(c.Right)
+		if err != nil {
+			return "", nil, false, ra.EquiCond{}, err
+		}
+		return lq, ra.Cmp(op, ra.Col(lref), ra.Const(v)), false, ra.EquiCond{}, nil
 	}
 	rq, err := qualOf(c.Right.Col)
 	if err != nil {
@@ -318,66 +360,106 @@ func operandValue(o Operand) relstore.Value {
 	}
 }
 
-// lowerSubEq rewrites (SELECT COUNT(*) FROM t a WHERE φA AND corr) =
-// (SELECT COUNT(*) FROM t b WHERE φB AND corr) into a single group-
-// aggregate over t grouped by the correlation column with two COUNT_IF
-// aggregates, to be joined with the outer query on the correlation pair.
-func lowerSubEq(se *SubEq, outer map[string]bool, idx int) (*struct {
+// operandConst is operandValue for planner positions that require a
+// bound constant: an unbound ? placeholder is a planning error (prepared
+// statements substitute arguments via BindArgs before planning).
+func operandConst(o Operand) (relstore.Value, error) {
+	if o.IsParam {
+		return relstore.Value{}, fmt.Errorf("sqlparse: placeholder ?%d is unbound (prepare the statement and pass arguments)", o.Param+1)
+	}
+	return operandValue(o), nil
+}
+
+// inListExpr lowers col IN (v1, ..., vn) to an OR of equalities — which
+// canonicalization sorts and dedups, so spelling order doesn't split
+// fingerprints — and col NOT IN (...) to an AND of inequalities.
+func inListExpr(ref ra.ColRef, in *InPred) (ra.Expr, error) {
+	terms := make([]ra.Expr, len(in.Values))
+	for i, v := range in.Values {
+		val, err := operandConst(v)
+		if err != nil {
+			return nil, err
+		}
+		op := ra.OpEq
+		if in.Not {
+			op = ra.OpNe
+		}
+		terms[i] = ra.Cmp(op, ra.Col(ref), ra.Const(val))
+	}
+	if in.Not {
+		return ra.And(terms...), nil
+	}
+	return ra.Or(terms...), nil
+}
+
+// groupPlan is one auxiliary group-aggregate produced by a subquery-
+// shaped predicate, joined into the outer query on its correlation
+// column and gated by a filter over its aggregate output.
+type groupPlan struct {
 	plan     ra.Plan
 	alias    string
 	joinCond ra.EquiCond
 	filter   ra.Expr
-}, error) {
+}
+
+// extractCorr splits a subquery's conjuncts into the single correlation
+// equality (linking the subquery alias to an outer alias) and the local
+// predicates, requalified onto the shared group-scan alias.
+func extractCorr(sq SubQuery, outer map[string]bool, galias string) (outerCol ColName, innerCol string, preds []ra.Expr, err error) {
+	corrSeen := false
+	for _, c := range sq.Conds {
+		// A correlation conjunct links the subquery alias with an
+		// outer alias via equality.
+		if c.Right.IsCol && c.Op == "=" {
+			lIn := c.Left.Qual == sq.Table.Alias
+			rIn := c.Right.Col.Qual == sq.Table.Alias
+			lOut := outer[c.Left.Qual]
+			rOut := outer[c.Right.Col.Qual]
+			if (lIn && rOut) || (rIn && lOut) {
+				if corrSeen {
+					err = fmt.Errorf("sqlparse: subquery has multiple correlation predicates")
+					return
+				}
+				corrSeen = true
+				if lIn {
+					innerCol, outerCol = c.Left.Name, c.Right.Col
+				} else {
+					innerCol, outerCol = c.Right.Col.Name, c.Left
+				}
+				continue
+			}
+		}
+		// Anything else must be local to the subquery; requalify it
+		// onto the shared group scan alias.
+		expr, lerr := localSubCond(c, sq.Table.Alias, galias)
+		if lerr != nil {
+			err = lerr
+			return
+		}
+		preds = append(preds, expr)
+	}
+	if !corrSeen {
+		err = fmt.Errorf("sqlparse: subquery on %q has no correlation predicate", sq.Table.Name)
+	}
+	return
+}
+
+// lowerSubEq rewrites (SELECT COUNT(*) FROM t a WHERE φA AND corr) =
+// (SELECT COUNT(*) FROM t b WHERE φB AND corr) into a single group-
+// aggregate over t grouped by the correlation column with two COUNT_IF
+// aggregates, to be joined with the outer query on the correlation pair.
+func lowerSubEq(se *SubEq, outer map[string]bool, idx int) (*groupPlan, error) {
 	if se.A.Table.Name != se.B.Table.Name {
 		return nil, fmt.Errorf("sqlparse: subquery equality over different tables %q and %q is not supported",
 			se.A.Table.Name, se.B.Table.Name)
 	}
 	galias := fmt.Sprintf("_g%d", idx)
 
-	extract := func(sq SubQuery) (outerCol ColName, innerCol string, preds []ra.Expr, err error) {
-		corrSeen := false
-		for _, c := range sq.Conds {
-			// A correlation conjunct links the subquery alias with an
-			// outer alias via equality.
-			if c.Right.IsCol && c.Op == "=" {
-				lIn := c.Left.Qual == sq.Table.Alias
-				rIn := c.Right.Col.Qual == sq.Table.Alias
-				lOut := outer[c.Left.Qual]
-				rOut := outer[c.Right.Col.Qual]
-				if (lIn && rOut) || (rIn && lOut) {
-					if corrSeen {
-						err = fmt.Errorf("sqlparse: subquery has multiple correlation predicates")
-						return
-					}
-					corrSeen = true
-					if lIn {
-						innerCol, outerCol = c.Left.Name, c.Right.Col
-					} else {
-						innerCol, outerCol = c.Right.Col.Name, c.Left
-					}
-					continue
-				}
-			}
-			// Anything else must be local to the subquery; requalify it
-			// onto the shared group scan alias.
-			expr, lerr := localSubCond(c, sq.Table.Alias, galias)
-			if lerr != nil {
-				err = lerr
-				return
-			}
-			preds = append(preds, expr)
-		}
-		if !corrSeen {
-			err = fmt.Errorf("sqlparse: subquery on %q has no correlation predicate", sq.Table.Name)
-		}
-		return
-	}
-
-	outA, inA, predsA, err := extract(se.A)
+	outA, inA, predsA, err := extractCorr(se.A, outer, galias)
 	if err != nil {
 		return nil, err
 	}
-	outB, inB, predsB, err := extract(se.B)
+	outB, inB, predsB, err := extractCorr(se.B, outer, galias)
 	if err != nil {
 		return nil, err
 	}
@@ -394,12 +476,7 @@ func lowerSubEq(se *SubEq, outer map[string]bool, idx int) (*struct {
 		ra.Agg{Fn: ra.FnCountIf, Pred: ra.And(predsA...), As: cntA},
 		ra.Agg{Fn: ra.FnCountIf, Pred: ra.And(predsB...), As: cntB},
 	)
-	return &struct {
-		plan     ra.Plan
-		alias    string
-		joinCond ra.EquiCond
-		filter   ra.Expr
-	}{
+	return &groupPlan{
 		plan:     agg,
 		alias:    galias,
 		joinCond: ra.EquiCond{Left: ra.C(outA.Qual, outA.Name), Right: ra.C(galias, inA)},
@@ -407,12 +484,68 @@ func lowerSubEq(se *SubEq, outer map[string]bool, idx int) (*struct {
 	}, nil
 }
 
-// localSubCond requalifies a subquery-local conjunct onto the group alias.
-func localSubCond(c Cond, subAlias, galias string) (ra.Expr, error) {
-	op, err := cmpOpOf(c.Op)
+// lowerExists rewrites EXISTS (SELECT * FROM t a WHERE φ AND corr) into
+// a group-aggregate over t grouped by the correlation column with one
+// COUNT_IF(φ) aggregate; the outer query joins on the correlation pair
+// and keeps rows whose count is at least one. The inner join already
+// drops outer rows with no partner group, which is exactly EXISTS
+// semantics (and why NOT EXISTS cannot be expressed this way — the
+// parser rejects it).
+func lowerExists(sq *SubQuery, outer map[string]bool, idx int) (*groupPlan, error) {
+	galias := fmt.Sprintf("_g%d", idx)
+	outerCol, innerCol, preds, err := extractCorr(*sq, outer, galias)
 	if err != nil {
 		return nil, err
 	}
+	cnt := fmt.Sprintf("_sqe%d", idx)
+	agg := ra.NewGroupAgg(
+		ra.NewScan(sq.Table.Name, galias),
+		[]ra.ColRef{ra.C(galias, innerCol)},
+		ra.Agg{Fn: ra.FnCountIf, Pred: ra.And(preds...), As: cnt},
+	)
+	return &groupPlan{
+		plan:     agg,
+		alias:    galias,
+		joinCond: ra.EquiCond{Left: ra.C(outerCol.Qual, outerCol.Name), Right: ra.C(galias, innerCol)},
+		filter:   ra.Cmp(ra.OpGe, ra.Col(ra.C("", cnt)), ra.Const(relstore.Int(1))),
+	}, nil
+}
+
+// lowerInSub rewrites col IN (SELECT c FROM t a WHERE φ) through the
+// same machinery as EXISTS: the correlation is the implicit equality
+// col = c, and φ must be local to the subquery.
+func lowerInSub(left ColName, isub *InSub, outer map[string]bool, idx int) (*groupPlan, error) {
+	if left.Qual != "" && !outer[left.Qual] {
+		return nil, fmt.Errorf("sqlparse: unknown table alias %q in %s", left.Qual, left)
+	}
+	if isub.Col.Qual != "" && isub.Col.Qual != isub.Table.Alias {
+		return nil, fmt.Errorf("sqlparse: IN subquery selects foreign alias %q", isub.Col.Qual)
+	}
+	galias := fmt.Sprintf("_g%d", idx)
+	var preds []ra.Expr
+	for _, c := range isub.Conds {
+		expr, err := localSubCond(c, isub.Table.Alias, galias)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, expr)
+	}
+	cnt := fmt.Sprintf("_sqe%d", idx)
+	agg := ra.NewGroupAgg(
+		ra.NewScan(isub.Table.Name, galias),
+		[]ra.ColRef{ra.C(galias, isub.Col.Name)},
+		ra.Agg{Fn: ra.FnCountIf, Pred: ra.And(preds...), As: cnt},
+	)
+	return &groupPlan{
+		plan:     agg,
+		alias:    galias,
+		joinCond: ra.EquiCond{Left: ra.C(left.Qual, left.Name), Right: ra.C(galias, isub.Col.Name)},
+		filter:   ra.Cmp(ra.OpGe, ra.Col(ra.C("", cnt)), ra.Const(relstore.Int(1))),
+	}, nil
+}
+
+// localSubCond requalifies a subquery-local conjunct onto the group alias.
+func localSubCond(c Cond, subAlias, galias string) (ra.Expr, error) {
 	requal := func(col ColName) (ra.ColRef, error) {
 		switch col.Qual {
 		case "", subAlias:
@@ -421,12 +554,27 @@ func localSubCond(c Cond, subAlias, galias string) (ra.Expr, error) {
 			return ra.ColRef{}, fmt.Errorf("sqlparse: subquery predicate references foreign alias %q", col.Qual)
 		}
 	}
+	if c.In != nil {
+		l, err := requal(c.Left)
+		if err != nil {
+			return nil, err
+		}
+		return inListExpr(l, c.In)
+	}
+	op, err := cmpOpOf(c.Op)
+	if err != nil {
+		return nil, err
+	}
 	l, err := requal(c.Left)
 	if err != nil {
 		return nil, err
 	}
 	if !c.Right.IsCol {
-		return ra.Cmp(op, ra.Col(l), ra.Const(operandValue(c.Right))), nil
+		v, err := operandConst(c.Right)
+		if err != nil {
+			return nil, err
+		}
+		return ra.Cmp(op, ra.Col(l), ra.Const(v)), nil
 	}
 	r, err := requal(c.Right.Col)
 	if err != nil {
@@ -522,7 +670,11 @@ func lowerSelectList(q *Query, child ra.Plan) (ra.Plan, error) {
 		if hc.Right.IsCol {
 			rhs = ra.Col(ra.C(hc.Right.Col.Qual, hc.Right.Col.Name))
 		} else {
-			rhs = ra.Const(operandValue(hc.Right))
+			v, err := operandConst(hc.Right)
+			if err != nil {
+				return nil, err
+			}
+			rhs = ra.Const(v)
 		}
 		havingExprs = append(havingExprs, ra.Cmp(op, ra.Col(left), rhs))
 	}

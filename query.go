@@ -77,41 +77,51 @@ func (db *DB) Query(ctx context.Context, sql string, opts ...QueryOption) (*Rows
 	if qo.confidence <= 0 || qo.confidence >= 1 {
 		return nil, fmt.Errorf("%w: confidence %v outside (0,1)", ErrBadQuery, qo.confidence)
 	}
-	// Compile here even though the served engine compiles again: the
-	// facade owns the output column names (the engine result carries only
-	// tuples), and local modes need the plan anyway. Compilation is
-	// microseconds against a sampling run. The planner emits canonical
-	// plans (ra.Canonicalize), and the engine keys both its result cache
-	// and its per-chain shared views by plan fingerprint rather than SQL
-	// text — so however a query reaches the engine (this facade, the
-	// database/sql driver, or HTTP) and however it is spelled, equal
-	// queries share cache entries and materialized views.
-	// The served engine traces its own compile; the local modes trace the
-	// facade's (the only one they run).
+	// EXPLAIN is answered by the facade itself: it compiles (and caches)
+	// the target statement but never samples.
+	if sqlparse.IsExplain(sql) {
+		return db.explain(ctx, sql)
+	}
+	// Served mode hands the SQL straight to the engine, which compiles
+	// through the shared plan cache and returns the output column names
+	// with the result — the facade compiles nothing. The planner emits
+	// canonical plans (ra.Canonicalize), and the engine keys both its
+	// result cache and its per-chain shared views by plan fingerprint
+	// rather than SQL text — so however a query reaches the engine (this
+	// facade, the database/sql driver, or HTTP) and however it is
+	// spelled, equal queries share cache entries and materialized views.
+	if db.eng != nil {
+		return db.queryServed(ctx, sql, qo)
+	}
 	var lt *localTrace
-	if qo.trace && db.eng == nil {
+	if qo.trace {
 		lt = newLocalTrace(db.traceID.Add(1), sql, time.Now())
 	}
 	lt.span("compile")
-	plan, spec, err := sqlparse.Compile(sql)
+	comp, hit, err := db.plans.CompileQuery(sql)
 	if err != nil {
 		db.countFailed()
 		db.localTraces.add(lt.finish("error"))
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
-	lt.setPlan(ra.CanonicalFingerprint(plan))
-	cols := ra.OutputColumns(plan)
-	if db.eng != nil {
-		return db.queryServed(ctx, sql, cols, qo)
+	if hit {
+		db.planHits.Inc()
+		lt.attr("plan_cache", "hit")
+	} else {
+		lt.attr("plan_cache", "miss")
 	}
-	return db.queryLocal(ctx, sql, plan, spec, cols, qo, lt)
+	lt.setPlan(comp.Fingerprint)
+	// Copy the cached column slice: Rows hands it to callers, who may
+	// append presentation columns.
+	cols := append([]string(nil), comp.Cols...)
+	return db.queryLocal(ctx, sql, comp.Plan, comp.Spec, cols, qo, lt)
 }
 
 // queryServed delegates to the serving engine and maps its errors and
 // partial-result semantics onto the facade contract. Ranked clauses
 // (ORDER BY / LIMIT / the P pseudo-column) are applied by the engine at
 // snapshot-merge time, so Rows preserves the server-side order as-is.
-func (db *DB) queryServed(ctx context.Context, sql string, cols []string, qo queryOptions) (*Rows, error) {
+func (db *DB) queryServed(ctx context.Context, sql string, qo queryOptions) (*Rows, error) {
 	res, err := db.eng.Query(ctx, sql, serve.QueryOptions{
 		Samples:    qo.samples,
 		Confidence: qo.confidence,
@@ -121,6 +131,7 @@ func (db *DB) queryServed(ctx context.Context, sql string, cols []string, qo que
 	if err != nil {
 		return nil, mapServeErr(err)
 	}
+	cols := append([]string(nil), res.Columns...)
 	if res.Partial && !qo.allowPartial {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr

@@ -40,7 +40,20 @@
 // keep walking (the paper's update model): subsequent queries reflect the
 // mutation, cached pre-write answers are never served again, and no
 // reopen is needed. LastInsertId is not supported (row identities are
-// internal), nor are transactions or placeholder arguments.
+// internal), nor are transactions.
+//
+// Statements support ? placeholder arguments, bound positionally as
+// literal values (strings, integers, floats):
+//
+//	stmt, err := db.PrepareContext(ctx, "SELECT STRING FROM TOKEN WHERE LABEL = ?")
+//	rows, err := stmt.QueryContext(ctx, "B-PER")
+//
+// Prepare parses the SQL exactly once; each execution binds the
+// arguments into the retained syntax tree and re-plans, which — because
+// plans are canonicalized before fingerprinting — yields the same plan
+// fingerprint, cache entries, and shared views as the query with its
+// literals inlined. Ad-hoc QueryContext/ExecContext calls with args
+// prepare behind the scenes.
 package sqldriver
 
 import (
@@ -263,7 +276,11 @@ var (
 )
 
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
-	return &stmt{conn: c, query: query}, nil
+	ps, err := c.db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{conn: c, ps: ps}, nil
 }
 
 func (c *conn) Close() error { return nil }
@@ -273,10 +290,25 @@ func (c *conn) Begin() (driver.Tx, error) {
 }
 
 func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
-	if len(args) > 0 {
-		return nil, fmt.Errorf("sqldriver: placeholder arguments are not supported")
+	if len(args) == 0 {
+		fr, err := c.db.Query(ctx, query)
+		if err != nil {
+			return nil, err
+		}
+		return newRows(fr), nil
 	}
-	fr, err := c.db.Query(ctx, query)
+	// Placeholder arguments route through the prepared path: parse once,
+	// bind the args as literals, re-plan.
+	vals, err := argValues(args)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := c.db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	defer ps.Close()
+	fr, err := ps.Query(ctx, vals...)
 	if err != nil {
 		return nil, err
 	}
@@ -287,14 +319,40 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []driver.Nam
 // the shared database. The returned result reports rows affected;
 // LastInsertId is not supported.
 func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
-	if len(args) > 0 {
-		return nil, fmt.Errorf("sqldriver: placeholder arguments are not supported")
+	if len(args) == 0 {
+		res, err := c.db.Exec(ctx, query)
+		if err != nil {
+			return nil, err
+		}
+		return execResult{rows: res.RowsAffected}, nil
 	}
-	res, err := c.db.Exec(ctx, query)
+	vals, err := argValues(args)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := c.db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	defer ps.Close()
+	res, err := ps.Exec(ctx, vals...)
 	if err != nil {
 		return nil, err
 	}
 	return execResult{rows: res.RowsAffected}, nil
+}
+
+// argValues unwraps positional driver arguments. Named arguments have no
+// SQL-side syntax in this dialect.
+func argValues(args []driver.NamedValue) ([]any, error) {
+	out := make([]any, len(args))
+	for i, a := range args {
+		if a.Name != "" {
+			return nil, fmt.Errorf("sqldriver: named argument %q is not supported (use ? placeholders)", a.Name)
+		}
+		out[i] = a.Value
+	}
+	return out, nil
 }
 
 // execResult adapts factordb.ExecResult to driver.Result.
@@ -308,11 +366,12 @@ func (execResult) LastInsertId() (int64, error) {
 
 func (r execResult) RowsAffected() (int64, error) { return r.rows, nil }
 
-// stmt is a trivially prepared statement: the dialect has no
-// placeholders, so preparation is deferred entirely to query time.
+// stmt is a real prepared statement: the SQL was parsed exactly once at
+// Prepare time, and each execution binds its ? arguments as literals
+// into the retained syntax tree and re-plans.
 type stmt struct {
-	conn  *conn
-	query string
+	conn *conn
+	ps   *factordb.Stmt
 }
 
 var (
@@ -321,23 +380,48 @@ var (
 	_ driver.StmtExecContext  = (*stmt)(nil)
 )
 
-func (s *stmt) Close() error  { return nil }
-func (s *stmt) NumInput() int { return 0 }
+func (s *stmt) Close() error  { return s.ps.Close() }
+func (s *stmt) NumInput() int { return s.ps.NumInput() }
 
-func (s *stmt) Exec([]driver.Value) (driver.Result, error) {
-	return s.ExecContext(context.Background(), nil)
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.ExecContext(context.Background(), namedValues(args))
 }
 
 func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
-	return s.conn.ExecContext(ctx, s.query, args)
+	vals, err := argValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.ps.Exec(ctx, vals...)
+	if err != nil {
+		return nil, err
+	}
+	return execResult{rows: res.RowsAffected}, nil
 }
 
-func (s *stmt) Query([]driver.Value) (driver.Rows, error) {
-	return s.QueryContext(context.Background(), nil)
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.QueryContext(context.Background(), namedValues(args))
 }
 
 func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
-	return s.conn.QueryContext(ctx, s.query, args)
+	vals, err := argValues(args)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := s.ps.Query(ctx, vals...)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(fr), nil
+}
+
+// namedValues adapts the legacy positional argument form.
+func namedValues(args []driver.Value) []driver.NamedValue {
+	out := make([]driver.NamedValue, len(args))
+	for i, v := range args {
+		out[i] = driver.NamedValue{Ordinal: i + 1, Value: v}
+	}
+	return out
 }
 
 // rows adapts factordb.Rows to driver.Rows, appending the probability

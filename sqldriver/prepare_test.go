@@ -1,0 +1,170 @@
+package sqldriver
+
+import (
+	"context"
+	"database/sql"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"factordb"
+)
+
+// TestPreparedArgsThreePaths is the prepared-statement equivalence
+// contract: binding ? placeholders must yield exactly the answer the
+// same statement gives with the literals spelled inline, on every
+// query surface — the factordb facade's Prepare, database/sql
+// (both implicit per-call args and an explicit reused *sql.Stmt), and
+// the HTTP transport's args field. All paths share one corpus, seed,
+// thinning interval and sample budget, so the marginals are
+// deterministic and the comparison is exact.
+func TestPreparedArgsThreePaths(t *testing.T) {
+	const k = 5
+	const paramSQL = "SELECT STRING FROM TOKEN WHERE LABEL = ? ORDER BY P DESC LIMIT 5"
+	const inlineSQL = "SELECT STRING FROM TOKEN WHERE LABEL = 'B-PER' ORDER BY P DESC LIMIT 5"
+	ctx := context.Background()
+
+	collect := func(rows *sql.Rows, err error) [][2]any {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		var out [][2]any
+		for rows.Next() {
+			var s string
+			var p, lo, hi float64
+			if err := rows.Scan(&s, &p, &lo, &hi); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, [2]any{s, p})
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	check := func(path string, got [][2]any, want [][2]any) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d tuples, want %d", path, len(got), len(want))
+		}
+		for i := range got {
+			if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+				t.Errorf("%s rank %d: (%v, %v), inlined literals gave (%v, %v)",
+					path, i, got[i][0], got[i][1], want[i][0], want[i][1])
+			}
+		}
+	}
+
+	sdb := openShared(t, nerDSN+"&mode=materialized")
+	want := collect(sdb.QueryContext(ctx, inlineSQL))
+	if len(want) != k {
+		t.Fatalf("degenerate corpus: inlined reference has %d tuples, want %d", len(want), k)
+	}
+
+	// Path 1a: database/sql with per-call args (the driver prepares and
+	// binds behind Query).
+	check("database/sql args", collect(sdb.QueryContext(ctx, paramSQL, "B-PER")), want)
+
+	// Path 1b: an explicit *sql.Stmt, executed twice — the second run
+	// must come out of the prepared plan identically.
+	st, err := sdb.PrepareContext(ctx, paramSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	check("sql.Stmt run 1", collect(st.QueryContext(ctx, "B-PER")), want)
+	check("sql.Stmt run 2", collect(st.QueryContext(ctx, "B-PER")), want)
+	// database/sql itself rejects the wrong arity for an explicit Stmt
+	// (NumInput is reported by the driver), before the driver even runs.
+	if _, err := st.QueryContext(ctx); err == nil || !strings.Contains(err.Error(), "expected 1 argument") {
+		t.Errorf("sql.Stmt with no args: err %v, want an argument-count error", err)
+	}
+
+	// Path 2: the factordb facade's own prepared statements.
+	fdb, err := factordb.Open(
+		factordb.NER(factordb.NERConfig{Tokens: testTokens, Seed: testSeed, TrainSteps: testTrainSteps}),
+		factordb.WithSteps(testThin), factordb.WithSeed(testSeed), factordb.WithSamples(testSamples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fdb.Close()
+	fstmt, err := fdb.Prepare(paramSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fstmt.Close()
+	var facade [][2]any
+	frows, err := fstmt.Query(ctx, "B-PER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for frows.Next() {
+		var s string
+		if err := frows.Scan(&s); err != nil {
+			t.Fatal(err)
+		}
+		facade = append(facade, [2]any{s, frows.Prob()})
+	}
+	frows.Close()
+	check("facade Prepare", facade, want)
+	if _, err := fstmt.Query(ctx, "B-PER", "extra"); err == nil || !strings.Contains(err.Error(), "placeholder") {
+		t.Errorf("facade Stmt with extra arg: err %v, want a placeholder-count error", err)
+	}
+
+	// Path 3: HTTP, binding through the request's args field.
+	srv := httptest.NewServer(fdb.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"sql": "SELECT STRING FROM TOKEN WHERE LABEL = ? ORDER BY P DESC LIMIT 5", "args": ["B-PER"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query with args: status %d", resp.StatusCode)
+	}
+	var qr struct {
+		Tuples []struct {
+			Values []string `json:"values"`
+			P      float64  `json:"p"`
+		} `json:"tuples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	var httpGot [][2]any
+	for _, tu := range qr.Tuples {
+		if len(tu.Values) != 1 {
+			t.Fatalf("HTTP tuple has %d values, want 1", len(tu.Values))
+		}
+		// JSON round-trips the probability through decimal text; compare
+		// to the float64 within one ulp-scale epsilon below.
+		httpGot = append(httpGot, [2]any{tu.Values[0], tu.P})
+	}
+	if len(httpGot) != len(want) {
+		t.Fatalf("HTTP: %d tuples, want %d", len(httpGot), len(want))
+	}
+	for i := range httpGot {
+		p := httpGot[i][1].(float64)
+		if httpGot[i][0] != want[i][0] || math.Abs(p-want[i][1].(float64)) > 1e-12 {
+			t.Errorf("HTTP rank %d: (%v, %v), inlined literals gave (%v, %v)",
+				i, httpGot[i][0], p, want[i][0], want[i][1])
+		}
+	}
+
+	// Missing args over HTTP must be a 400, not a silent empty result.
+	resp2, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"sql": "SELECT STRING FROM TOKEN WHERE LABEL = ? ORDER BY P DESC LIMIT 5"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST /query with unbound placeholder: status %d, want 400", resp2.StatusCode)
+	}
+}
