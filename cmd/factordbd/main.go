@@ -9,6 +9,7 @@
 //
 //	factordbd -addr :8080 -tokens 50000 -chains 4 -steps 1000
 //	factordbd -data-dir /var/lib/factordb -fsync interval
+//	factordbd -log-format json -slow-query 250ms
 //
 // With -data-dir set, every committed write is appended to a durable
 // write-ahead log and the evidence world is checkpointed in the
@@ -16,13 +17,19 @@
 // the write epoch a crash interrupted (see the README's Durability
 // section).
 //
+// All operational output is structured logging (log/slog) on stderr:
+// -log-format selects text or json, -log-level the floor, and
+// -slow-query arms the slow-query log — any query or write at or over
+// the threshold emits a "slow_query" record with its span breakdown and
+// trace ID, cross-referenceable against GET /debug/traces.
+//
 // Endpoints:
 //
 //	POST /query    {"sql": "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'", "samples": 128}
 //	POST /exec     {"sql": "UPDATE TOKEN SET STRING='Boston' WHERE TOK_ID=4711"}
 //	GET  /healthz  liveness, chain-pool status, data epoch
 //	GET  /metrics  Prometheus text exposition
-//	GET  /statusz  introspection: live views, sampler health, cache
+//	GET  /statusz  introspection: live views, sampler health, cache, startup trace
 //
 // With -debug-addr set, a second listener serves the operator-only
 // endpoints (GET /debug/pprof/..., GET /debug/traces); without it they
@@ -38,7 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -75,15 +82,30 @@ func main() {
 			"ops between background checkpoints (0 = default 4096, negative disables)")
 		ckBytes = flag.Int64("checkpoint-bytes", 0,
 			"WAL bytes between background checkpoints (0 = default 4MiB, negative disables)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "log level floor: debug, info, warn or error")
+		slowQuery = flag.Duration("slow-query", 0,
+			"slow-query log threshold; queries and writes at or over it emit a slow_query record (0 disables)")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "factordbd:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatal := func(err error) {
+		logger.Error("fatal", "error", err)
+		os.Exit(1)
+	}
 
 	fsyncPolicy, err := factordb.ParseFsyncPolicy(*fsync)
 	if err != nil {
 		fatal(err)
 	}
 
-	log.Printf("building NER system (%d tokens, seed %d)...", *tokens, *seed)
+	logger.Info("building NER system", "tokens", *tokens, "seed", *seed)
 	start := time.Now()
 	opts := []factordb.Option{
 		factordb.WithMode(factordb.ModeServed),
@@ -96,6 +118,8 @@ func main() {
 		factordb.WithCache(*cacheN, *cacheT),
 		factordb.WithPlanCache(*planN),
 		factordb.WithTraceSampling(*traceN),
+		factordb.WithLogger(logger),
+		factordb.WithSlowQueryLog(*slowQuery),
 	}
 	if *dataDir != "" {
 		opts = append(opts,
@@ -112,17 +136,24 @@ func main() {
 		fatal(err)
 	}
 	defer db.Close()
-	log.Printf("%s (built in %v)", db.Describe(), time.Since(start).Round(time.Millisecond))
-	log.Printf("engine up: %d chains, k=%d", db.Chains(), *steps)
+	logger.Info("database open",
+		"describe", db.Describe(),
+		"build_ms", time.Since(start).Milliseconds(),
+		"chains", db.Chains(),
+		"steps", *steps)
 	if d := db.Durability(); d != nil {
-		log.Printf("durable: dir=%s fsync=%s recovered_epoch=%d replayed=%d torn_tail=%v",
-			d.Dir, d.Fsync, d.RecoveredEpoch, d.ReplayedRecords, d.TornTail)
+		logger.Info("durable store recovered",
+			"dir", d.Dir,
+			"fsync", d.Fsync,
+			"recovered_epoch", d.RecoveredEpoch,
+			"replayed_records", d.ReplayedRecords,
+			"torn_tail", d.TornTail)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: db.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -132,9 +163,9 @@ func main() {
 	if *dbgAddr != "" {
 		dbgSrv := &http.Server{Addr: *dbgAddr, Handler: db.DebugHandler()}
 		go func() {
-			log.Printf("debug endpoints on %s", *dbgAddr)
+			logger.Info("debug endpoints up", "addr", *dbgAddr)
 			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("debug server: %v", err)
+				logger.Error("debug server", "error", err)
 			}
 		}()
 		defer dbgSrv.Close()
@@ -144,11 +175,11 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("received %v, shutting down", s)
+		logger.Info("shutting down", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown", "error", err)
 		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
@@ -157,7 +188,28 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "factordbd:", err)
-	os.Exit(1)
+// newLogger builds the process logger from the -log-format / -log-level
+// flags. Everything goes to stderr, leaving stdout for data.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	ho := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, ho)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 }

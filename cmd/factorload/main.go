@@ -64,6 +64,12 @@ func main() {
 		dataDir = flag.String("data-dir", "",
 			"in-process durable data directory (empty = in-memory; passed through to the engine)")
 
+		// Slow-query log validation (CI's structured-logging check).
+		slowLog = flag.String("check-slow-log", "",
+			"validate a JSON slow-query log file (factordbd stderr under -log-format json) and exit")
+		tracesURL = flag.String("traces-url", "",
+			"debug listener base URL; with -check-slow-log, cross-reference logged trace IDs against /debug/traces")
+
 		// Crash-recovery scenario options.
 		recovery = flag.Bool("recovery", false,
 			"run the kill/restart recovery scenario instead of the load: write, recover from -data-dir, compare marginals")
@@ -81,6 +87,14 @@ func main() {
 		}); err != nil {
 			fatal(err)
 		}
+		return
+	}
+
+	if *slowLog != "" {
+		if err := checkSlowLog(*slowLog, strings.TrimRight(*tracesURL, "/")); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("factorload: %s is a valid slow-query log\n", *slowLog)
 		return
 	}
 

@@ -97,6 +97,25 @@ func runRecovery(cfg recoveryConfig) error {
 	if got := re.WriteEpoch(); got != preEpoch {
 		return fmt.Errorf("write epoch %d after recovery, want %d", got, preEpoch)
 	}
+	// The startup trace on /statusz must tell the same recovery story: a
+	// wal_replay span whose replayed-record count matches the durability
+	// block exactly.
+	st := re.Status()
+	if st.StartupTrace == nil {
+		return fmt.Errorf("recovered engine reports no startup trace on /statusz")
+	}
+	var replayed string
+	for _, sp := range st.StartupTrace.Spans {
+		if sp.Name == "wal_replay" {
+			replayed = sp.Attrs["replayed_records"]
+		}
+	}
+	if replayed != fmt.Sprint(d.ReplayedRecords) {
+		return fmt.Errorf("startup trace wal_replay reports replayed_records=%q, durability block says %d",
+			replayed, d.ReplayedRecords)
+	}
+	fmt.Fprintf(os.Stderr, "factorload: startup trace ok: %d spans, wal_replay replayed_records=%s\n",
+		len(st.StartupTrace.Spans), replayed)
 	post, err := queryMarginals(ctx, re, readSQL, cfg.samples)
 	if err != nil {
 		return fmt.Errorf("post-restart marginals: %w", err)

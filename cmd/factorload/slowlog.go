@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+// slowRecord is the slow-query log record shape factordbd emits through
+// its JSON slog handler — the subset -check-slow-log validates.
+type slowRecord struct {
+	Msg         string           `json:"msg"`
+	Level       string           `json:"level"`
+	TraceID     string           `json:"trace_id"`
+	Kind        string           `json:"kind"`
+	SQL         string           `json:"sql"`
+	Outcome     string           `json:"outcome"`
+	WallNS      int64            `json:"wall_ns"`
+	ThresholdNS int64            `json:"threshold_ns"`
+	SpanNS      map[string]int64 `json:"span_ns"`
+}
+
+// checkSlowLog validates a JSON slow-query log (factordbd's stderr under
+// -log-format json -slow-query) and, when tracesURL points at the
+// daemon's debug listener, cross-references the logged trace IDs against
+// GET /debug/traces — proving the two surfaces really share one ID space.
+// Non-slow_query lines (audit records, lifecycle messages) are skipped;
+// a line that is not JSON at all fails, since a half-structured log
+// stream defeats machine consumption.
+func checkSlowLog(path, tracesURL string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var slow []slowRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec slowRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("%s:%d: not a JSON log line: %v", path, line, err)
+		}
+		if rec.Msg != "slow_query" {
+			continue
+		}
+		if err := validateSlowRecord(rec); err != nil {
+			return fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		slow = append(slow, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(slow) == 0 {
+		return fmt.Errorf("%s: no slow_query records (was the daemon run with -slow-query?)", path)
+	}
+	fmt.Fprintf(os.Stderr, "factorload: %d slow_query records validated in %s\n", len(slow), path)
+	if tracesURL == "" {
+		return nil
+	}
+	return crossReferenceTraces(slow, tracesURL)
+}
+
+func validateSlowRecord(rec slowRecord) error {
+	switch {
+	case len(rec.TraceID) != 32 || !isHex(rec.TraceID):
+		return fmt.Errorf("slow_query trace_id %q is not a 32-hex W3C trace id", rec.TraceID)
+	case rec.SQL == "":
+		return fmt.Errorf("slow_query record missing sql")
+	case rec.Kind != "query" && rec.Kind != "exec":
+		return fmt.Errorf("slow_query kind %q is neither query nor exec", rec.Kind)
+	case rec.ThresholdNS <= 0:
+		return fmt.Errorf("slow_query threshold_ns %d not positive", rec.ThresholdNS)
+	case rec.WallNS < rec.ThresholdNS:
+		return fmt.Errorf("slow_query wall_ns %d below threshold_ns %d", rec.WallNS, rec.ThresholdNS)
+	case len(rec.SpanNS) == 0:
+		return fmt.Errorf("slow_query record has no span_ns breakdown")
+	}
+	var sum int64
+	for name, ns := range rec.SpanNS {
+		if ns < 0 {
+			return fmt.Errorf("slow_query span %q has negative duration %d", name, ns)
+		}
+		sum += ns
+	}
+	if sum > rec.WallNS {
+		return fmt.Errorf("slow_query spans sum to %dns, exceeding wall_ns %d (spans must tile the wall time)",
+			sum, rec.WallNS)
+	}
+	return nil
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// crossReferenceTraces fetches the daemon's recent-trace ring and
+// requires the newest slow-query records to resolve there by trace ID.
+// The ring holds 64 traces, so only the tail of a long run can still be
+// present; the newest records must be, because slow queries are ringed
+// unconditionally and nothing traces after the load stops.
+func crossReferenceTraces(slow []slowRecord, base string) error {
+	var traces []struct {
+		TraceID string `json:"trace_id"`
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + "/debug/traces")
+	if err != nil {
+		return fmt.Errorf("fetching /debug/traces: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/traces: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		return fmt.Errorf("/debug/traces: %v", err)
+	}
+	ring := make(map[string]bool, len(traces))
+	for _, t := range traces {
+		ring[t.TraceID] = true
+	}
+	tail := slow
+	if len(tail) > 10 {
+		tail = tail[len(tail)-10:]
+	}
+	matched := 0
+	for _, rec := range tail {
+		if ring[rec.TraceID] {
+			matched++
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("none of the %d newest slow_query trace IDs resolve on /debug/traces (%d ring entries)",
+			len(tail), len(ring))
+	}
+	fmt.Fprintf(os.Stderr, "factorload: %d/%d newest slow_query trace IDs resolve on /debug/traces\n",
+		matched, len(tail))
+	return nil
+}

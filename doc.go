@@ -90,6 +90,48 @@
 // "early_stop", "partial" or "error". Tracing disabled costs
 // single-digit nanoseconds per query (BenchmarkTraceOverhead pins it).
 //
+// Writes trace under the same contract (ExecTrace, "trace": true on
+// POST /exec). Kind distinguishes the families sharing the ring:
+// "query", "exec", and the one-shot "recovery" startup trace. A served
+// write's spans are "compile", "admission_wait", "resolve",
+// "wal_append", "fsync" (carved out of the append once the WAL sink
+// reports its sync share), "fanout", then "burn_in", "delta_fold" and
+// "republish" clocked by the slowest chain, and "cache_invalidate"; a
+// durable local write emits "compile", "resolve", "wal_append", "fsync"
+// and "apply". Exec outcomes are "ok", "noop" (matched no rows, nothing
+// committed), "rejected", "canceled" or "error". With WithDataDir, the
+// recovery performed at Open is published as Status.StartupTrace —
+// "snapshot_load", "wal_replay" (attrs replayed_records, replayed_ops,
+// epoch) and, after a crash, "torn_tail_truncate".
+//
+// Every trace carries a TraceID: the 32-hex trace-id of a W3C
+// traceparent, either propagated by the caller (TraceID/ExecTraceID
+// options; the HTTP transport reads the request's traceparent header and
+// echoes the resolved ID on the response) or assigned by the database.
+//
+// # Structured logging
+//
+// WithLogger installs a log/slog logger for the operational record
+// streams; record shapes are a stable contract. WithSlowQueryLog arms
+// the slow-query log: any query or write at or over the threshold emits
+// a "slow_query" record — trace_id, kind, sql, fingerprint, outcome,
+// wall_ns, threshold_ns, and a span_ns group with durations summed per
+// span name — and its trace is kept in the ring so the trace_id resolves
+// on GET /debug/traces even when the client never opted into tracing.
+// Every Exec attempt additionally emits a "write.audit" record (outcome,
+// sql, epoch, rows_affected, and trace_id when traced); failures audit
+// at Warn, commits at Info. cmd/factordbd wires both through its
+// -log-format, -log-level and -slow-query flags, and
+// cmd/factorload -check-slow-log validates a captured JSON log against
+// this contract.
+//
+// EXPLAIN ANALYZE SELECT executes the pushed-down streaming plan once
+// per chain with per-operator instrumentation and returns the annotated
+// tree (actual vs estimated rows, per-operator self time, pushdown
+// residue) as PLAN rows, like EXPLAIN. DML cannot be analyzed — a write
+// cannot be executed speculatively. The uninstrumented path stays within
+// 2% of its cost (TestAnalyzeDisabledOverhead gates it in CI).
+//
 // Sampler health is exported alongside: per-chain acceptance rate and
 // steps/sec, and — per live shared view — the cross-chain split-R̂ and
 // effective sample size of the view's answer-cardinality stream, on

@@ -111,6 +111,7 @@ func openDurability(o options, sys system, name string) (store.Storage, error) {
 		Fsync:           o.fsync.storePolicy(),
 		CheckpointOps:   o.checkpointOps,
 		CheckpointBytes: o.checkpointBytes,
+		Logger:          o.logger,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRecovery, err)
@@ -132,6 +133,47 @@ func openDurability(o options, sys system, name string) (store.Storage, error) {
 	}
 	ds.RestoreWorld(w)
 	return st, nil
+}
+
+// recoveryTrace renders what Open found on disk as a QueryTrace — the
+// startup trace surfaced on GET /statusz. Spans are synthesized from the
+// store's recovery phase timings (snapshot load, WAL replay, torn-tail
+// truncation), contiguous by construction, with the replay counters as
+// span attributes so a crash-recovery check can assert what was replayed.
+func (db *DB) recoveryTrace(rec store.Recovery) *QueryTrace {
+	id := db.traceID.Add(1)
+	qt := &QueryTrace{
+		ID:      id,
+		SQL:     "(startup recovery)",
+		TraceID: db.genTraceID(id),
+		Kind:    "recovery",
+		Begin:   db.start,
+		Outcome: "ok",
+	}
+	if rec.Fresh {
+		qt.Outcome = "fresh"
+	}
+	off := int64(0)
+	span := func(name string, dur int64, attrs map[string]string) {
+		if dur < 0 {
+			dur = 0
+		}
+		qt.Spans = append(qt.Spans, TraceSpan{Name: name, StartNS: off, DurNS: dur, Attrs: attrs})
+		off += dur
+	}
+	span("snapshot_load", rec.SnapshotLoadNS, map[string]string{
+		"snapshot_epoch": fmt.Sprintf("%d", rec.SnapshotEpoch),
+	})
+	span("wal_replay", rec.ReplayNS, map[string]string{
+		"replayed_records": fmt.Sprintf("%d", rec.ReplayedRecords),
+		"replayed_ops":     fmt.Sprintf("%d", rec.ReplayedOps),
+		"epoch":            fmt.Sprintf("%d", rec.Epoch),
+	})
+	if rec.TornTail {
+		span("torn_tail_truncate", rec.TruncateNS, map[string]string{"torn_tail": "true"})
+	}
+	qt.WallNS = off
+	return qt
 }
 
 // registerStoreMetrics attaches the store's wal/checkpoint metrics to

@@ -35,7 +35,33 @@ type ExecResult struct {
 	// Elapsed is the wall time to commit, including the post-write
 	// burn-in on every chain in served mode.
 	Elapsed time.Duration
+	// Trace is the write's span breakdown — compile, resolve, WAL
+	// append/fsync, chain fan-out phases — present only when the caller
+	// opted in with ExecTrace (or, in served mode, the engine's trace
+	// sampler picked the write).
+	Trace *QueryTrace
 }
+
+// execOptions tunes one Exec; see the ExecOption constructors.
+type execOptions struct {
+	trace   bool
+	traceID string
+}
+
+// ExecOption configures one DB.Exec call.
+type ExecOption func(*execOptions)
+
+// ExecTrace records a span breakdown of this write — compile, admission,
+// resolve, WAL append and fsync, per-phase chain fan-out — returned in
+// ExecResult.Trace and kept in the recent-traces ring behind
+// GET /debug/traces.
+func ExecTrace() ExecOption { return func(o *execOptions) { o.trace = true } }
+
+// ExecTraceID propagates a caller-assigned correlation ID (the trace-id
+// field of a W3C traceparent) into the write's trace and its write-audit
+// record. The HTTP transport sets it from the request's traceparent
+// header.
+func ExecTraceID(id string) ExecOption { return func(o *execOptions) { o.traceID = id } }
 
 // worldExecer is the optional system capability behind Exec in the local
 // modes: a workload whose prototype world can absorb a resolved DML
@@ -67,15 +93,19 @@ type worldExecer interface {
 // clauses may reference any column, but the durable write workload is
 // evidence: a hidden (sampled) column assignment is overwritten as the
 // sampler revisits it.
-func (db *DB) Exec(ctx context.Context, sql string) (*ExecResult, error) {
+func (db *DB) Exec(ctx context.Context, sql string, opts ...ExecOption) (*ExecResult, error) {
 	if db.isClosed() {
 		return nil, ErrClosed
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	var eo execOptions
+	for _, f := range opts {
+		f(&eo)
+	}
 	if db.eng != nil {
-		res, err := db.eng.Exec(ctx, sql)
+		res, err := db.eng.ExecTraced(ctx, sql, serve.ExecOptions{Trace: eo.trace, TraceID: eo.traceID})
 		if err != nil {
 			return nil, mapServeErr(err)
 		}
@@ -84,23 +114,55 @@ func (db *DB) Exec(ctx context.Context, sql string) (*ExecResult, error) {
 			Epoch:        res.Epoch,
 			Chains:       res.Chains,
 			Elapsed:      res.Elapsed,
+			Trace:        traceFromServe(res.Trace),
 		}, nil
 	}
 
+	begin := time.Now()
+	tr := db.newLocalExecTrace(sql, eo, begin)
+	tr.span("compile")
 	mut, hit, err := db.plans.CompileMutation(sql)
 	if err != nil {
 		db.countFailed()
+		db.finishLocalExec(sql, nil, "error", tr, begin)
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	if hit {
 		db.planHits.Inc()
+		tr.attr("plan_cache", "hit")
+	} else {
+		tr.attr("plan_cache", "miss")
 	}
-	return db.execLocal(mut)
+	return db.execLocal(sql, mut, tr, begin)
+}
+
+// newLocalExecTrace decides tracing for one local write: client opt-in
+// (publish), or an armed slow-query log that needs the span breakdown in
+// case the write turns out slow (private). The write-audit log covers
+// every exec regardless.
+func (db *DB) newLocalExecTrace(sql string, eo execOptions, begin time.Time) *localTrace {
+	publish := eo.trace
+	if !publish && db.opts.slowQuery <= 0 {
+		return nil
+	}
+	tr := newLocalTrace(db.traceID.Add(1), sql, begin)
+	tr.publish = publish
+	tr.qt.Kind = "exec"
+	tr.qt.TraceID = eo.traceID
+	if tr.qt.TraceID == "" {
+		tr.qt.TraceID = db.genTraceID(tr.qt.ID)
+	}
+	return tr
 }
 
 // execLocal applies an already compiled mutation to the local prototype
-// world — the tail of Exec, shared with the prepared-statement path.
-func (db *DB) execLocal(mut ra.Mutation) (*ExecResult, error) {
+// world — the tail of Exec, shared with the prepared-statement path. A
+// traced write spans resolve / wal_append / fsync / apply contiguously;
+// every write, traced or not, lands in the outcome-labeled latency
+// histogram and the write-audit log.
+func (db *DB) execLocal(sql string, mut ra.Mutation, tr *localTrace, begin time.Time) (res *ExecResult, err error) {
+	outcome := "error"
+	defer func() { db.finishLocalExec(sql, res, outcome, tr, begin) }()
 	start := time.Now()
 	ex, ok := db.sys.(worldExecer)
 	if !ok {
@@ -111,7 +173,6 @@ func (db *DB) execLocal(mut ra.Mutation) (*ExecResult, error) {
 	// the prototype world under the read side, so they see either all of
 	// this mutation or none of it.
 	db.writeMu.Lock()
-	var err error
 	var n int64
 	var epoch int64
 	var walErr error
@@ -124,11 +185,19 @@ func (db *DB) execLocal(mut ra.Mutation) (*ExecResult, error) {
 			db.writeMu.Unlock()
 			return nil, fmt.Errorf("%w: the %s workload cannot log resolved writes", ErrRecovery, db.name)
 		}
+		tr.span("resolve")
 		var ops []world.Op
 		ops, err = ox.ResolveExec(mut)
 		epoch = db.writeEpoch.Load()
 		if err == nil && len(ops) > 0 {
+			tr.span("wal_append")
 			if walErr = db.store.Append(epoch+1, ops); walErr == nil {
+				var fsyncNS int64
+				if fr, ok := db.store.(serve.FsyncReporter); ok {
+					fsyncNS = fr.LastFsyncNS()
+				}
+				tr.splitTail("fsync", fsyncNS)
+				tr.span("apply")
 				n, err = ox.ApplyExecOps(ops)
 				if err == nil {
 					epoch = db.writeEpoch.Add(1)
@@ -136,6 +205,7 @@ func (db *DB) execLocal(mut ra.Mutation) (*ExecResult, error) {
 			}
 		}
 	} else {
+		tr.span("apply")
 		n, err = ex.Exec(mut)
 		if err == nil {
 			// Bump inside the critical section so the reported epoch matches
@@ -156,13 +226,17 @@ func (db *DB) execLocal(mut ra.Mutation) (*ExecResult, error) {
 	}
 	if n > 0 {
 		db.writes.Inc()
+		outcome = "ok"
+	} else {
+		outcome = "noop"
 	}
-	return &ExecResult{
+	res = &ExecResult{
 		RowsAffected: n,
 		Epoch:        epoch,
 		Chains:       1,
 		Elapsed:      time.Since(start),
-	}, nil
+	}
+	return res, nil
 }
 
 // mapServeErr rebrands the serving engine's sentinel errors onto the

@@ -38,10 +38,21 @@ func (db *DB) explain(ctx context.Context, sql string) (*Rows, error) {
 	}
 	target := sqlparse.ExplainTarget(sql)
 	var lines []string
-	if stmt.Explain.Select != nil {
+	switch {
+	case stmt.Analyze && stmt.Explain.Select == nil:
+		err = fmt.Errorf("EXPLAIN ANALYZE of DML is not supported (a write cannot be executed speculatively)")
+	case stmt.Explain.Select != nil && !stmt.Analyze:
 		lines, err = db.explainQuery(target)
-	} else {
+	case stmt.Explain.Select == nil:
 		lines, err = db.explainMutation(target)
+	default:
+		// EXPLAIN ANALYZE executes the target, so its errors span the full
+		// facade taxonomy (closed, overloaded, canceled) and arrive fully
+		// mapped — no blanket ErrBadQuery wrap.
+		lines, err = db.explainAnalyze(ctx, target)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if err != nil {
 		db.countFailed()
@@ -106,6 +117,58 @@ func (db *DB) explainQuery(target string) ([]string, error) {
 	}
 	lines = append(lines, "result spec: "+specString(comp.Spec))
 	lines = append(lines, "plan cache: "+hitMiss(hit))
+	return lines, nil
+}
+
+// explainAnalyze is EXPLAIN ANALYZE SELECT: compile through the shared
+// plan cache, execute the pushed-down pipeline once per chain with
+// per-operator instrumentation, and render the annotated plan — actual vs
+// estimated rows, per-operator self time and its share of total, and any
+// pushdown residue. In served mode every chain runs the pipeline against
+// its own world and the counters are merged; the local modes run it on a
+// fresh clone of the prototype world.
+func (db *DB) explainAnalyze(ctx context.Context, target string) ([]string, error) {
+	comp, hit, err := db.plans.CompileQuery(target)
+	if err != nil {
+		db.countFailed()
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	if hit && db.eng == nil {
+		db.planHits.Inc()
+	}
+	var st *ra.StreamStats
+	if db.eng != nil {
+		st, err = db.eng.Analyze(ctx, comp.Plan)
+		if err != nil {
+			return nil, mapServeErr(err)
+		}
+	} else {
+		// Same locking discipline as a local query: the clone excludes a
+		// concurrent Exec mid-mutation.
+		db.writeMu.RLock()
+		wl, _, werr := db.sys.NewChainWorld(0)
+		db.writeMu.RUnlock()
+		if werr != nil {
+			return nil, werr
+		}
+		bound, berr := ra.Bind(wl.DB(), comp.Plan)
+		if berr != nil {
+			db.countFailed()
+			return nil, fmt.Errorf("%w: %v", ErrBadQuery, berr)
+		}
+		it, _, stats, serr := ra.AnalyzeStream(bound)
+		if serr != nil {
+			db.countFailed()
+			return nil, fmt.Errorf("%w: %v", ErrBadQuery, serr)
+		}
+		it(func(relstore.Tuple, int64) bool { return true })
+		st = stats
+	}
+	lines := st.Render()
+	lines = append(lines,
+		"plan fingerprint: "+comp.Fingerprint,
+		fmt.Sprintf("analyzed chains: %d", db.Chains()),
+		"plan cache: "+hitMiss(hit))
 	return lines, nil
 }
 

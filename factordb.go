@@ -3,6 +3,7 @@ package factordb
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -97,6 +98,11 @@ type options struct {
 	maxQueued     int
 	traceEvery    int
 	planCacheSize int
+
+	// Structured logging and the slow-query log (see log.go); nil logger
+	// disables records, zero slowQuery disables the threshold.
+	logger    *slog.Logger
+	slowQuery time.Duration
 
 	// Durability (see durable.go); empty dataDir disables it.
 	dataDir         string
@@ -200,8 +206,15 @@ type DB struct {
 	writes      *metrics.Counter
 	planHits    *metrics.Counter
 	latency     *metrics.Histogram
+	execLatency *metrics.HistogramVec
 	localTraces *localTraceRing
 	traceID     atomic.Int64
+
+	// Shared observability: the structured logger, the W3C trace-ID seed,
+	// and the recovery trace assembled at Open (nil without a data dir).
+	logger       *slog.Logger
+	traceSeed    uint64
+	startupTrace *QueryTrace
 
 	// Local-mode write path: writeMu excludes Exec from queries cloning
 	// the prototype world; writeEpoch counts committed writes. Served
@@ -238,6 +251,8 @@ func Open(model Model, opts ...Option) (*DB, error) {
 	}
 	db := &DB{opts: o, sys: sys, name: model.modelName(), start: time.Now()}
 	db.plans = sqlparse.NewPlanCache(o.planCacheSize)
+	db.logger = o.logger
+	db.traceSeed = uint64(db.start.UnixNano()) | 1 // W3C forbids all-zero trace IDs
 
 	// Recovery happens before any chain is cloned: openDurability swaps
 	// the recovered world into the system, so the pool below is stocked
@@ -249,7 +264,9 @@ func Open(model Model, opts ...Option) (*DB, error) {
 	db.store = st
 	var recoveredEpoch int64
 	if st != nil {
-		recoveredEpoch = st.Recovery().Epoch
+		rec := st.Recovery()
+		recoveredEpoch = rec.Epoch
+		db.startupTrace = db.recoveryTrace(rec)
 	}
 
 	if o.mode == ModeServed {
@@ -273,6 +290,8 @@ func Open(model Model, opts ...Option) (*DB, error) {
 			TraceEvery:           o.traceEvery,
 			Plans:                db.plans,
 			InitialDataEpoch:     recoveredEpoch,
+			Logger:               o.logger,
+			SlowQuery:            o.slowQuery,
 		}
 		if st != nil {
 			cfg.WAL = st
@@ -298,6 +317,8 @@ func Open(model Model, opts ...Option) (*DB, error) {
 	db.planHits = db.reg.NewCounter("factordb_plan_cache_hits_total",
 		"statements whose compiled plan was served from the raw-SQL plan cache")
 	db.latency = db.reg.NewHistogram("factordb_query_seconds", "per-query latency in seconds", nil)
+	db.execLatency = db.reg.NewHistogramVec("factordb_exec_seconds",
+		"per-write latency in seconds, labeled by outcome", nil, "outcome")
 	db.localTraces = newLocalTraceRing(64)
 	db.reg.NewGaugeFunc("factordb_write_epoch", "data epoch: committed DML mutations since open",
 		func() float64 { return float64(db.writeEpoch.Load()) })

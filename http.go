@@ -4,9 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
@@ -53,15 +55,17 @@ type execRequest struct {
 	SQL       string `json:"sql"`
 	Args      []any  `json:"args,omitempty"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
+	Trace     bool   `json:"trace,omitempty"`
 }
 
 // execResponse is the POST /exec answer.
 type execResponse struct {
-	SQL          string  `json:"sql"`
-	RowsAffected int64   `json:"rows_affected"`
-	Epoch        int64   `json:"epoch"`
-	Chains       int     `json:"chains"`
-	ElapsedMS    float64 `json:"elapsed_ms"`
+	SQL          string      `json:"sql"`
+	RowsAffected int64       `json:"rows_affected"`
+	Epoch        int64       `json:"epoch"`
+	Chains       int         `json:"chains"`
+	ElapsedMS    float64     `json:"elapsed_ms"`
+	Trace        *QueryTrace `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
@@ -188,6 +192,46 @@ func bindableArgs(args []any) []any {
 	return out
 }
 
+// parseTraceparent extracts the 32-hex trace-id field of a W3C
+// traceparent header ("00-<trace-id>-<parent-id>-<flags>"). Malformed
+// headers — wrong field count, wrong width, non-hex, all-zero — return
+// "" and the request proceeds untraced rather than failing.
+func parseTraceparent(h string) string {
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return ""
+	}
+	id := strings.ToLower(parts[1])
+	zero := true
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return ""
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	if zero {
+		return ""
+	}
+	return id
+}
+
+// traceContext resolves the request's W3C trace ID — the client's
+// traceparent when present and well-formed, a fresh one otherwise — and
+// echoes it back on the response so the caller can stitch the server's
+// trace (and any slow-query or audit record, which carry the same ID)
+// into its distributed trace.
+func (db *DB) traceContext(w http.ResponseWriter, r *http.Request) string {
+	tid := parseTraceparent(r.Header.Get("traceparent"))
+	if tid == "" {
+		tid = db.genTraceID(db.traceID.Add(1))
+	}
+	w.Header().Set("traceparent", fmt.Sprintf("00-%s-%016x-01", tid, uint64(db.traceID.Add(1))))
+	return tid
+}
+
 // requestTimeout clamps the client's timeout request onto [default, max].
 func requestTimeout(ms int) time.Duration {
 	timeout := DefaultQueryTimeout
@@ -211,7 +255,11 @@ func (db *DB) handleExec(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), requestTimeout(req.TimeoutMS))
 	defer cancel()
-	res, err := db.execArgs(ctx, req.SQL, bindableArgs(req.Args))
+	opts := []ExecOption{ExecTraceID(db.traceContext(w, r))}
+	if req.Trace {
+		opts = append(opts, ExecTrace())
+	}
+	res, err := db.execArgs(ctx, req.SQL, bindableArgs(req.Args), opts...)
 	if err != nil {
 		writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
 		return
@@ -222,6 +270,7 @@ func (db *DB) handleExec(w http.ResponseWriter, r *http.Request) {
 		Epoch:        res.Epoch,
 		Chains:       res.Chains,
 		ElapsedMS:    float64(res.Elapsed.Microseconds()) / 1000,
+		Trace:        res.Trace,
 	})
 }
 
@@ -243,7 +292,7 @@ func (db *DB) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// HTTP clients get anytime semantics: a timeout that lands after the
 	// first sample returns the truncated estimate flagged partial.
-	opts := []QueryOption{AllowPartial()}
+	opts := []QueryOption{AllowPartial(), TraceID(db.traceContext(w, r))}
 	if req.Samples > 0 {
 		opts = append(opts, Samples(req.Samples))
 	}
@@ -347,7 +396,7 @@ func (db *DB) handleTraces(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (db *DB) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	db.Metrics().WriteText(w)
 }
 

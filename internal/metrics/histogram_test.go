@@ -143,6 +143,53 @@ func TestCounterVecAndGaugeVec(t *testing.T) {
 	}
 }
 
+// TestHistogramVec pins the labeled-histogram exposition: one HELP/TYPE
+// header for the family, each child rendering its cumulative _bucket
+// series with the le label spliced after the family labels, and _sum and
+// _count per child.
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	hv := r.NewHistogramVec("exec_seconds", "write latency by outcome", []float64{0.1, 1}, "outcome")
+	ok := hv.With("ok")
+	ok.Observe(0.05)
+	ok.Observe(0.5)
+	ok.Observe(5)
+	hv.With("error").Observe(0.05)
+	if hv.With("ok") != ok {
+		t.Fatal("With should return the same child for the same labels")
+	}
+
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE exec_seconds histogram",
+		`exec_seconds_bucket{outcome="ok",le="0.1"} 1`,
+		`exec_seconds_bucket{outcome="ok",le="1"} 2`,
+		`exec_seconds_bucket{outcome="ok",le="+Inf"} 3`,
+		`exec_seconds_count{outcome="ok"} 3`,
+		`exec_seconds_sum{outcome="ok"} 5.55`,
+		`exec_seconds_bucket{outcome="error",le="+Inf"} 1`,
+		`exec_seconds_count{outcome="error"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE exec_seconds histogram"); n != 1 {
+		t.Errorf("family header rendered %d times", n)
+	}
+}
+
+func TestSpliceLabel(t *testing.T) {
+	if got := spliceLabel(`{outcome="ok"}`, "le", "0.1"); got != `{outcome="ok",le="0.1"}` {
+		t.Fatalf("spliceLabel = %s", got)
+	}
+	if got := spliceLabel("{}", "le", "+Inf"); got != `{le="+Inf"}` {
+		t.Fatalf("spliceLabel on empty set = %s", got)
+	}
+}
+
 func TestMultiGaugeFunc(t *testing.T) {
 	r := NewRegistry()
 	r.NewMultiGaugeFunc("view_rhat", "split-Rhat per view", []string{"view"}, func() []LabeledValue {

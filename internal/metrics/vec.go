@@ -132,6 +132,57 @@ func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
 	return g
 }
 
+// HistogramVec is a family of histograms keyed by label values — e.g.
+// write latency by outcome. Children share one bucket layout; each child
+// renders its _bucket series with the family labels plus le.
+type HistogramVec struct {
+	v *vec[*Histogram]
+}
+
+// With returns (creating on first use) the child histogram for the label
+// values.
+func (h *HistogramVec) With(values ...string) *Histogram { return h.v.with(values) }
+
+func (h *HistogramVec) write(w io.Writer) {
+	writeHeader(w, h.v.name, h.v.help, "histogram")
+	keys, snap := h.v.sorted()
+	for _, k := range keys {
+		child := snap[k]
+		bounds, cum := child.BucketCounts()
+		for i, b := range bounds {
+			fmt.Fprintf(w, "%s_bucket%s %d\n", h.v.name, spliceLabel(k, "le", formatBound(b)), cum[i])
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.v.name, spliceLabel(k, "le", "+Inf"), cum[len(cum)-1])
+		fmt.Fprintf(w, "%s_sum%s %v\n", h.v.name, k, child.Sum())
+		fmt.Fprintf(w, "%s_count%s %d\n", h.v.name, k, cum[len(cum)-1])
+	}
+}
+
+// spliceLabel appends one more label pair into an already rendered label
+// set (the histogram's le bucket bound).
+func spliceLabel(rendered, name, value string) string {
+	inner := strings.TrimSuffix(rendered, "}")
+	if inner == "{" {
+		return fmt.Sprintf("{%s=%q}", name, value)
+	}
+	return fmt.Sprintf("%s,%s=%q}", inner, name, value)
+}
+
+// NewHistogramVec registers a labeled histogram family with the given
+// bucket upper bounds (DefBuckets when nil).
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := &HistogramVec{v: &vec[*Histogram]{
+		name: name, help: help, labels: labels,
+		children: make(map[string]*Histogram),
+		mk:       func() *Histogram { return newHistogram(name, help, buckets) },
+	}}
+	r.register(name, h)
+	return h
+}
+
 // LabeledValue is one series of a MultiGaugeFunc scrape: label values in
 // declaration order plus the value.
 type LabeledValue struct {

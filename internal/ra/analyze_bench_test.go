@@ -1,0 +1,110 @@
+package ra
+
+import (
+	"testing"
+
+	"factordb/internal/relstore"
+)
+
+// drainStream compiles-and-runs one pipeline, folding rows into a count
+// so the consumer cost is identical across the compared variants.
+func drainIter(it Iterator) int64 {
+	var total int64
+	it(func(_ relstore.Tuple, n int64) bool {
+		total += n
+		return true
+	})
+	return total
+}
+
+// BenchmarkAnalyzeOverhead puts a number on the EXPLAIN ANALYZE
+// instrumentation: "disabled" is the production path (Stream — no
+// recorder exists anywhere in the compiled closures), "enabled" is the
+// fully instrumented pipeline. The disabled figure is what the ≤2% gate
+// in TestAnalyzeDisabledOverhead holds against the raw executor.
+func BenchmarkAnalyzeOverhead(b *testing.B) {
+	db := benchWorld(20000)
+	bound, err := Bind(db, benchPlan())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		it, _, err := Stream(bound)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			drainIter(it)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		it, _, _, err := AnalyzeStream(bound)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			drainIter(it)
+		}
+	})
+}
+
+// TestAnalyzeDisabledOverhead is the CI gate behind the instrumentation
+// design: Stream's compiled pipeline must not pay for EXPLAIN ANALYZE
+// when it isn't running. The baseline compiles the pushed tree through
+// compileStream directly (the pre-analyze executor); the subject is the
+// public Stream entry point. If someone later threads a nil-checked
+// recorder through the per-row path, the ratio moves and this fails.
+// Medians over repeated measurements keep shared-runner noise below the
+// 2% threshold; the workload is the BenchmarkEvalStreaming one.
+func TestAnalyzeDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyze overhead gate skipped in -short mode")
+	}
+	db := benchWorld(20000)
+	bound, err := Bind(db, benchPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed := Pushdown(bound)
+	base, _, err := compileStream(pushed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subject, _, err := Stream(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(it Iterator) int64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				drainIter(it)
+			}
+		})
+		return res.NsPerOp()
+	}
+	const rounds = 7
+	baseNS := make([]int64, 0, rounds)
+	subjNS := make([]int64, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		// Interleave so drift hits both variants equally.
+		baseNS = append(baseNS, measure(base))
+		subjNS = append(subjNS, measure(subject))
+	}
+	med := func(xs []int64) int64 {
+		s := append([]int64(nil), xs...)
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return s[len(s)/2]
+	}
+	b0, s0 := med(baseNS), med(subjNS)
+	overhead := float64(s0-b0) / float64(b0) * 100
+	t.Logf("raw pipeline %d ns/op, Stream (analyze disabled) %d ns/op, overhead %.2f%%", b0, s0, overhead)
+	if overhead > 2.0 {
+		t.Errorf("disabled instrumentation costs %.2f%% on the streaming bench, budget is 2%%", overhead)
+	}
+}

@@ -43,26 +43,40 @@ func Stream(b *Bound) (it Iterator, owned bool, err error) {
 	return compileStream(Pushdown(b))
 }
 
+// streamCompiler compiles one bound subtree into an iterator. The plain
+// pipeline uses compileStream itself; AnalyzeStream supplies a wrapping
+// compiler that interposes per-operator instrumentation at every
+// parent/child edge. The indirection is compile-time only — it never
+// appears on the per-row path — so the uninstrumented pipeline is
+// unchanged.
+type streamCompiler func(*Bound) (Iterator, bool, error)
+
 func compileStream(b *Bound) (Iterator, bool, error) {
+	return compileNode(b, compileStream)
+}
+
+// compileNode builds one operator, compiling its children through the
+// supplied compiler.
+func compileNode(b *Bound, compile streamCompiler) (Iterator, bool, error) {
 	switch b.Kind {
 	case KScan:
 		return streamScan(b), true, nil
 	case KSelect:
-		return streamSelect(b)
+		return streamSelect(b, compile)
 	case KProject:
-		return streamProject(b)
+		return streamProject(b, compile)
 	case KJoin:
-		return streamJoin(b)
+		return streamJoin(b, compile)
 	case KGroupAgg:
-		return streamGroupAgg(b)
+		return streamGroupAgg(b, compile)
 	case KUnion:
-		return streamUnion(b)
+		return streamUnion(b, compile)
 	case KDiff:
-		return streamDiff(b)
+		return streamDiff(b, compile)
 	case KDistinct:
-		return streamDistinct(b)
+		return streamDistinct(b, compile)
 	case KOrderLimit:
-		return streamOrderLimit(b)
+		return streamOrderLimit(b, compile)
 	}
 	return nil, false, fmt.Errorf("ra: stream of unknown bound kind %d", b.Kind)
 }
@@ -90,8 +104,8 @@ func streamScan(b *Bound) Iterator {
 
 // streamSelect filters the child stream in place: rejected tuples are
 // dropped without surfacing, accepted ones pass through untouched.
-func streamSelect(b *Bound) (Iterator, bool, error) {
-	child, owned, err := compileStream(b.Children[0])
+func streamSelect(b *Bound, compile streamCompiler) (Iterator, bool, error) {
+	child, owned, err := compile(b.Children[0])
 	if err != nil {
 		return nil, false, err
 	}
@@ -110,8 +124,8 @@ func streamSelect(b *Bound) (Iterator, bool, error) {
 // streamProject rewrites each row into one reused scratch buffer, so a
 // projection allocates a single tuple per pipeline run instead of one per
 // input row. Its output is therefore never owned.
-func streamProject(b *Bound) (Iterator, bool, error) {
-	child, _, err := compileStream(b.Children[0])
+func streamProject(b *Bound, compile streamCompiler) (Iterator, bool, error) {
+	child, _, err := compile(b.Children[0])
 	if err != nil {
 		return nil, false, err
 	}
@@ -133,12 +147,12 @@ func streamProject(b *Bound) (Iterator, bool, error) {
 // the left input streams through, concatenating matches into one reused
 // scratch row. With no key columns both sides share the single empty-key
 // bucket, which degenerates to the Cartesian product.
-func streamJoin(b *Bound) (Iterator, bool, error) {
-	left, _, err := compileStream(b.Children[0])
+func streamJoin(b *Bound, compile streamCompiler) (Iterator, bool, error) {
+	left, _, err := compile(b.Children[0])
 	if err != nil {
 		return nil, false, err
 	}
-	right, rightOwned, err := compileStream(b.Children[1])
+	right, rightOwned, err := compile(b.Children[1])
 	if err != nil {
 		return nil, false, err
 	}
@@ -181,8 +195,8 @@ func streamJoin(b *Bound) (Iterator, bool, error) {
 // per-group accumulator state (no input materialization) and then emits
 // one freshly built row per group, reusing the full evaluator's
 // accumulate/finishAgg semantics including the SQL global-group rule.
-func streamGroupAgg(b *Bound) (Iterator, bool, error) {
-	child, _, err := compileStream(b.Children[0])
+func streamGroupAgg(b *Bound, compile streamCompiler) (Iterator, bool, error) {
+	child, _, err := compile(b.Children[0])
 	if err != nil {
 		return nil, false, err
 	}
@@ -248,12 +262,12 @@ func countsOnly(aggs []BoundAgg) bool {
 
 // streamUnion concatenates the two input streams (bag union: counts add
 // at the consumer).
-func streamUnion(b *Bound) (Iterator, bool, error) {
-	left, lo, err := compileStream(b.Children[0])
+func streamUnion(b *Bound, compile streamCompiler) (Iterator, bool, error) {
+	left, lo, err := compile(b.Children[0])
 	if err != nil {
 		return nil, false, err
 	}
-	right, ro, err := compileStream(b.Children[1])
+	right, ro, err := compile(b.Children[1])
 	if err != nil {
 		return nil, false, err
 	}
@@ -279,12 +293,12 @@ func streamUnion(b *Bound) (Iterator, bool, error) {
 // down the remaining right count for its key and yields whatever
 // survives. Summed per key this is exactly monus, max(0, left − right),
 // even when a key's left occurrences arrive split across yields.
-func streamDiff(b *Bound) (Iterator, bool, error) {
-	left, lo, err := compileStream(b.Children[0])
+func streamDiff(b *Bound, compile streamCompiler) (Iterator, bool, error) {
+	left, lo, err := compile(b.Children[0])
 	if err != nil {
 		return nil, false, err
 	}
-	right, _, err := compileStream(b.Children[1])
+	right, _, err := compile(b.Children[1])
 	if err != nil {
 		return nil, false, err
 	}
@@ -326,8 +340,8 @@ func streamDiff(b *Bound) (Iterator, bool, error) {
 // streamDistinct yields each distinct tuple once with count 1, on first
 // sight. Evaluation-path multiplicities are all positive, so first sight
 // decides membership.
-func streamDistinct(b *Bound) (Iterator, bool, error) {
-	child, owned, err := compileStream(b.Children[0])
+func streamDistinct(b *Bound, compile streamCompiler) (Iterator, bool, error) {
+	child, owned, err := compile(b.Children[0])
 	if err != nil {
 		return nil, false, err
 	}
@@ -363,8 +377,8 @@ type olEntry struct {
 // limit — counts only grow during a run, so an evicted row can never
 // re-enter the output. Ties on the sort keys break by the injective
 // tuple key, matching the ivm top-k operator exactly.
-func streamOrderLimit(b *Bound) (Iterator, bool, error) {
-	child, owned, err := compileStream(b.Children[0])
+func streamOrderLimit(b *Bound, compile streamCompiler) (Iterator, bool, error) {
+	child, owned, err := compile(b.Children[0])
 	if err != nil {
 		return nil, false, err
 	}

@@ -311,8 +311,8 @@ func sweepPlans() map[string]Plan {
 		"select-over-groupagg": NewSelect(
 			NewGroupAgg(scanR, []ColRef{rB}, Agg{Fn: FnCount, As: "N"}),
 			Cmp(OpGt, Col(C("", "N")), Const(relstore.Int(1)))),
-		"union":          NewUnion(NewProject(scanR, rA, rB), scanS),
-		"union-empty":    NewUnion(scanS, scanE),
+		"union":       NewUnion(NewProject(scanR, rA, rB), scanS),
+		"union-empty": NewUnion(scanS, scanE),
 		"select-over-union": NewSelect(
 			NewUnion(scanS, scanE), Cmp(OpGe, Col(sA), Const(relstore.Int(1)))),
 		"diff":          NewDiff(NewProject(scanR, rA, rB), scanS),

@@ -9,6 +9,7 @@ import (
 	"factordb/internal/mcmc"
 	"factordb/internal/metrics"
 	"factordb/internal/ra"
+	"factordb/internal/relstore"
 	"factordb/internal/world"
 )
 
@@ -57,13 +58,42 @@ type resolveReply struct {
 	err error
 }
 
+// chainPhase marks one chain's completion of a write phase; traced
+// writes collect these from every chain to span the fan-out's burn-in,
+// delta-fold and republish stages on the coordinator's timeline.
+type chainPhase uint8
+
+const (
+	phaseOpsApplied chainPhase = iota
+	phaseBurnedIn
+	phaseDeltaFolded
+	phaseRepublished
+	numWritePhases
+)
+
 // applyReq asks a chain to apply a resolved op list, burn in, and reset
 // every live view's estimator so post-write snapshots carry post-write
-// samples only.
+// samples only. phases, when non-nil, receives one chainPhase per
+// completed stage; the channel must be buffered for every chain's full
+// phase set so the chain never blocks on a coordinator that stopped
+// listening.
 type applyReq struct {
 	ops    []world.Op
 	burnIn int
+	phases chan<- chainPhase
 	reply  chan error
+}
+
+// analyzeReq asks a chain to run one instrumented evaluation of a plan
+// against its current world — the per-chain half of EXPLAIN ANALYZE.
+type analyzeReq struct {
+	plan  ra.Plan
+	reply chan analyzeReply
+}
+
+type analyzeReply struct {
+	stats *ra.StreamStats
+	err   error
 }
 
 // chain is one member of the engine's pool: a private copy of the world
@@ -226,7 +256,10 @@ func (c *chain) handle(msg any) {
 		ops, err := world.ResolveMutation(c.log.DB(), req.mut)
 		req.reply <- resolveReply{ops: ops, err: err}
 	case applyReq:
-		req.reply <- c.applyWrite(req.ops, req.burnIn)
+		req.reply <- c.applyWrite(req.ops, req.burnIn, req.phases)
+	case analyzeReq:
+		st, err := c.analyzePlan(req.plan)
+		req.reply <- analyzeReply{stats: st, err: err}
 	default:
 		panic(fmt.Sprintf("serve: unknown chain control message %T", msg))
 	}
@@ -246,14 +279,21 @@ func (c *chain) handle(msg any) {
 // pending sampler delta when the write lands: the write closes its own
 // epoch and every view is consistent with the mutated world from the
 // published snapshot on.
-func (c *chain) applyWrite(ops []world.Op, burnIn int) error {
+func (c *chain) applyWrite(ops []world.Op, burnIn int, phases chan<- chainPhase) error {
+	mark := func(p chainPhase) {
+		if phases != nil {
+			phases <- p
+		}
+	}
 	if _, err := c.log.ApplyOps(ops); err != nil {
 		return err
 	}
 	c.writeGen.Add(1)
+	mark(phaseOpsApplied)
 	if burnIn > 0 {
 		c.walk(burnIn)
 	}
+	mark(phaseBurnedIn)
 	d := c.log.Drain()
 	epoch := c.log.Epoch()
 	c.curEpoch.Store(epoch)
@@ -267,11 +307,32 @@ func (c *chain) applyWrite(ops []world.Op, burnIn int) error {
 		// Pre-write observations describe a distribution that no longer
 		// exists; the convergence diagnostics restart with the estimator.
 		pv.stat.series.reset()
+	}
+	mark(phaseDeltaFolded)
+	for _, pv := range c.reg.byFP {
 		// Publish the empty estimator: the cell must not keep serving the
 		// pre-write snapshot to readers that merge before the next batch.
 		pv.cell.Publish(epoch, pv.est.Clone())
 	}
+	mark(phaseRepublished)
 	return nil
+}
+
+// analyzePlan binds plan against the chain's world and runs the
+// instrumented streaming pipeline once, returning per-operator counters.
+// Like every control message it runs at an epoch boundary, so the world
+// it observes is exactly the one the chain's views are consistent with.
+func (c *chain) analyzePlan(plan ra.Plan) (*ra.StreamStats, error) {
+	bound, err := ra.Bind(c.log.DB(), plan)
+	if err != nil {
+		return nil, err
+	}
+	it, _, st, err := ra.AnalyzeStream(bound)
+	if err != nil {
+		return nil, err
+	}
+	it(func(relstore.Tuple, int64) bool { return true })
+	return st, nil
 }
 
 // register binds the plan against this chain's world and subscribes the

@@ -24,6 +24,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -105,6 +106,17 @@ type Config struct {
 	// fresh cache of sqlparse.DefaultPlanCacheSize entries.
 	Plans *sqlparse.PlanCache
 
+	// Logger receives the engine's structured log records: write-audit
+	// entries and slow-query reports. Nil disables engine logging.
+	Logger *slog.Logger
+	// SlowQuery, when positive, is the latency threshold of the slow-query
+	// log: any query at or over it emits a structured record through
+	// Logger carrying its span breakdown, plan fingerprint and trace ID
+	// (the engine records a private trace for every query while the
+	// threshold is set, so the breakdown is on hand when one turns out
+	// slow). Zero disables the slow-query log.
+	SlowQuery time.Duration
+
 	// WAL, when non-nil, durably logs every committed op batch before it
 	// is applied to any chain. An Append error fails the write.
 	WAL WALSink
@@ -181,6 +193,11 @@ type engineMetrics struct {
 	evictions *metrics.Counter
 	latency   *metrics.Histogram
 
+	// execLatency is the write-path twin of latency, labeled by outcome
+	// (ok | noop | rejected | canceled | error) so dashboards can separate
+	// committed-write latency from vetoed attempts.
+	execLatency *metrics.HistogramVec
+
 	chainSteps    *metrics.CounterVec
 	chainAccepted *metrics.CounterVec
 }
@@ -197,6 +214,10 @@ type Engine struct {
 
 	start  time.Time
 	nextID atomic.Int64
+	// traceSeed is the per-engine half of generated trace IDs; combined
+	// with the trace serial it yields 32-hex-char W3C-shaped IDs unique
+	// within and (for practical purposes) across restarts.
+	traceSeed uint64
 
 	// writeMu serializes Exec calls: one logical mutation lands on every
 	// chain before the next begins, so the clones see identical op
@@ -225,6 +246,7 @@ func New(src Source, cfg Config) (*Engine, error) {
 		tracer: &traceSampler{every: int64(cfg.TraceEvery)},
 		start:  time.Now(),
 	}
+	e.traceSeed = uint64(e.start.UnixNano()) | 1 // W3C forbids all-zero IDs
 	e.dataEpoch.Store(cfg.InitialDataEpoch)
 	// Each chain goroutine starts as soon as its world is cloned, so the
 	// error path below can always stopChains: every chain in e.chains has
@@ -264,6 +286,8 @@ func newEngineMetrics() *engineMetrics {
 		evictions: reg.NewCounter("factordb_cache_evictions_total",
 			"result-cache entries evicted (LRU overflow or TTL expiry)"),
 		latency: reg.NewHistogram("factordb_query_seconds", "per-query latency in seconds", nil),
+		execLatency: reg.NewHistogramVec("factordb_exec_seconds",
+			"per-write latency in seconds, labeled by outcome", nil, "outcome"),
 		chainSteps: reg.NewCounterVec("factordb_chain_steps_total",
 			"Metropolis-Hastings walk-steps per chain", "chain"),
 		chainAccepted: reg.NewCounterVec("factordb_chain_accepted_total",
@@ -381,6 +405,12 @@ func (e *Engine) Metrics() *metrics.Registry { return e.m.reg }
 // engine-initiated samples (Config.TraceEvery) plus every client
 // opt-in trace, bounded by Config.TraceRing.
 func (e *Engine) Traces() []*QueryTrace { return e.traces.snapshot() }
+
+// genTraceID mints a W3C-shaped trace ID (32 lowercase hex chars) for a
+// trace the client did not supply one for.
+func (e *Engine) genTraceID(id int64) string {
+	return fmt.Sprintf("%016x%016x", e.traceSeed, uint64(id))
+}
 
 // NoteBadQuery feeds the failed-query counter for queries rejected
 // before reaching the engine — the facade compiles SQL up front, so its

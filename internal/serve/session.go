@@ -33,6 +33,10 @@ type QueryOptions struct {
 	// in Result.Trace and kept in the engine's debug ring. Off by
 	// default; the untraced path pays a nil check per span only.
 	Trace bool
+	// TraceID propagates a caller-assigned correlation ID (the trace-id
+	// field of a W3C traceparent) into the recorded trace. Empty means
+	// the engine assigns one when a trace is recorded.
+	TraceID string
 }
 
 // TupleResult is one answer tuple with its marginal and interval.
@@ -147,13 +151,12 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 		return nil, err
 	}
 
-	// Tracing is strictly opt-in (per query, or the engine's sampler):
-	// the disabled state is a nil *qtrace whose every method returns on a
+	// Tracing is opt-in (per query, or the engine's sampler): the
+	// disabled state is a nil *qtrace whose every method returns on a
 	// nil check, so untraced queries pay one branch per would-be span.
-	var tr *qtrace
-	if opts.Trace || e.tracer.hit() {
-		tr = newTrace(e.nextID.Add(1), sql, time.Now())
-	}
+	// An enabled slow-query log records a private trace for every query
+	// so the breakdown exists if this one crosses the threshold.
+	tr := e.newQueryTrace(sql, opts)
 
 	// Compile through the plan cache, keyed on the exact SQL byte string:
 	// a repeated spelling skips lexing, parsing and canonicalization and
@@ -165,7 +168,7 @@ func (e *Engine) Query(ctx context.Context, sql string, opts QueryOptions) (*Res
 	comp, cached, err := e.cfg.Plans.CompileQuery(sql)
 	if err != nil {
 		e.m.failed.Inc()
-		e.traces.add(tr.finish("error"))
+		e.finishTrace(tr, "error")
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	if cached {
@@ -192,10 +195,7 @@ func (e *Engine) QueryPlan(ctx context.Context, sql string, plan ra.Plan, spec r
 	if err != nil {
 		return nil, err
 	}
-	var tr *qtrace
-	if opts.Trace || e.tracer.hit() {
-		tr = newTrace(e.nextID.Add(1), sql, time.Now())
-	}
+	tr := e.newQueryTrace(sql, opts)
 	tr.span("compile")
 	tr.attr("plan_cache", "prebound")
 	comp := &sqlparse.Compiled{
@@ -246,8 +246,7 @@ func (e *Engine) queryCompiled(ctx context.Context, sql string, comp *sqlparse.C
 			res.Cached = true
 			res.SQL = sql // a fingerprint hit may come from a textual variant
 			tr.attr("result", "hit")
-			res.Trace = tr.finish("cached")
-			e.traces.add(res.Trace)
+			res.Trace = e.finishTrace(tr, "cached")
 			return res, nil
 		}
 		tr.attr("result", "miss")
@@ -258,7 +257,7 @@ func (e *Engine) queryCompiled(ctx context.Context, sql string, comp *sqlparse.C
 		if errors.Is(err, ErrOverloaded) {
 			e.m.rejected.Inc()
 		}
-		e.traces.add(tr.finish("error"))
+		e.finishTrace(tr, "error")
 		return nil, err
 	}
 	defer e.admit.release()
@@ -289,7 +288,7 @@ func (e *Engine) queryCompiled(ctx context.Context, sql string, comp *sqlparse.C
 		var err error
 		col, err = e.collectOnce(ctx, plan, spec, opts, z, tr)
 		if err != nil {
-			e.traces.add(tr.finish("error"))
+			e.finishTrace(tr, "error")
 			return nil, err
 		}
 		if col.partial || col.closed {
@@ -304,7 +303,7 @@ func (e *Engine) queryCompiled(ctx context.Context, sql string, comp *sqlparse.C
 		}
 		if attempt >= maxCollectRetries {
 			e.m.rejected.Inc()
-			e.traces.add(tr.finish("error"))
+			e.finishTrace(tr, "error")
 			return nil, fmt.Errorf("%w: query torn by concurrent writes %d times",
 				ErrOverloaded, attempt+1)
 		}
@@ -312,7 +311,7 @@ func (e *Engine) queryCompiled(ctx context.Context, sql string, comp *sqlparse.C
 	merged, partial, closed, earlyStop := col.merged, col.partial, col.closed, col.earlyStop
 
 	if merged.Samples() == 0 {
-		e.traces.add(tr.finish("error"))
+		e.finishTrace(tr, "error")
 		if closed {
 			return nil, ErrClosed
 		}
@@ -357,8 +356,7 @@ func (e *Engine) queryCompiled(ctx context.Context, sql string, comp *sqlparse.C
 	case partial:
 		outcome = "partial"
 	}
-	res.Trace = tr.finish(outcome)
-	e.traces.add(res.Trace)
+	res.Trace = e.finishTrace(tr, outcome)
 	// Cache only answers whose data epoch is still current: a consistent
 	// pass collected across a commit is a correct answer to return, but
 	// its epoch attribution is ambiguous, and the entry would either be

@@ -28,11 +28,18 @@ type TraceSpan struct {
 	Attrs   map[string]string `json:"attrs,omitempty"`
 }
 
-// QueryTrace is the span breakdown of one served query. It is immutable
-// once returned (the engine hands the same pointer to the result and the
-// debug ring).
+// QueryTrace is the span breakdown of one served query or write. It is
+// immutable once returned (the engine hands the same pointer to the
+// result and the debug ring).
 type QueryTrace struct {
-	ID      int64       `json:"id"`
+	ID int64 `json:"id"`
+	// TraceID is the W3C-style correlation ID (32 lowercase hex chars):
+	// either propagated from the client's traceparent header or assigned
+	// by the engine when the trace was engine-initiated.
+	TraceID string `json:"trace_id,omitempty"`
+	// Kind distinguishes read traces ("query") from write traces ("exec")
+	// and the one-shot startup trace ("recovery").
+	Kind    string      `json:"kind,omitempty"`
 	SQL     string      `json:"sql"`
 	Plan    string      `json:"plan_fingerprint,omitempty"`
 	Begin   time.Time   `json:"begin"`
@@ -48,6 +55,11 @@ type qtrace struct {
 	begin time.Time
 	open  bool
 	start time.Time // start of the open span
+	// publish marks traces the caller asked for (or the sampler picked):
+	// those land in the result and the debug ring. A trace recorded only
+	// because the slow-query log needs a breakdown stays private unless
+	// the query turns out slow.
+	publish bool
 }
 
 // newTrace starts a trace clocked from begin.
@@ -91,6 +103,34 @@ func (t *qtrace) attr(key, val string) {
 		s.Attrs = make(map[string]string, 2)
 	}
 	s.Attrs[key] = val
+}
+
+// splitTail closes the open span and carves its final tailNS into a new
+// span named name, keeping the timeline contiguous. This is how fsync
+// gets its own span: the WAL sink reports how much of the append it
+// spent in fsync, and that tail is re-labeled after the fact. The new
+// span is left open with its start backdated by tailNS, so the next
+// span (or finish) closes it at its own instant and no gap opens.
+func (t *qtrace) splitTail(name string, tailNS int64) {
+	if t == nil || !t.open {
+		return
+	}
+	now := time.Now()
+	t.closeSpan(now)
+	s := &t.qt.Spans[len(t.qt.Spans)-1]
+	if tailNS < 0 {
+		tailNS = 0
+	}
+	if tailNS > s.DurNS {
+		tailNS = s.DurNS
+	}
+	s.DurNS -= tailNS
+	t.qt.Spans = append(t.qt.Spans, TraceSpan{
+		Name:    name,
+		StartNS: s.StartNS + s.DurNS,
+	})
+	t.open = true
+	t.start = now.Add(-time.Duration(tailNS))
 }
 
 // setPlan records the canonical plan fingerprint.

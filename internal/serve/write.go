@@ -17,6 +17,32 @@ type ExecResult struct {
 	Epoch        int64         `json:"epoch"`  // data epoch after the commit
 	Chains       int           `json:"chains"` // worlds the mutation was applied to
 	Elapsed      time.Duration `json:"elapsed_ns"`
+
+	// Trace is the span breakdown of this write, present only when the
+	// caller opted in (ExecOptions.Trace) or the engine's trace sampler
+	// picked it. Spans follow the write-span contract in doc.go.
+	Trace *QueryTrace `json:"trace,omitempty"`
+}
+
+// ExecOptions tunes one mutation execution.
+type ExecOptions struct {
+	// Trace records a span breakdown of the write — compile, admission,
+	// resolve, WAL append/fsync, chain fan-out phases — returned in
+	// ExecResult.Trace and kept in the engine's debug ring.
+	Trace bool
+	// TraceID propagates a caller-assigned correlation ID (the trace-id
+	// field of a W3C traceparent) into the trace and the write-audit log.
+	// Empty means the engine assigns one when a trace is recorded.
+	TraceID string
+}
+
+// FsyncReporter is optionally implemented by WAL sinks that can say how
+// much of their last Append was spent in fsync; traced writes use it to
+// carve the fsync span out of wal_append. The report is only meaningful
+// immediately after an Append on the same goroutine, which the engine's
+// write lock guarantees.
+type FsyncReporter interface {
+	LastFsyncNS() int64
 }
 
 // Exec compiles one DML statement (INSERT, UPDATE or DELETE), applies it
@@ -44,32 +70,115 @@ type ExecResult struct {
 // cancellation, because a half-applied write would fork the chains'
 // worlds.
 func (e *Engine) Exec(ctx context.Context, sql string) (*ExecResult, error) {
+	return e.ExecTraced(ctx, sql, ExecOptions{})
+}
+
+// ExecTraced is Exec with per-write options (tracing, trace-ID
+// propagation).
+func (e *Engine) ExecTraced(ctx context.Context, sql string, opts ExecOptions) (*ExecResult, error) {
 	if e.isClosed() {
 		return nil, ErrClosed
 	}
+	begin := time.Now()
+	tr := e.newExecTrace(sql, opts)
+	tr.span("compile")
 	mut, cached, err := e.cfg.Plans.CompileMutation(sql)
 	if err != nil {
 		e.m.failed.Inc()
+		e.finishExec(ctx, sql, nil, "error", tr, begin)
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	if cached {
 		e.m.planHits.Inc()
+		tr.attr("plan_cache", "hit")
+	} else {
+		tr.attr("plan_cache", "miss")
 	}
-	return e.ExecMutation(ctx, sql, mut)
+	return e.execMutation(ctx, sql, mut, tr, begin)
 }
 
 // ExecMutation applies an already compiled mutation — the prepared-
 // statement path. Semantics match Exec exactly.
 func (e *Engine) ExecMutation(ctx context.Context, sql string, mut ra.Mutation) (*ExecResult, error) {
+	return e.ExecMutationTraced(ctx, sql, mut, ExecOptions{})
+}
+
+// ExecMutationTraced is ExecMutation with per-write options.
+func (e *Engine) ExecMutationTraced(ctx context.Context, sql string, mut ra.Mutation, opts ExecOptions) (*ExecResult, error) {
 	if e.isClosed() {
 		return nil, ErrClosed
 	}
+	begin := time.Now()
+	tr := e.newExecTrace(sql, opts)
+	tr.span("compile")
+	tr.attr("plan_cache", "prebound")
+	return e.execMutation(ctx, sql, mut, tr, begin)
+}
+
+// newExecTrace decides tracing for one write: caller opt-in and sampler
+// hits produce published traces; an armed slow-query log additionally
+// records a private trace for every write, so the span breakdown exists
+// if this one crosses the threshold (writes share the query threshold).
+func (e *Engine) newExecTrace(sql string, opts ExecOptions) *qtrace {
+	publish := opts.Trace || e.tracer.hit()
+	if !publish && e.cfg.SlowQuery <= 0 {
+		return nil
+	}
+	tr := newTrace(e.nextID.Add(1), sql, time.Now())
+	tr.publish = publish
+	tr.qt.Kind = "exec"
+	tr.qt.TraceID = opts.TraceID
+	if tr.qt.TraceID == "" {
+		tr.qt.TraceID = e.genTraceID(tr.qt.ID)
+	}
+	return tr
+}
+
+// finishExec settles one exec attempt's observability: closes the trace,
+// emits the slow-query record when the write crossed the threshold,
+// rings published or slow traces, attaches published ones to the result,
+// observes the outcome-labeled latency histogram, and emits the
+// write-audit record.
+func (e *Engine) finishExec(ctx context.Context, sql string, res *ExecResult, outcome string, tr *qtrace, begin time.Time) {
+	if tr != nil {
+		qt := tr.finish(outcome)
+		slow := e.cfg.SlowQuery > 0 && time.Duration(qt.WallNS) >= e.cfg.SlowQuery
+		if slow {
+			e.logSlowQuery(qt)
+		}
+		if tr.publish || slow {
+			e.traces.add(qt)
+		}
+		if res != nil && tr.publish {
+			res.Trace = qt
+		}
+	}
+	e.m.execLatency.With(outcome).Observe(time.Since(begin).Seconds())
+	e.auditWrite(ctx, sql, res, outcome, tr)
+}
+
+// execMutation is the shared write core behind Exec and ExecMutation:
+// admission, single-point resolution, WAL append, chain fan-out, epoch
+// bump. A traced write spans each stage contiguously —
+// compile / admission_wait / resolve / wal_append / fsync / fanout /
+// burn_in / delta_fold / republish / cache_invalidate — with the fan-out
+// phases clocked by the slowest chain (each phase span closes when every
+// chain has reported that phase done).
+func (e *Engine) execMutation(ctx context.Context, sql string, mut ra.Mutation, tr *qtrace, begin time.Time) (res *ExecResult, err error) {
+	outcome := "error"
+	defer func() { e.finishExec(ctx, sql, res, outcome, tr, begin) }()
+
 	if err := ctx.Err(); err != nil {
+		outcome = "canceled"
 		return nil, err
 	}
+	tr.span("admission_wait")
 	if err := e.admit.acquire(ctx); err != nil {
 		if errors.Is(err, ErrOverloaded) {
 			e.m.rejected.Inc()
+			outcome = "rejected"
+		} else {
+			outcome = "canceled"
 		}
 		return nil, err
 	}
@@ -79,9 +188,11 @@ func (e *Engine) ExecMutation(ctx context.Context, sql string, mut ra.Mutation) 
 	defer e.writeMu.Unlock()
 	start := time.Now()
 
+	tr.span("resolve")
 	ops, err := e.chains[0].resolveMutation(ctx, mut)
 	if err != nil {
 		if errors.Is(err, ErrClosed) || errors.Is(err, ctx.Err()) {
+			outcome = "canceled"
 			return nil, err
 		}
 		e.m.failed.Inc()
@@ -92,12 +203,14 @@ func (e *Engine) ExecMutation(ctx context.Context, sql string, mut ra.Mutation) 
 	// nothing, and in particular do not bump the data epoch — that would
 	// orphan every cached answer for no reason.
 	if len(ops) == 0 {
-		return &ExecResult{
+		outcome = "noop"
+		res = &ExecResult{
 			SQL:     sql,
 			Epoch:   e.dataEpoch.Load(),
 			Chains:  len(e.chains),
 			Elapsed: time.Since(start),
-		}, nil
+		}
+		return res, nil
 	}
 
 	// Write-ahead: the batch goes to the durable log before any chain
@@ -108,36 +221,90 @@ func (e *Engine) ExecMutation(ctx context.Context, sql string, mut ra.Mutation) 
 	// committed.
 	epoch := e.dataEpoch.Load() + 1
 	if e.cfg.WAL != nil {
+		tr.span("wal_append")
 		if err := e.cfg.WAL.Append(epoch, ops); err != nil {
 			return nil, fmt.Errorf("serve: wal append: %w", err)
 		}
+		var fsyncNS int64
+		if fr, ok := e.cfg.WAL.(FsyncReporter); ok {
+			fsyncNS = fr.LastFsyncNS()
+		}
+		tr.splitTail("fsync", fsyncNS)
 	}
 
 	// Point of no return: every chain must apply the same ops. Fan out in
-	// parallel and wait for all of them; only engine shutdown aborts.
+	// parallel and wait for all of them; only engine shutdown aborts. A
+	// traced write additionally collects per-chain phase marks, advancing
+	// the span as the whole pool completes each stage.
+	tr.span("fanout")
+	var phases chan chainPhase
+	if tr != nil {
+		phases = make(chan chainPhase, len(e.chains)*int(numWritePhases))
+	}
 	errs := make(chan error, len(e.chains))
 	for _, c := range e.chains {
-		go func(c *chain) { errs <- c.applyOps(e.cfg.WriteBurnIn, ops) }(c)
+		go func(c *chain) { errs <- c.applyOps(e.cfg.WriteBurnIn, ops, phases) }(c)
 	}
 	var failed error
-	for range e.chains {
-		if err := <-errs; err != nil && failed == nil {
-			failed = err
+	counts := [numWritePhases]int{}
+	cur := phaseOpsApplied
+	// The span to open once every chain finishes the current phase; the
+	// last phase is closed by the reply collection itself.
+	next := [numWritePhases]string{"burn_in", "delta_fold", "republish", ""}
+	advance := func(p chainPhase) {
+		counts[p]++
+		for cur < numWritePhases && counts[cur] == len(e.chains) {
+			if next[cur] != "" {
+				tr.span(next[cur])
+			}
+			cur++
+		}
+	}
+	for done := 0; done < len(e.chains); {
+		if phases == nil {
+			if err := <-errs; err != nil && failed == nil {
+				failed = err
+			}
+			done++
+			continue
+		}
+		select {
+		case err := <-errs:
+			done++
+			if err != nil && failed == nil {
+				failed = err
+			}
+		case p := <-phases:
+			advance(p)
+		}
+	}
+	// A chain buffers all its phase marks before replying, so any marks
+	// the select raced past are already in the channel: drain them so the
+	// phase spans open even when every reply won the select.
+	for phases != nil {
+		select {
+		case p := <-phases:
+			advance(p)
+		default:
+			phases = nil
 		}
 	}
 	if failed != nil {
 		return nil, failed
 	}
 
+	tr.span("cache_invalidate")
 	e.dataEpoch.Store(epoch) // == Add(1): writeMu serializes committers
 	e.m.writes.Inc()
-	return &ExecResult{
+	outcome = "ok"
+	res = &ExecResult{
 		SQL:          sql,
 		RowsAffected: int64(len(ops)),
 		Epoch:        epoch,
 		Chains:       len(e.chains),
 		Elapsed:      time.Since(start),
-	}, nil
+	}
+	return res, nil
 }
 
 // DataEpoch returns the number of committed writes — the data-epoch
@@ -166,8 +333,8 @@ func (c *chain) resolveMutation(ctx context.Context, mut ra.Mutation) ([]world.O
 // applyOps delivers a resolved op list to the chain goroutine and waits
 // for it to be absorbed. Deliberately not cancellable by context: a
 // write that reached some chains must reach all of them.
-func (c *chain) applyOps(burnIn int, ops []world.Op) error {
-	req := applyReq{ops: ops, burnIn: burnIn, reply: make(chan error, 1)}
+func (c *chain) applyOps(burnIn int, ops []world.Op, phases chan<- chainPhase) error {
+	req := applyReq{ops: ops, burnIn: burnIn, phases: phases, reply: make(chan error, 1)}
 	select {
 	case c.ctl <- req:
 	case <-c.done:

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"factordb/internal/exp"
+	"factordb/internal/world"
 )
 
 // corefEngine builds an engine over a small entity-resolution workload —
@@ -265,6 +266,115 @@ func TestExecBadStatements(t *testing.T) {
 	if err != nil || res.RowsAffected != 0 || eng.DataEpoch() != 0 {
 		t.Errorf("no-match DELETE: err=%v rows=%d epoch=%d, want a zero-row no-op at epoch 0",
 			err, res.RowsAffected, eng.DataEpoch())
+	}
+}
+
+// fsyncStubWAL is a WALSink reporting a fixed fsync share of its last
+// Append — enough to make a traced write produce the wal_append and
+// fsync spans without a real disk. The brief sleep guarantees the
+// wal_append span is wider than the fsync share it must contain.
+type fsyncStubWAL struct {
+	appends int
+}
+
+func (w *fsyncStubWAL) Append(epoch int64, ops []world.Op) error {
+	w.appends++
+	time.Sleep(200 * time.Microsecond)
+	return nil
+}
+
+func (w *fsyncStubWAL) LastFsyncNS() int64 { return 50_000 }
+
+// TestExecTraceSpans pins the write-trace contract: a traced Exec
+// returns a contiguous span timeline covering the whole write — compile
+// through cache_invalidate, with the fsync share carved out of
+// wal_append — that tiles the wall time exactly and lands in the debug
+// ring. Untraced writes stay dark, and a no-match write traces as a
+// noop that never reaches the fan-out.
+func TestExecTraceSpans(t *testing.T) {
+	wal := &fsyncStubWAL{}
+	eng := corefEngine(t, Config{Chains: 2, Seed: 31, WAL: wal})
+	ctx := context.Background()
+	wantID := strings.Repeat("ab", 16)
+	res, err := eng.ExecTraced(ctx,
+		`UPDATE MENTION SET STRING = 'TRACED' WHERE MENTION_ID = 1`,
+		ExecOptions{Trace: true, TraceID: wantID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("traced exec returned no trace")
+	}
+	if tr.Kind != "exec" || tr.Outcome != "ok" {
+		t.Fatalf("trace kind=%q outcome=%q, want exec/ok", tr.Kind, tr.Outcome)
+	}
+	if tr.TraceID != wantID {
+		t.Fatalf("trace id %q, want the propagated %q", tr.TraceID, wantID)
+	}
+	want := []string{"compile", "admission_wait", "resolve", "wal_append", "fsync",
+		"fanout", "burn_in", "delta_fold", "republish", "cache_invalidate"}
+	if len(tr.Spans) != len(want) {
+		t.Fatalf("trace has %d spans (%+v), want %v", len(tr.Spans), tr.Spans, want)
+	}
+	var sum int64
+	for i, s := range tr.Spans {
+		if s.Name != want[i] {
+			t.Errorf("span %d = %q, want %q", i, s.Name, want[i])
+		}
+		if s.DurNS < 0 {
+			t.Errorf("span %q has negative duration %d", s.Name, s.DurNS)
+		}
+		if i > 0 {
+			prev := tr.Spans[i-1]
+			if s.StartNS != prev.StartNS+prev.DurNS {
+				t.Fatalf("span %q starts at %d, previous ended at %d — the write timeline has a gap",
+					s.Name, s.StartNS, prev.StartNS+prev.DurNS)
+			}
+		}
+		sum += s.DurNS
+	}
+	if got := sum + tr.Spans[0].StartNS; got != tr.WallNS {
+		t.Fatalf("spans tile %dns of %dns wall time", got, tr.WallNS)
+	}
+	// splitTail carved at least the reported fsync share out of wal_append
+	// (the span also absorbs the instants until the fan-out opens).
+	if fs := tr.Spans[4]; fs.DurNS < wal.LastFsyncNS() {
+		t.Errorf("fsync span %dns, want at least the reported %dns", fs.DurNS, wal.LastFsyncNS())
+	}
+	if wal.appends != 1 {
+		t.Fatalf("WAL saw %d appends, want 1", wal.appends)
+	}
+	if traces := eng.Traces(); len(traces) == 0 || traces[0].ID != tr.ID {
+		t.Fatal("debug ring does not lead with the traced write")
+	}
+
+	// Untraced write: no trace on the result, nothing new in the ring.
+	res2, err := eng.Exec(ctx, `UPDATE MENTION SET STRING = 'DARK' WHERE MENTION_ID = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trace != nil {
+		t.Fatalf("untraced exec carries a trace: %+v", res2.Trace)
+	}
+	if n := len(eng.Traces()); n != 1 {
+		t.Fatalf("debug ring holds %d traces after an untraced write, want 1", n)
+	}
+
+	// No-match mutation: outcome noop, the WAL untouched, no fan-out spans.
+	res3, err := eng.ExecTraced(ctx, `DELETE FROM MENTION WHERE MENTION_ID = 999`,
+		ExecOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Trace == nil || res3.Trace.Outcome != "noop" {
+		t.Fatalf("no-match trace = %+v, want outcome noop", res3.Trace)
+	}
+	if last := res3.Trace.Spans[len(res3.Trace.Spans)-1]; last.Name != "resolve" {
+		t.Errorf("noop trace ends with span %q, want resolve (no fan-out happened)", last.Name)
+	}
+	if wal.appends != 2 { // the two matching writes above, nothing from the no-op
+		t.Errorf("no-match mutation reached the WAL (%d appends, want 2)", wal.appends)
 	}
 }
 

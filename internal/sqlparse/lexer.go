@@ -114,7 +114,7 @@ var keywordsByLen = [9][]string{
 	4: {"FROM", "DESC", "INTO", "JOIN"},
 	5: {"WHERE", "COUNT", "GROUP", "ORDER", "LIMIT", "INNER"},
 	6: {"SELECT", "HAVING", "INSERT", "VALUES", "UPDATE", "DELETE", "EXISTS"},
-	7: {"EXPLAIN"},
+	7: {"EXPLAIN", "ANALYZE"},
 	8: {"DISTINCT"},
 }
 
@@ -191,7 +191,12 @@ func isKeywordUpper(s string) bool {
 			return s == "EXISTS"
 		}
 	case 7:
-		return s == "EXPLAIN"
+		switch s[0] {
+		case 'E':
+			return s == "EXPLAIN"
+		case 'A':
+			return s == "ANALYZE"
+		}
 	case 8:
 		return s == "DISTINCT"
 	}

@@ -161,6 +161,11 @@ type Statement struct {
 	Delete  *DeleteStmt
 	Explain *Statement // EXPLAIN <stmt>: the wrapped statement
 
+	// Analyze marks EXPLAIN ANALYZE: the wrapped statement is executed
+	// with per-operator instrumentation rather than merely planned. Only
+	// meaningful when Explain is non-nil.
+	Analyze bool
+
 	Params int
 }
 
@@ -348,11 +353,12 @@ func (p *parser) parseInput() (*Statement, error) {
 
 func (p *parser) parseTop() (*Statement, error) {
 	if p.accept(tkKeyword, "EXPLAIN") {
+		analyze := p.accept(tkKeyword, "ANALYZE")
 		inner, err := p.parseOne()
 		if err != nil {
 			return nil, err
 		}
-		return &Statement{Explain: inner}, nil
+		return &Statement{Explain: inner, Analyze: analyze}, nil
 	}
 	return p.parseOne()
 }

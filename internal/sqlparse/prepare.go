@@ -13,13 +13,17 @@ func IsExplain(sql string) bool {
 	return kw == "EXPLAIN"
 }
 
-// ExplainTarget strips the leading EXPLAIN keyword and returns the
-// inner statement text, so the caller can compile (and cache) the
-// target exactly as if it had been issued directly. The caller must
-// have checked IsExplain first.
+// ExplainTarget strips the leading EXPLAIN keyword — and, for EXPLAIN
+// ANALYZE, the ANALYZE modifier — and returns the inner statement text,
+// so the caller can compile (and cache) the target exactly as if it had
+// been issued directly. The caller must have checked IsExplain first.
 func ExplainTarget(sql string) string {
 	_, end := leadingKeyword(sql)
-	return strings.TrimSpace(sql[end:])
+	rest := strings.TrimSpace(sql[end:])
+	if kw, aend := leadingKeyword(rest); kw == "ANALYZE" {
+		return strings.TrimSpace(rest[aend:])
+	}
+	return rest
 }
 
 // NumParams reports how many ? placeholders the statement contains.

@@ -1,8 +1,10 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -45,6 +47,11 @@ type DiskStore struct {
 	sinceOps  int64 // appended ops since the last checkpoint
 	lastErr   string
 
+	// lastFsyncNS is the fsync share of the most recent Append (0 unless
+	// the policy synced inline) — the serve.FsyncReporter contract traced
+	// writes use to carve the fsync span out of wal_append.
+	lastFsyncNS atomic.Int64
+
 	// Scrape-safe mirrors: read by metric gauges and Stats without
 	// taking mu, so a checkpoint in progress never blocks a scrape.
 	epoch       atomic.Int64
@@ -82,10 +89,12 @@ func Open(opts Options) (*DiskStore, error) {
 		closeCh: make(chan struct{}),
 	}
 
+	phase := time.Now()
 	shadow, snapEpoch, haveSnap, err := latestSnapshot(opts.Dir)
 	if err != nil {
 		return nil, err
 	}
+	s.rec.SnapshotLoadNS = time.Since(phase).Nanoseconds()
 	if haveSnap {
 		s.shadow = shadow
 		s.shadowLog = world.NewChangeLog(shadow)
@@ -100,6 +109,7 @@ func Open(opts Options) (*DiskStore, error) {
 	}
 	epoch := snapEpoch
 	if len(data) > 0 {
+		phase = time.Now()
 		recs, validEnd, torn, serr := scanWAL(data)
 		if serr != nil {
 			return nil, serr
@@ -122,10 +132,13 @@ func Open(opts Options) (*DiskStore, error) {
 		if s.shadowLog != nil {
 			s.shadowLog.Drain() // no views to maintain; drop the replay delta
 		}
+		s.rec.ReplayNS = time.Since(phase).Nanoseconds()
 		if torn {
+			phase = time.Now()
 			if err := os.Truncate(walPath, validEnd); err != nil {
 				return nil, fmt.Errorf("store: truncating torn wal tail: %w", err)
 			}
+			s.rec.TruncateNS = time.Since(phase).Nanoseconds()
 		}
 		s.walRecords.Store(int64(len(recs)) - countCovered(recs, snapEpoch))
 		s.walBytes.Store(validEnd)
@@ -196,6 +209,7 @@ func (s *DiskStore) background() {
 				s.mu.Lock()
 				s.lastErr = err.Error()
 				s.mu.Unlock()
+				s.logError("checkpoint", err)
 			}
 		}
 	}
@@ -210,6 +224,7 @@ func (s *DiskStore) syncIfDirty() {
 	start := time.Now()
 	if err := s.f.Sync(); err != nil {
 		s.lastErr = err.Error()
+		s.logError("fsync", err)
 		return
 	}
 	s.dirty = false
@@ -218,8 +233,24 @@ func (s *DiskStore) syncIfDirty() {
 	}
 }
 
+// logError surfaces a background failure — which Stats.LastError records
+// but nothing reports — through the configured structured logger.
+func (s *DiskStore) logError(op string, err error) {
+	if s.opts.Logger == nil {
+		return
+	}
+	s.opts.Logger.LogAttrs(context.Background(), slog.LevelError, "store.background_error",
+		slog.String("op", op), slog.String("error", err.Error()))
+}
+
 // Recovery reports what Open found on disk.
 func (s *DiskStore) Recovery() Recovery { return s.rec }
+
+// LastFsyncNS reports the fsync share of the most recent Append — zero
+// unless the policy synced inline (FsyncAlways). Meaningful only right
+// after an Append on the same serialized write path; traced writes use
+// it to attribute WAL time between buffering and stable storage.
+func (s *DiskStore) LastFsyncNS() int64 { return s.lastFsyncNS.Load() }
 
 // WorldClone returns an independent copy of the durable world (nil when
 // the store was never seeded).
@@ -283,10 +314,13 @@ func (s *DiskStore) Append(epoch int64, ops []world.Op) error {
 		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("store: wal fsync: %w", err)
 		}
+		fdur := time.Since(fstart)
+		s.lastFsyncNS.Store(fdur.Nanoseconds())
 		if s.fsyncH != nil {
-			s.fsyncH.Observe(time.Since(fstart).Seconds())
+			s.fsyncH.Observe(fdur.Seconds())
 		}
 	} else {
+		s.lastFsyncNS.Store(0)
 		s.dirty = true
 	}
 	if s.shadowLog != nil {

@@ -21,6 +21,7 @@
 package store
 
 import (
+	"log/slog"
 	"time"
 
 	"factordb/internal/relstore"
@@ -71,6 +72,10 @@ type Options struct {
 	// CheckpointBytes triggers a background checkpoint once the WAL tail
 	// has grown past this many bytes (default 4 MiB; negative disables).
 	CheckpointBytes int64
+	// Logger, when non-nil, receives structured records for failures the
+	// store can only surface asynchronously — background fsync and
+	// checkpoint errors that would otherwise live in Stats.LastError only.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +109,13 @@ type Recovery struct {
 	TornTail bool
 	// Fresh reports an empty store: no snapshot and no log records.
 	Fresh bool
+
+	// Phase durations of the recovery itself — the material of the
+	// startup trace surfaced on /statusz: loading the newest snapshot,
+	// replaying the WAL tail past it, and truncating a torn final record.
+	SnapshotLoadNS int64
+	ReplayNS       int64
+	TruncateNS     int64
 }
 
 // Stats is the introspection snapshot behind the /statusz and /healthz

@@ -1,0 +1,155 @@
+package factordb
+
+import (
+	"fmt"
+	"log/slog"
+	"time"
+)
+
+// WithLogger installs a structured logger for the database's operational
+// records: the slow-query log, write-audit records, and background store
+// failures. All records go through log/slog, so the handler decides the
+// format (JSON for machines, text for people) and the level floor. Nil
+// (the default) disables structured logging.
+func WithLogger(l *slog.Logger) Option { return func(o *options) { o.logger = l } }
+
+// WithSlowQueryLog arms the slow-query log: any query or write whose wall
+// time reaches threshold emits a "slow_query" record — fingerprint, trace
+// ID, outcome, and the per-span time breakdown — through the WithLogger
+// handler, and its full trace is kept in the recent-traces ring so
+// GET /debug/traces can be cross-referenced by trace ID. Zero (the
+// default) disables it.
+func WithSlowQueryLog(threshold time.Duration) Option {
+	return func(o *options) { o.slowQuery = threshold }
+}
+
+// genTraceID builds a W3C-shaped 32-hex trace ID: a per-process seed (so
+// IDs from different opens never collide) plus the trace's ring ID. Used
+// when the client did not propagate its own.
+func (db *DB) genTraceID(id int64) string {
+	return fmt.Sprintf("%016x%016x", db.traceSeed, uint64(id))
+}
+
+// newLocalQueryTrace decides tracing for one local-mode query: the caller
+// opted in (publish), or the slow-query log is armed and needs the span
+// breakdown in case the query turns out slow (private).
+func (db *DB) newLocalQueryTrace(sql string, qo queryOptions) *localTrace {
+	publish := qo.trace
+	if !publish && db.opts.slowQuery <= 0 {
+		return nil
+	}
+	tr := newLocalTrace(db.traceID.Add(1), sql, time.Now())
+	tr.publish = publish
+	tr.qt.Kind = "query"
+	tr.qt.TraceID = qo.traceID
+	if tr.qt.TraceID == "" {
+		tr.qt.TraceID = db.genTraceID(tr.qt.ID)
+	}
+	return tr
+}
+
+// finishLocalTrace settles a local query trace: slow queries are logged
+// and ringed regardless of opt-in (the log's trace IDs must resolve on
+// /debug/traces), but only client-opted traces are returned for the
+// result to carry.
+func (db *DB) finishLocalTrace(tr *localTrace, outcome string) *QueryTrace {
+	if tr == nil {
+		return nil
+	}
+	qt := tr.finish(outcome)
+	slow := db.opts.slowQuery > 0 && time.Duration(qt.WallNS) >= db.opts.slowQuery
+	if slow {
+		db.logSlowQuery(qt)
+	}
+	if tr.publish || slow {
+		db.localTraces.add(qt)
+	}
+	if !tr.publish {
+		return nil
+	}
+	return qt
+}
+
+// logSlowQuery emits one "slow_query" record: identity (SQL, plan
+// fingerprint, trace ID), outcome, and the span breakdown summed per
+// span name so retried phases aggregate instead of repeating.
+func (db *DB) logSlowQuery(qt *QueryTrace) {
+	if db.logger == nil {
+		return
+	}
+	names := make([]string, 0, len(qt.Spans))
+	sums := make(map[string]int64, len(qt.Spans))
+	for _, s := range qt.Spans {
+		if _, ok := sums[s.Name]; !ok {
+			names = append(names, s.Name)
+		}
+		sums[s.Name] += s.DurNS
+	}
+	attrs := make([]any, 0, len(names))
+	for _, n := range names {
+		attrs = append(attrs, slog.Int64(n, sums[n]))
+	}
+	db.logger.Warn("slow_query",
+		"trace_id", qt.TraceID,
+		"kind", qt.Kind,
+		"sql", qt.SQL,
+		"fingerprint", qt.Plan,
+		"outcome", qt.Outcome,
+		"wall_ns", qt.WallNS,
+		"threshold_ns", db.opts.slowQuery.Nanoseconds(),
+		slog.Group("span_ns", attrs...),
+	)
+}
+
+// finishLocalExec settles one local write's observability: trace ring and
+// attachment, the outcome-labeled latency histogram, the slow-query check
+// (writes share the threshold), and the write-audit record.
+func (db *DB) finishLocalExec(sql string, res *ExecResult, outcome string, tr *localTrace, begin time.Time) {
+	if tr != nil {
+		qt := tr.finish(outcome)
+		slow := db.opts.slowQuery > 0 && time.Duration(qt.WallNS) >= db.opts.slowQuery
+		if slow {
+			db.logSlowQuery(qt)
+		}
+		if tr.publish || slow {
+			db.localTraces.add(qt)
+		}
+		if res != nil && tr.publish {
+			res.Trace = qt
+		}
+	}
+	if db.execLatency != nil {
+		db.execLatency.With(outcome).Observe(time.Since(begin).Seconds())
+	}
+	db.auditLocalWrite(sql, res, outcome, tr)
+}
+
+// auditLocalWrite emits one "write.audit" record per local Exec —
+// every write, traced or not, leaves an audit line when a logger is
+// installed. Failed writes audit at Warn.
+func (db *DB) auditLocalWrite(sql string, res *ExecResult, outcome string, tr *localTrace) {
+	if db.logger == nil {
+		return
+	}
+	attrs := []any{
+		"outcome", outcome,
+		"sql", sql,
+	}
+	if tr != nil {
+		attrs = append(attrs, "trace_id", tr.qt.TraceID)
+	}
+	if res != nil {
+		attrs = append(attrs,
+			"epoch", res.Epoch,
+			"rows_affected", res.RowsAffected,
+			"elapsed_ns", res.Elapsed.Nanoseconds(),
+		)
+	} else {
+		attrs = append(attrs, "epoch", db.writeEpoch.Load())
+	}
+	if outcome == "error" {
+		db.logger.Warn("write.audit", attrs...)
+		return
+	}
+	db.logger.Info("write.audit", attrs...)
+}

@@ -120,6 +120,7 @@ func (s *Stmt) query(ctx context.Context, args []any, qo queryOptions) (*Rows, e
 			Confidence: qo.confidence,
 			NoCache:    qo.noCache,
 			Trace:      qo.trace,
+			TraceID:    qo.traceID,
 		})
 		if err != nil {
 			return nil, mapServeErr(err)
@@ -145,18 +146,21 @@ func (s *Stmt) query(ctx context.Context, args []any, qo queryOptions) (*Rows, e
 			trace:      traceFromServe(res.Trace),
 		}, nil
 	}
-	var lt *localTrace
-	if qo.trace {
-		lt = newLocalTrace(db.traceID.Add(1), s.sql, time.Now())
-		lt.span("compile")
-		lt.attr("plan_cache", "prepared")
-	}
+	lt := db.newLocalQueryTrace(s.sql, qo)
+	lt.span("compile")
+	lt.attr("plan_cache", "prepared")
 	return db.queryLocal(ctx, s.sql, comp.Plan, comp.Spec, cols, qo, lt)
 }
 
 // Exec executes a prepared DML statement with the given placeholder
 // arguments, with the same commit semantics as DB.Exec.
 func (s *Stmt) Exec(ctx context.Context, args ...any) (*ExecResult, error) {
+	return s.exec(ctx, args, execOptions{})
+}
+
+// exec is the option-carrying execution core behind Stmt.Exec and the
+// transports' placeholder-argument write paths.
+func (s *Stmt) exec(ctx context.Context, args []any, eo execOptions) (*ExecResult, error) {
 	db := s.db
 	if db.isClosed() {
 		return nil, ErrClosed
@@ -180,7 +184,7 @@ func (s *Stmt) Exec(ctx context.Context, args ...any) (*ExecResult, error) {
 		}
 	}
 	if db.eng != nil {
-		res, err := db.eng.ExecMutation(ctx, s.sql, mut)
+		res, err := db.eng.ExecMutationTraced(ctx, s.sql, mut, serve.ExecOptions{Trace: eo.trace, TraceID: eo.traceID})
 		if err != nil {
 			return nil, mapServeErr(err)
 		}
@@ -189,9 +193,14 @@ func (s *Stmt) Exec(ctx context.Context, args ...any) (*ExecResult, error) {
 			Epoch:        res.Epoch,
 			Chains:       res.Chains,
 			Elapsed:      res.Elapsed,
+			Trace:        traceFromServe(res.Trace),
 		}, nil
 	}
-	return db.execLocal(mut)
+	begin := time.Now()
+	tr := db.newLocalExecTrace(s.sql, eo, begin)
+	tr.span("compile")
+	tr.attr("plan_cache", "prepared")
+	return db.execLocal(s.sql, mut, tr, begin)
 }
 
 // queryArgs runs one SELECT with placeholder arguments through a
@@ -220,13 +229,17 @@ func (db *DB) queryArgs(ctx context.Context, sql string, args []any, opts ...Que
 
 // execArgs runs one DML statement with placeholder arguments through a
 // throwaway prepared statement.
-func (db *DB) execArgs(ctx context.Context, sql string, args []any) (*ExecResult, error) {
+func (db *DB) execArgs(ctx context.Context, sql string, args []any, opts ...ExecOption) (*ExecResult, error) {
 	if len(args) == 0 {
-		return db.Exec(ctx, sql)
+		return db.Exec(ctx, sql, opts...)
+	}
+	var eo execOptions
+	for _, f := range opts {
+		f(&eo)
 	}
 	stmt, err := db.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	return stmt.Exec(ctx, args...)
+	return stmt.exec(ctx, args, eo)
 }

@@ -20,6 +20,7 @@ type queryOptions struct {
 	noCache      bool
 	allowPartial bool
 	trace        bool
+	traceID      string
 }
 
 // QueryOption configures one DB.Query call.
@@ -53,6 +54,13 @@ func AllowPartial() QueryOption { return func(o *queryOptions) { o.allowPartial 
 // off by default and the disabled path is one branch per span site, so
 // leaving it off costs nothing measurable.
 func Trace() QueryOption { return func(o *queryOptions) { o.trace = true } }
+
+// TraceID propagates a caller-assigned correlation ID — the trace-id
+// field of a W3C traceparent — into whatever observability this query
+// produces: its trace (if recorded) and any slow-query record. It does
+// not by itself enable tracing; combine with Trace for that. The HTTP
+// transport sets it from the request's traceparent header.
+func TraceID(id string) QueryOption { return func(o *queryOptions) { o.traceID = id } }
 
 // Query evaluates one SQL SELECT over the possible-world distribution and
 // returns a streaming iterator over the answer tuples, each carrying its
@@ -93,15 +101,12 @@ func (db *DB) Query(ctx context.Context, sql string, opts ...QueryOption) (*Rows
 	if db.eng != nil {
 		return db.queryServed(ctx, sql, qo)
 	}
-	var lt *localTrace
-	if qo.trace {
-		lt = newLocalTrace(db.traceID.Add(1), sql, time.Now())
-	}
+	lt := db.newLocalQueryTrace(sql, qo)
 	lt.span("compile")
 	comp, hit, err := db.plans.CompileQuery(sql)
 	if err != nil {
 		db.countFailed()
-		db.localTraces.add(lt.finish("error"))
+		db.finishLocalTrace(lt, "error")
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	if hit {
@@ -127,6 +132,7 @@ func (db *DB) queryServed(ctx context.Context, sql string, qo queryOptions) (*Ro
 		Confidence: qo.confidence,
 		NoCache:    qo.noCache,
 		Trace:      qo.trace,
+		TraceID:    qo.traceID,
 	})
 	if err != nil {
 		return nil, mapServeErr(err)
@@ -169,7 +175,7 @@ func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, spec ra.
 	log, proposer, err := db.sys.NewChainWorld(0)
 	db.writeMu.RUnlock()
 	if err != nil {
-		db.localTraces.add(lt.finish("error"))
+		db.finishLocalTrace(lt, "error")
 		return nil, err
 	}
 	mode := core.Naive
@@ -179,7 +185,7 @@ func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, spec ra.
 	ev, err := core.NewEvaluator(mode, log, proposer, plan, db.opts.steps, db.opts.seed)
 	if err != nil {
 		db.countFailed()
-		db.localTraces.add(lt.finish("error"))
+		db.finishLocalTrace(lt, "error")
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	lt.span("sample")
@@ -196,7 +202,7 @@ func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, spec ra.
 			break
 		}
 		if err := ev.CollectSample(); err != nil {
-			db.localTraces.add(lt.finish("error"))
+			db.finishLocalTrace(lt, "error")
 			return nil, err
 		}
 	}
@@ -204,7 +210,7 @@ func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, spec ra.
 	lt.attr("samples", fmt.Sprintf("%d", est.Samples()))
 	if partial {
 		if est.Samples() == 0 || !qo.allowPartial {
-			db.localTraces.add(lt.finish("error"))
+			db.finishLocalTrace(lt, "error")
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, cerr
 			}
@@ -220,8 +226,7 @@ func (db *DB) queryLocal(ctx context.Context, sql string, plan ra.Plan, spec ra.
 	if partial {
 		outcome = "partial"
 	}
-	qt := lt.finish(outcome)
-	db.localTraces.add(qt)
+	qt := db.finishLocalTrace(lt, outcome)
 	return &Rows{
 		cols:       cols,
 		cis:        cis,

@@ -26,6 +26,11 @@ type Status struct {
 	// Durability is the snapshot+WAL store's state; null without
 	// WithDataDir.
 	Durability *DurabilityStatus `json:"durability,omitempty"`
+
+	// StartupTrace is the recovery trace assembled at Open — snapshot
+	// load, WAL replay and torn-tail truncation as contiguous spans with
+	// the replayed-record counts as attributes. Null without WithDataDir.
+	StartupTrace *QueryTrace `json:"startup_trace,omitempty"`
 }
 
 // CacheStatus reports served-mode result-cache occupancy.
@@ -75,11 +80,12 @@ func finiteOrNil(v float64) *float64 {
 // one generation apart — the skew ChainStatus.WriteGen exists to expose.
 func (db *DB) Status() Status {
 	st := Status{
-		Mode:       db.opts.mode.String(),
-		Chains:     db.Chains(),
-		WriteEpoch: db.WriteEpoch(),
-		UptimeS:    time.Since(db.start).Seconds(),
-		Durability: db.Durability(),
+		Mode:         db.opts.mode.String(),
+		Chains:       db.Chains(),
+		WriteEpoch:   db.WriteEpoch(),
+		UptimeS:      time.Since(db.start).Seconds(),
+		Durability:   db.Durability(),
+		StartupTrace: db.startupTrace,
 	}
 	if db.eng == nil {
 		return st

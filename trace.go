@@ -23,8 +23,17 @@ type TraceSpan struct {
 // mode the engine's trace sampler may also pick queries). Span names and
 // attribute keys are a stable contract — see the package documentation.
 type QueryTrace struct {
-	ID      int64       `json:"id"`
-	SQL     string      `json:"sql"`
+	ID  int64  `json:"id"`
+	SQL string `json:"sql"`
+	// TraceID is the W3C trace-id correlating this trace with the
+	// caller's distributed trace: the one the client propagated (the
+	// TraceID option, or a traceparent header over HTTP), or one the
+	// database assigned. Slow-query and write-audit log records carry the
+	// same ID, so logs, /debug/traces and client traces cross-reference.
+	TraceID string `json:"trace_id,omitempty"`
+	// Kind distinguishes the trace families sharing the ring:
+	// "query" (SELECT), "exec" (DML write) and "recovery" (startup).
+	Kind    string      `json:"kind,omitempty"`
 	Plan    string      `json:"plan_fingerprint,omitempty"`
 	Begin   time.Time   `json:"begin"`
 	WallNS  int64       `json:"wall_ns"`
@@ -40,6 +49,8 @@ func traceFromServe(t *serve.QueryTrace) *QueryTrace {
 	out := &QueryTrace{
 		ID:      t.ID,
 		SQL:     t.SQL,
+		TraceID: t.TraceID,
+		Kind:    t.Kind,
 		Plan:    t.Plan,
 		Begin:   t.Begin,
 		WallNS:  t.WallNS,
@@ -60,6 +71,11 @@ type localTrace struct {
 	begin time.Time
 	open  bool
 	start time.Time
+
+	// publish marks a trace the caller asked for: it is attached to the
+	// result. A trace created only because the slow-query log is armed
+	// stays private — ringed when slow, but never returned.
+	publish bool
 }
 
 func newLocalTrace(id int64, sql string, begin time.Time) *localTrace {
@@ -84,6 +100,30 @@ func (t *localTrace) closeSpan(now time.Time) {
 	s := &t.qt.Spans[len(t.qt.Spans)-1]
 	s.DurNS = now.Sub(t.start).Nanoseconds()
 	t.open = false
+}
+
+// splitTail carves the trailing tailNS of the open span into its own
+// contiguous span named name — how the fsync portion of wal_append is
+// reported after the fact, once the store has said how long it took.
+// The carved span stays open with its start backdated by tailNS, so the
+// next span (or finish) closes it at its own instant with no gap.
+func (t *localTrace) splitTail(name string, tailNS int64) {
+	if t == nil || !t.open {
+		return
+	}
+	now := time.Now()
+	t.closeSpan(now)
+	s := &t.qt.Spans[len(t.qt.Spans)-1]
+	if tailNS < 0 {
+		tailNS = 0
+	}
+	if tailNS > s.DurNS {
+		tailNS = s.DurNS
+	}
+	s.DurNS -= tailNS
+	t.qt.Spans = append(t.qt.Spans, TraceSpan{Name: name, StartNS: s.StartNS + s.DurNS})
+	t.open = true
+	t.start = now.Add(-time.Duration(tailNS))
 }
 
 func (t *localTrace) attr(key, val string) {
